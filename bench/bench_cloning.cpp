@@ -1,0 +1,57 @@
+// E11 — procedure-cloning growth (paper §5.2, Fig. 8).
+//
+// A hub subroutine invoked under a growing number of distinct reaching
+// decompositions. Cloning creates one version per distinct decomposition;
+// the growth threshold flips the hub to run-time resolution instead.
+// Counters: clones created, final procedure count, fallback flag, and
+// whole-compile wall time (cloning re-runs interprocedural analysis).
+#include <benchmark/benchmark.h>
+
+#include "driver/compiler.hpp"
+#include "programs.hpp"
+
+namespace {
+
+void BM_CloningGrowth(benchmark::State& state) {
+  const int variants = static_cast<int>(state.range(0));
+  std::string src = fortd::bench::cloning_hub(variants, 64);
+  fortd::CompileResult last;
+  for (auto _ : state) {
+    fortd::Compiler compiler(fortd::CodegenOptions{});
+    last = compiler.compile_source(src);
+    { auto sink = last.ipa.clones_created; benchmark::DoNotOptimize(sink); }
+  }
+  state.counters["clones"] = last.ipa.clones_created;
+  state.counters["procedures"] =
+      static_cast<double>(last.program.ast.procedures.size());
+  state.counters["fallback"] =
+      static_cast<double>(last.ipa.runtime_fallback.size());
+}
+
+void BM_CloningThreshold(benchmark::State& state) {
+  const int max_procs = static_cast<int>(state.range(0));
+  std::string src = fortd::bench::cloning_hub(8, 64);
+  fortd::CompileResult last;
+  for (auto _ : state) {
+    fortd::IpaOptions ipa;
+    ipa.max_procedures = max_procs;
+    fortd::Compiler compiler(fortd::CodegenOptions{}, ipa);
+    last = compiler.compile_source(src);
+    { auto sink = last.ipa.clones_created; benchmark::DoNotOptimize(sink); }
+  }
+  state.counters["clones"] = last.ipa.clones_created;
+  state.counters["fallback"] =
+      static_cast<double>(last.ipa.runtime_fallback.size());
+}
+
+}  // namespace
+
+BENCHMARK(BM_CloningGrowth)->DenseRange(1, 12, 1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CloningThreshold)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

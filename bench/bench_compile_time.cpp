@@ -1,0 +1,89 @@
+// E12 — compiler throughput and the single-pass claim.
+//
+// Wall-clock time of each compilation phase (parse+bind, interprocedural
+// propagation, code generation) as the program grows, demonstrating that
+// compilation visits each procedure once (near-linear scaling in the
+// number of procedures). Includes the message-vectorization ablation.
+#include <benchmark/benchmark.h>
+
+#include "frontend/parser.hpp"
+#include "driver/compiler.hpp"
+#include "programs.hpp"
+
+namespace {
+
+void BM_ParseAndBind(benchmark::State& state) {
+  std::string src =
+      fortd::bench::call_chain(static_cast<int>(state.range(0)), 256);
+  for (auto _ : state) {
+    fortd::BoundProgram bp = fortd::parse_and_bind(src);
+    { auto sink = bp.ast.procedures.size(); benchmark::DoNotOptimize(sink); }
+  }
+  state.counters["procs"] = static_cast<double>(state.range(0) + 1);
+}
+
+void BM_InterproceduralPropagation(benchmark::State& state) {
+  std::string src =
+      fortd::bench::call_chain(static_cast<int>(state.range(0)), 256);
+  for (auto _ : state) {
+    state.PauseTiming();
+    fortd::BoundProgram bp = fortd::parse_and_bind(src);
+    state.ResumeTiming();
+    fortd::IpaContext ctx = fortd::run_ipa(bp);
+    { auto sink = ctx.acg.call_sites().size(); benchmark::DoNotOptimize(sink); }
+  }
+}
+
+void BM_CodeGeneration(benchmark::State& state) {
+  std::string src =
+      fortd::bench::call_chain(static_cast<int>(state.range(0)), 256);
+  fortd::BoundProgram bp = fortd::parse_and_bind(src);
+  fortd::IpaContext ctx = fortd::run_ipa(bp);
+  fortd::CodegenOptions opt;
+  opt.n_procs = 8;
+  for (auto _ : state) {
+    fortd::SpmdProgram spmd = fortd::generate_spmd(bp, ctx, opt);
+    { auto sink = spmd.ast.procedures.size(); benchmark::DoNotOptimize(sink); }
+  }
+}
+
+void BM_FullCompile(benchmark::State& state) {
+  std::string src =
+      fortd::bench::call_chain(static_cast<int>(state.range(0)), 256);
+  for (auto _ : state) {
+    fortd::Compiler compiler{fortd::CodegenOptions{}};
+    auto r = compiler.compile_source(src);
+    { auto sink = r.spmd.ast.procedures.size(); benchmark::DoNotOptimize(sink); }
+  }
+  state.counters["procs"] = static_cast<double>(state.range(0) + 1);
+}
+
+void BM_VectorizationAblation(benchmark::State& state) {
+  // Message vectorization off: every shift message instantiates at its
+  // deepest legal point. Counter contrast against the default.
+  const bool vectorize = state.range(0) != 0;
+  std::string src = fortd::bench::fig4(128, 128);
+  fortd::CodegenOptions opt;
+  opt.n_procs = 4;
+  opt.strategy = vectorize ? fortd::Strategy::Interprocedural
+                           : fortd::Strategy::Intraprocedural;
+  fortd::Compiler compiler(opt);
+  fortd::CompileResult r = compiler.compile_source(src);
+  fortd::RunResult last;
+  for (auto _ : state) {
+    last = fortd::simulate(r.spmd);
+    { auto sink = last.messages; benchmark::DoNotOptimize(sink); }
+  }
+  state.counters["msgs"] = static_cast<double>(last.messages);
+  state.counters["sim_ms"] = last.sim_time_us / 1000.0;
+}
+
+}  // namespace
+
+BENCHMARK(BM_ParseAndBind)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_InterproceduralPropagation)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CodeGeneration)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullCompile)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_VectorizationAblation)->Arg(0)->Arg(1)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

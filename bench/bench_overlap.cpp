@@ -1,0 +1,83 @@
+// E8 — overlap estimation precision and parameterized overlaps
+// (paper §5.6, Figs. 13/14).
+//
+// Stencils with varying shift widths through a call chain: the
+// interprocedural overlap-offset estimate must match the actual demand
+// discovered during code generation (no buffer fallback), and the
+// estimate must be consistent across the whole chain. Counters report
+// per-processor storage words under overlaps vs. the whole-array
+// replicated baseline.
+#include <benchmark/benchmark.h>
+
+#include "driver/compiler.hpp"
+#include "programs.hpp"
+
+namespace {
+
+void BM_OverlapEstimate(benchmark::State& state) {
+  const int shift = static_cast<int>(state.range(0));
+  const int64_t n = 4096;
+  std::string src = fortd::bench::stencil1d(n, shift);
+  fortd::CompileResult last;
+  for (auto _ : state) {
+    fortd::CodegenOptions opt;
+    opt.n_procs = 8;
+    fortd::Compiler compiler(opt);
+    last = compiler.compile_source(src);
+    { auto sink = last.spmd.stats.buffers_used; benchmark::DoNotOptimize(sink); }
+  }
+  double est = 0, actual = 0, words = 0;
+  for (const auto& info : last.spmd.storage.at("f1"))
+    if (info.array == "x") {
+      est = static_cast<double>(info.est_hi);
+      actual = static_cast<double>(info.overlap_hi);
+      words = static_cast<double>(info.local_words());
+    }
+  state.counters["est"] = est;
+  state.counters["actual"] = actual;
+  state.counters["buffers"] = last.spmd.stats.buffers_used;
+  state.counters["local_words"] = words;
+  state.counters["replicated_words"] = static_cast<double>(n);
+}
+
+void BM_ParameterizedOverlaps(benchmark::State& state) {
+  const int shift = static_cast<int>(state.range(0));
+  std::string src = fortd::bench::stencil1d(4096, shift);
+  fortd::CompileResult last;
+  for (auto _ : state) {
+    fortd::CodegenOptions opt;
+    opt.n_procs = 8;
+    opt.parameterized_overlaps = true;
+    fortd::Compiler compiler(opt);
+    last = compiler.compile_source(src);
+    { auto sink = last.spmd.stats.buffers_used; benchmark::DoNotOptimize(sink); }
+  }
+  int parameterized = 0;
+  for (const auto& [proc, infos] : last.spmd.storage)
+    for (const auto& info : infos)
+      if (info.parameterized) ++parameterized;
+  state.counters["parameterized"] = parameterized;
+}
+
+void BM_BufferFallback(benchmark::State& state) {
+  // Force buffers to quantify the alternative storage strategy.
+  std::string src = fortd::bench::stencil1d(4096, 8);
+  fortd::CompileResult last;
+  for (auto _ : state) {
+    fortd::CodegenOptions opt;
+    opt.n_procs = 8;
+    opt.prefer_buffers = true;
+    fortd::Compiler compiler(opt);
+    last = compiler.compile_source(src);
+    { auto sink = last.spmd.stats.buffers_used; benchmark::DoNotOptimize(sink); }
+  }
+  state.counters["buffers"] = last.spmd.stats.buffers_used;
+}
+
+}  // namespace
+
+BENCHMARK(BM_OverlapEstimate)->Arg(1)->Arg(3)->Arg(5)->Arg(13)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ParameterizedOverlaps)->Arg(5)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BufferFallback)->Arg(8)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// E9 — recompilation analysis (paper §4/§8).
+//
+// A call chain of M procedures; one leaf-adjacent procedure is edited.
+// Without recompilation analysis the whole program recompiles (M+1
+// procedures); with it only the edited procedure — plus callers whose
+// interprocedural inputs actually changed — recompiles.
+#include <benchmark/benchmark.h>
+
+#include "driver/compiler.hpp"
+#include "programs.hpp"
+
+namespace {
+
+fortd::CompilationRecord record_of(const std::string& src) {
+  fortd::Compiler compiler{fortd::CodegenOptions{}};
+  return compiler.compile_source(src).record;
+}
+
+void BM_RecompilationAnalysis(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  std::string before = fortd::bench::call_chain(depth, 256);
+  // Interface-neutral edit of the middle procedure's arithmetic.
+  std::string after = before;
+  std::string needle = "a(i) = 0.5*a(i+" +
+                       std::to_string(1 + (depth / 2) % 2) + ")";
+  size_t pos = after.find(needle);
+  size_t count = 0;
+  // The needle appears once per level with matching parity; edit the one
+  // belonging to level depth/2 by replacing the (depth/2)-th occurrence.
+  size_t target = 0;
+  for (size_t at = after.find(needle); at != std::string::npos;
+       at = after.find(needle, at + 1), ++count)
+    if (count == static_cast<size_t>(depth / 4)) target = at;
+  pos = target;
+  after.replace(pos, needle.size(),
+                "a(i) = 0.25*a(i+" +
+                    std::to_string(1 + (depth / 2) % 2) + ")");
+
+  fortd::CompilationRecord rec_before = record_of(before);
+  std::set<std::string> recompiled;
+  for (auto _ : state) {
+    fortd::CompilationRecord rec_after = record_of(after);
+    recompiled = fortd::procedures_to_recompile(rec_before, rec_after);
+    { auto sink = recompiled.size(); benchmark::DoNotOptimize(sink); }
+  }
+  state.counters["recompiled"] = static_cast<double>(recompiled.size());
+  state.counters["total_procs"] = static_cast<double>(depth + 1);
+  state.counters["saved"] =
+      static_cast<double>(depth + 1 - static_cast<int>(recompiled.size()));
+}
+
+void BM_BlindRecompilation(benchmark::State& state) {
+  // Baseline: no recompilation analysis — every procedure recompiles
+  // after any edit. (The "cost" is a full compile.)
+  const int depth = static_cast<int>(state.range(0));
+  std::string src = fortd::bench::call_chain(depth, 256);
+  for (auto _ : state) {
+    fortd::Compiler compiler{fortd::CodegenOptions{}};
+    auto r = compiler.compile_source(src);
+    { auto sink = r.spmd.stats.loops_bounds_reduced; benchmark::DoNotOptimize(sink); }
+  }
+  state.counters["recompiled"] = static_cast<double>(depth + 1);
+  state.counters["total_procs"] = static_cast<double>(depth + 1);
+}
+
+}  // namespace
+
+BENCHMARK(BM_RecompilationAnalysis)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BlindRecompilation)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,153 @@
+#include "analysis/cfg.hpp"
+
+#include <algorithm>
+
+namespace fortd {
+
+int Cfg::new_block() {
+  int id = static_cast<int>(blocks_.size());
+  blocks_.push_back(BasicBlock{});
+  blocks_.back().id = id;
+  return id;
+}
+
+void Cfg::add_edge(int from, int to) {
+  blocks_[static_cast<size_t>(from)].succs.push_back(to);
+  blocks_[static_cast<size_t>(to)].preds.push_back(from);
+}
+
+int Cfg::lower(const std::vector<StmtPtr>& stmts, int cur) {
+  for (const auto& s : stmts) {
+    switch (s->kind) {
+      case StmtKind::If: {
+        // The condition evaluation belongs to the current block.
+        blocks_[static_cast<size_t>(cur)].stmts.push_back(s.get());
+        int then_entry = new_block();
+        add_edge(cur, then_entry);
+        int then_end = lower(s->then_body, then_entry);
+        int join = new_block();
+        if (then_end >= 0) add_edge(then_end, join);
+        if (s->else_body.empty()) {
+          add_edge(cur, join);
+        } else {
+          int else_entry = new_block();
+          add_edge(cur, else_entry);
+          int else_end = lower(s->else_body, else_entry);
+          if (else_end >= 0) add_edge(else_end, join);
+        }
+        cur = join;
+        break;
+      }
+      case StmtKind::Do: {
+        blocks_[static_cast<size_t>(cur)].stmts.push_back(s.get());
+        int header = new_block();
+        add_edge(cur, header);
+        int body_entry = new_block();
+        add_edge(header, body_entry);
+        int body_end = lower(s->body, body_entry);
+        if (body_end >= 0) add_edge(body_end, header);  // back edge
+        int after = new_block();
+        add_edge(header, after);  // zero-trip / loop exit
+        cur = after;
+        break;
+      }
+      case StmtKind::Return: {
+        blocks_[static_cast<size_t>(cur)].stmts.push_back(s.get());
+        add_edge(cur, exit_);
+        return -1;  // no fall-through
+      }
+      default:
+        blocks_[static_cast<size_t>(cur)].stmts.push_back(s.get());
+        break;
+    }
+  }
+  return cur;
+}
+
+Cfg Cfg::build(const Procedure& proc) {
+  Cfg cfg;
+  cfg.entry_ = cfg.new_block();
+  cfg.exit_ = cfg.new_block();
+  int first = cfg.new_block();
+  cfg.add_edge(cfg.entry_, first);
+  int last = cfg.lower(proc.body, first);
+  if (last >= 0) cfg.add_edge(last, cfg.exit_);
+  return cfg;
+}
+
+std::vector<int> Cfg::reverse_postorder() const {
+  std::vector<int> order;
+  std::vector<char> seen(blocks_.size(), 0);
+  // Iterative postorder DFS.
+  std::vector<std::pair<int, size_t>> stack;
+  stack.emplace_back(entry_, 0);
+  seen[static_cast<size_t>(entry_)] = 1;
+  while (!stack.empty()) {
+    auto& [b, next] = stack.back();
+    const auto& succs = blocks_[static_cast<size_t>(b)].succs;
+    if (next < succs.size()) {
+      int succ = succs[next++];
+      if (!seen[static_cast<size_t>(succ)]) {
+        seen[static_cast<size_t>(succ)] = 1;
+        stack.emplace_back(succ, 0);
+      }
+    } else {
+      order.push_back(b);
+      stack.pop_back();
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+// ---------------------------------------------------------------------------
+// LoopTree
+// ---------------------------------------------------------------------------
+
+void LoopTree::visit(const std::vector<StmtPtr>& stmts, int enclosing) {
+  for (const auto& s : stmts) {
+    loop_of_stmt_[s.get()] = enclosing;
+    if (s->kind == StmtKind::Do) {
+      int id = static_cast<int>(loops_.size());
+      LoopInfo info;
+      info.id = id;
+      info.stmt = s.get();
+      info.parent = enclosing;
+      info.depth = enclosing < 0 ? 1 : loops_[static_cast<size_t>(enclosing)].depth + 1;
+      loops_.push_back(info);
+      if (enclosing >= 0)
+        loops_[static_cast<size_t>(enclosing)].children.push_back(id);
+      visit(s->body, id);
+    } else {
+      visit(s->then_body, enclosing);
+      visit(s->else_body, enclosing);
+    }
+  }
+}
+
+LoopTree LoopTree::build(const Procedure& proc) {
+  LoopTree tree;
+  tree.visit(proc.body, -1);
+  return tree;
+}
+
+int LoopTree::innermost_loop_of(const Stmt* stmt) const {
+  auto it = loop_of_stmt_.find(stmt);
+  return it == loop_of_stmt_.end() ? -1 : it->second;
+}
+
+std::vector<const Stmt*> LoopTree::nest_of(const Stmt* stmt) const {
+  std::vector<const Stmt*> nest;
+  for (int l = innermost_loop_of(stmt); l >= 0; l = loops_[static_cast<size_t>(l)].parent)
+    nest.push_back(loops_[static_cast<size_t>(l)].stmt);
+  std::reverse(nest.begin(), nest.end());
+  return nest;
+}
+
+std::vector<std::string> LoopTree::nest_vars_of(const Stmt* stmt) const {
+  std::vector<std::string> vars;
+  for (const Stmt* loop : nest_of(stmt)) vars.push_back(loop->loop_var);
+  return vars;
+}
+
+}  // namespace fortd

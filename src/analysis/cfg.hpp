@@ -1,0 +1,85 @@
+// Control-flow graph and loop-nest structure for one procedure.
+//
+// The dialect is fully structured (DO/IF, no GOTO), so the CFG is built
+// compositionally. Basic blocks carry pointers into the procedure's AST;
+// the CFG does not own statements.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "frontend/ast.hpp"
+
+namespace fortd {
+
+struct BasicBlock {
+  int id = -1;
+  std::vector<const Stmt*> stmts;
+  std::vector<int> succs;
+  std::vector<int> preds;
+};
+
+class Cfg {
+public:
+  static Cfg build(const Procedure& proc);
+
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+  const BasicBlock& block(int id) const { return blocks_[static_cast<size_t>(id)]; }
+  int entry() const { return entry_; }
+  int exit() const { return exit_; }
+  int size() const { return static_cast<int>(blocks_.size()); }
+
+  /// Blocks in reverse postorder from the entry (good iteration order for
+  /// forward problems; reverse it for backward problems).
+  std::vector<int> reverse_postorder() const;
+
+private:
+  int new_block();
+  void add_edge(int from, int to);
+  /// Lower a statement list starting in block `cur`; returns the block the
+  /// fall-through continues in.
+  int lower(const std::vector<StmtPtr>& stmts, int cur);
+
+  std::vector<BasicBlock> blocks_;
+  int entry_ = -1;
+  int exit_ = -1;
+};
+
+/// One natural loop (a DO statement) in the procedure.
+struct LoopInfo {
+  int id = -1;
+  const Stmt* stmt = nullptr;  // the DO statement
+  int parent = -1;             // enclosing loop, -1 at top level
+  int depth = 1;               // 1 = outermost
+  std::vector<int> children;
+};
+
+/// Loop-nesting structure. Loop *levels* follow the dependence-analysis
+/// convention: level 1 is the outermost loop of a nest.
+class LoopTree {
+public:
+  static LoopTree build(const Procedure& proc);
+
+  const std::vector<LoopInfo>& loops() const { return loops_; }
+  const LoopInfo& loop(int id) const { return loops_[static_cast<size_t>(id)]; }
+  int size() const { return static_cast<int>(loops_.size()); }
+
+  /// Innermost loop containing `stmt`, or -1 when the statement is not
+  /// inside any loop. (The DO statement itself maps to its *enclosing*
+  /// loop.)
+  int innermost_loop_of(const Stmt* stmt) const;
+
+  /// The enclosing DO statements of `stmt`, outermost first.
+  std::vector<const Stmt*> nest_of(const Stmt* stmt) const;
+
+  /// Loop variables of the nest enclosing `stmt`, outermost first.
+  std::vector<std::string> nest_vars_of(const Stmt* stmt) const;
+
+private:
+  void visit(const std::vector<StmtPtr>& stmts, int enclosing);
+
+  std::vector<LoopInfo> loops_;
+  std::map<const Stmt*, int> loop_of_stmt_;
+};
+
+}  // namespace fortd

@@ -1,0 +1,212 @@
+#include "analysis/dependence.hpp"
+
+#include <algorithm>
+
+namespace fortd {
+
+std::vector<RefInfo> collect_refs(const Procedure& proc, const LoopTree& loops) {
+  std::vector<RefInfo> refs;
+  walk_stmts(proc.body, [&](const Stmt& s) {
+    if (s.kind != StmtKind::Assign) return;
+    std::vector<const Stmt*> nest = loops.nest_of(&s);
+    if (s.lhs->kind == ExprKind::ArrayRef)
+      refs.push_back({&s, s.lhs.get(), /*is_write=*/true, nest});
+    walk_expr(*s.rhs, [&](const Expr& e) {
+      if (e.kind == ExprKind::ArrayRef)
+        refs.push_back({&s, &e, /*is_write=*/false, nest});
+    });
+    // Subscripts of the lhs are reads too.
+    for (const auto& sub : s.lhs->args)
+      walk_expr(*sub, [&](const Expr& e) {
+        if (e.kind == ExprKind::ArrayRef)
+          refs.push_back({&s, &e, /*is_write=*/false, nest});
+      });
+  });
+  return refs;
+}
+
+namespace {
+
+/// Per-level dependence constraint.
+struct LevelEntry {
+  enum Kind { Star, Dist } kind = Star;
+  int64_t dist = 0;
+};
+
+/// Result of subscript testing over the common nest.
+struct PairResult {
+  bool possible = true;
+  std::vector<LevelEntry> levels;  // one per common loop level
+};
+
+}  // namespace
+
+DependenceAnalysis::DependenceAnalysis(const Procedure& proc,
+                                       const SymbolicEnv& env)
+    : proc_(proc), env_(env), loops_(LoopTree::build(proc)) {
+  refs_ = collect_refs(proc_, loops_);
+  for (const auto& w : refs_) {
+    if (!w.is_write) continue;
+    for (const auto& r : refs_) {
+      if (&w == &r) continue;
+      // Write/write pairs produce output dependences; write/read pairs
+      // produce true or anti dependences. We test write-vs-everything.
+      test_pair(w, r);
+    }
+  }
+}
+
+void DependenceAnalysis::test_pair(const RefInfo& w, const RefInfo& r) {
+  if (w.ref->name != r.ref->name) return;
+  if (w.ref->args.size() != r.ref->args.size()) return;  // reshaping: handled
+                                                         // interprocedurally
+  // Common nest: shared prefix of enclosing DO statements.
+  size_t common = 0;
+  while (common < w.nest.size() && common < r.nest.size() &&
+         w.nest[common] == r.nest[common])
+    ++common;
+  std::vector<std::string> common_vars;
+  for (size_t l = 0; l < common; ++l) common_vars.push_back(w.nest[l]->loop_var);
+
+  PairResult res;
+  res.levels.assign(common, LevelEntry{});
+
+  for (size_t d = 0; d < w.ref->args.size(); ++d) {
+    auto wf = extract_affine(*w.ref->args[d], env_.consts);
+    auto rf = extract_affine(*r.ref->args[d], env_.consts);
+    if (!wf || !rf) continue;  // non-affine: no constraint (conservative)
+
+    // Does the pair involve symbols other than the common loop vars?
+    auto only_common = [&](const AffineForm& f) {
+      for (const auto& v : f.vars())
+        if (std::find(common_vars.begin(), common_vars.end(), v) ==
+            common_vars.end())
+          return false;
+      return true;
+    };
+    if (!only_common(*wf) || !only_common(*rf)) {
+      // Unknown symbols (e.g. a formal index from the caller, or a deeper
+      // non-common loop variable): if the two forms are structurally equal
+      // we can still treat the dimension as imposing zero distance on its
+      // loop vars, otherwise no constraint.
+      AffineForm diff = *wf - *rf;
+      if (diff.is_constant() && diff.konst != 0) {
+        res.possible = false;  // provably different locations
+        break;
+      }
+      continue;
+    }
+
+    // Count involved common variables.
+    std::vector<std::string> involved;
+    for (const auto& v : common_vars)
+      if (wf->coeff(v) != 0 || rf->coeff(v) != 0) involved.push_back(v);
+
+    if (involved.empty()) {
+      // ZIV test.
+      if (wf->konst != rf->konst) {
+        res.possible = false;
+        break;
+      }
+      continue;
+    }
+    if (involved.size() == 1) {
+      const std::string& v = involved[0];
+      int64_t aw = wf->coeff(v), ar = rf->coeff(v);
+      if (aw == ar && aw != 0) {
+        // Strong SIV: a*iw + cw = a*ir + cr  =>  ir - iw = (cw - cr)/a.
+        int64_t num = wf->konst - rf->konst;
+        if (num % aw != 0) {
+          res.possible = false;
+          break;
+        }
+        int64_t dist = num / aw;
+        // Level of v within the common nest.
+        size_t lvl = static_cast<size_t>(
+            std::find(common_vars.begin(), common_vars.end(), v) -
+            common_vars.begin());
+        LevelEntry& e = res.levels[lvl];
+        if (e.kind == LevelEntry::Dist && e.dist != dist) {
+          res.possible = false;
+          break;
+        }
+        e.kind = LevelEntry::Dist;
+        e.dist = dist;
+        continue;
+      }
+      // Weak SIV or coupled coefficients: leave unconstrained (Star).
+      continue;
+    }
+    // MIV: unconstrained (conservative).
+  }
+
+  if (!res.possible) return;
+
+  // A dependence from w to r (in that execution order) has distance vector
+  // (d_1..d_common) with d_l = ir_l - iw_l, lexicographically positive, or
+  // all-zero with w lexically before r. Kind depends on which runs first:
+  //   w (write) -> r (read): true dependence; r -> w: anti; both writes:
+  //   output.
+  auto record = [&](bool w_first, int level, std::optional<int64_t> dist) {
+    DepKind kind;
+    if (r.is_write)
+      kind = DepKind::Output;
+    else
+      kind = w_first ? DepKind::True : DepKind::Anti;
+    const Stmt* src = w_first ? w.stmt : r.stmt;
+    const Stmt* sink = w_first ? r.stmt : w.stmt;
+    deps_.push_back({kind, w.ref->name, src, sink, level, dist});
+    if (kind == DepKind::True && level > 0) {
+      int& best = true_dep_level_[r.ref];
+      best = std::max(best, level);
+    }
+  };
+
+  // Carried dependences: find each level that can be the first non-zero.
+  for (size_t l = 0; l < res.levels.size(); ++l) {
+    // Levels before l must admit zero distance.
+    bool prefix_zero = true;
+    for (size_t k = 0; k < l; ++k)
+      if (res.levels[k].kind == LevelEntry::Dist && res.levels[k].dist != 0)
+        prefix_zero = false;
+    if (!prefix_zero) {
+      // A fixed non-zero distance at an outer level k makes k the only
+      // carrying level; deeper levels cannot be "first non-zero".
+      break;
+    }
+    const LevelEntry& e = res.levels[l];
+    int lvl = static_cast<int>(l) + 1;
+    if (e.kind == LevelEntry::Star) {
+      // Distance can be positive (w before r) or negative (r before w).
+      record(/*w_first=*/true, lvl, std::nullopt);
+      if (!r.is_write) record(/*w_first=*/false, lvl, std::nullopt);
+    } else if (e.dist > 0) {
+      record(/*w_first=*/true, lvl, e.dist);
+    } else if (e.dist < 0) {
+      record(/*w_first=*/false, lvl, -e.dist);
+    }
+    // If the distance at this level is exactly 0, no dependence is carried
+    // here; continue to deeper levels.
+  }
+
+  // Loop-independent dependence: all levels admit zero.
+  bool all_zero = std::all_of(res.levels.begin(), res.levels.end(),
+                              [](const LevelEntry& e) {
+                                return e.kind == LevelEntry::Star || e.dist == 0;
+                              });
+  if (all_zero && w.stmt != r.stmt) {
+    bool w_first = w.stmt->id < r.stmt->id;  // source order for structured code
+    record(w_first, 0, 0);
+  } else if (all_zero && w.stmt == r.stmt && !r.is_write) {
+    // Within one statement the rhs read executes before the lhs write:
+    // loop-independent anti dependence only.
+    record(/*w_first=*/false, 0, 0);
+  }
+}
+
+int DependenceAnalysis::deepest_true_dep_level_into(const Expr* read_ref) const {
+  auto it = true_dep_level_.find(read_ref);
+  return it == true_dep_level_.end() ? 0 : it->second;
+}
+
+}  // namespace fortd

@@ -1,0 +1,146 @@
+#include "analysis/symbolic.hpp"
+
+namespace fortd {
+
+int64_t AffineForm::coeff(const std::string& var) const {
+  auto it = coeffs.find(var);
+  return it == coeffs.end() ? 0 : it->second;
+}
+
+std::vector<std::string> AffineForm::vars() const {
+  std::vector<std::string> out;
+  for (const auto& [v, c] : coeffs)
+    if (c != 0) out.push_back(v);
+  return out;
+}
+
+std::string AffineForm::str() const {
+  std::string s = std::to_string(konst);
+  for (const auto& [v, c] : coeffs) {
+    if (c == 0) continue;
+    s += (c >= 0 ? "+" : "-");
+    if (std::abs(c) != 1) s += std::to_string(std::abs(c)) + "*";
+    s += v;
+  }
+  return s;
+}
+
+AffineForm AffineForm::operator+(const AffineForm& o) const {
+  AffineForm r = *this;
+  r.konst += o.konst;
+  for (const auto& [v, c] : o.coeffs) {
+    r.coeffs[v] += c;
+    if (r.coeffs[v] == 0) r.coeffs.erase(v);
+  }
+  return r;
+}
+
+AffineForm AffineForm::operator-(const AffineForm& o) const {
+  return *this + o.scaled(-1);
+}
+
+AffineForm AffineForm::scaled(int64_t k) const {
+  AffineForm r;
+  r.konst = konst * k;
+  if (k != 0)
+    for (const auto& [v, c] : coeffs) r.coeffs[v] = c * k;
+  return r;
+}
+
+std::optional<AffineForm> extract_affine(
+    const Expr& e, const std::unordered_map<std::string, int64_t>& consts) {
+  switch (e.kind) {
+    case ExprKind::IntLit: {
+      AffineForm f;
+      f.konst = e.int_val;
+      return f;
+    }
+    case ExprKind::VarRef: {
+      AffineForm f;
+      auto it = consts.find(e.name);
+      if (it != consts.end())
+        f.konst = it->second;
+      else
+        f.coeffs[e.name] = 1;
+      return f;
+    }
+    case ExprKind::Unary: {
+      if (e.un_op != UnOp::Neg) return std::nullopt;
+      auto f = extract_affine(*e.args[0], consts);
+      if (!f) return std::nullopt;
+      return f->scaled(-1);
+    }
+    case ExprKind::Binary: {
+      auto l = extract_affine(*e.args[0], consts);
+      auto r = extract_affine(*e.args[1], consts);
+      if (!l || !r) return std::nullopt;
+      switch (e.bin_op) {
+        case BinOp::Add: return *l + *r;
+        case BinOp::Sub: return *l - *r;
+        case BinOp::Mul:
+          if (l->is_constant()) return r->scaled(l->konst);
+          if (r->is_constant()) return l->scaled(r->konst);
+          return std::nullopt;
+        case BinOp::Div:
+          if (r->is_constant() && r->konst != 0 && l->is_constant() &&
+              l->konst % r->konst == 0) {
+            AffineForm f;
+            f.konst = l->konst / r->konst;
+            return f;
+          }
+          return std::nullopt;
+        default:
+          return std::nullopt;
+      }
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+SymbolicEnv SymbolicEnv::from_params(const Procedure& proc, const SymbolTable& st) {
+  SymbolicEnv env;
+  (void)proc;
+  for (const auto& [name, sym] : st.all())
+    if (sym.kind == SymbolKind::Param) env.consts[name] = sym.param_value;
+  return env;
+}
+
+std::optional<int64_t> eval_int(const Expr& e, const SymbolicEnv& env) {
+  return try_eval_int(e, env.consts);
+}
+
+std::optional<Triplet> eval_range(const AffineForm& form, const SymbolicEnv& env) {
+  // Fold any variables that are constants in the environment.
+  AffineForm f;
+  f.konst = form.konst;
+  for (const auto& [v, c] : form.coeffs) {
+    if (c == 0) continue;
+    auto it = env.consts.find(v);
+    if (it != env.consts.end())
+      f.konst += c * it->second;
+    else
+      f.coeffs[v] = c;
+  }
+  auto vars = f.vars();
+  if (vars.empty()) return Triplet::single(f.konst);
+  if (vars.size() > 1) return std::nullopt;
+  const std::string& v = vars[0];
+  auto it = env.ranges.find(v);
+  if (it == env.ranges.end()) return std::nullopt;
+  const Triplet& r = it->second;
+  if (r.empty()) return Triplet::empty_range();
+  int64_t c = f.coeff(v);
+  int64_t a = c * r.lb + f.konst;
+  int64_t b = c * r.ub + f.konst;
+  int64_t step = std::abs(c) * r.step;
+  return Triplet(std::min(a, b), std::max(a, b), step);
+}
+
+std::optional<Triplet> eval_range(const Expr& e, const SymbolicEnv& env) {
+  auto form = extract_affine(e, env.consts);
+  if (!form) return std::nullopt;
+  return eval_range(*form, env);
+}
+
+}  // namespace fortd

@@ -1,0 +1,61 @@
+// Symbolic analysis: affine forms over loop variables and symbolic
+// constants, constant evaluation, and value-range evaluation of
+// expressions. This is the small slice of ParaScope's symbolic analysis
+// the Fortran D compiler needs: enough to turn subscripts plus iteration
+// sets into index-set RSDs.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "frontend/ast.hpp"
+#include "ir/rsd.hpp"
+#include "ir/symbol_table.hpp"
+
+namespace fortd {
+
+/// An affine integer form: konst + sum_i coeffs[var_i] * var_i.
+struct AffineForm {
+  std::map<std::string, int64_t> coeffs;
+  int64_t konst = 0;
+
+  bool is_constant() const { return coeffs.empty(); }
+  /// Coefficient of `var` (0 when absent).
+  int64_t coeff(const std::string& var) const;
+  /// Variables with non-zero coefficients.
+  std::vector<std::string> vars() const;
+  std::string str() const;
+
+  AffineForm operator+(const AffineForm& o) const;
+  AffineForm operator-(const AffineForm& o) const;
+  AffineForm scaled(int64_t k) const;
+};
+
+/// Extract an affine form from an expression; nullopt for non-affine
+/// expressions (products of variables, function calls, reals, ...).
+/// Known constants in `consts` fold away.
+std::optional<AffineForm> extract_affine(
+    const Expr& e, const std::unordered_map<std::string, int64_t>& consts = {});
+
+/// Evaluation context: known integer constants plus value ranges of loop
+/// variables (as triplets).
+struct SymbolicEnv {
+  std::unordered_map<std::string, int64_t> consts;
+  std::unordered_map<std::string, Triplet> ranges;
+
+  static SymbolicEnv from_params(const Procedure& proc, const SymbolTable& st);
+};
+
+/// Constant-evaluate under the environment's constants.
+std::optional<int64_t> eval_int(const Expr& e, const SymbolicEnv& env);
+
+/// Evaluate the value range of an affine expression where each variable is
+/// either a constant or ranges over a triplet: e.g. i+5 with i in [1:25]
+/// gives [6:30]. Multiple range variables combine only when at most one has
+/// a non-zero coefficient (the common compilable case); otherwise nullopt.
+std::optional<Triplet> eval_range(const Expr& e, const SymbolicEnv& env);
+std::optional<Triplet> eval_range(const AffineForm& form, const SymbolicEnv& env);
+
+}  // namespace fortd

@@ -1,0 +1,79 @@
+// Interprocedural code generation driver (§5, Fig. 9/11/13/17): compiles
+// procedures in reverse topological order, exactly once each, delaying
+// instantiation of the computation partition, communication, and dynamic
+// data decomposition so callers can optimize across procedure boundaries.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "codegen/comm.hpp"
+#include "codegen/options.hpp"
+#include "codegen/partition.hpp"
+#include "codegen/spmd.hpp"
+#include "ipa/cloning.hpp"
+#include "ipa/overlap_prop.hpp"
+
+namespace fortd {
+
+/// Everything a compiled procedure exports to its (not yet compiled)
+/// callers — the concrete realization of "delayed instantiation".
+struct ProcExports {
+  /// Unified iteration set of the procedure (Fig. 9): Constrained when
+  /// every effectful statement shares one owner-computes constraint on a
+  /// formal; Universal when the procedure guards internally.
+  IterationSet iter_set;
+  /// Pending communication events, in the procedure's own name space.
+  std::vector<CommEvent> pending_comms;
+  /// Symbolic write sections per array (in formal terms) — the RSD
+  /// def summaries callers use for dependence checks when hoisting.
+  std::map<std::string, std::vector<SymSection>> sym_defs;
+  /// Dynamic-data-decomposition summary sets (Fig. 17).
+  std::set<std::string> decomp_use;
+  std::set<std::string> decomp_kill;
+  std::vector<std::pair<DecompSpec, std::string>> decomp_before;
+  std::vector<std::pair<DecompSpec, std::string>> decomp_after;
+  /// Scalars (formals/globals) the procedure may modify — a caller that
+  /// guards this call must re-broadcast them.
+  std::set<std::string> scalar_mods;
+  /// True when the compiled body contains message statements; such a
+  /// procedure must be invoked by every processor.
+  bool contains_comm = false;
+  /// Overlap demand observed from shift communication: array ->
+  /// (lower, upper) element counts along the distributed dimension.
+  std::map<std::string, std::pair<int64_t, int64_t>> shift_demand;
+};
+
+class CodeGenerator {
+public:
+  CodeGenerator(BoundProgram& program, const IpaContext& ipa,
+                const CodegenOptions& options);
+
+  /// Compile the whole program (one pass per procedure).
+  SpmdProgram generate();
+
+  /// Exports of an already compiled procedure (test/bench introspection).
+  const ProcExports* exports_of(const std::string& proc) const;
+
+  BoundProgram& program() { return program_; }
+  const IpaContext& ipa() const { return ipa_; }
+  const CodegenOptions& options() const { return options_; }
+  const OverlapEstimates& overlaps() const { return overlaps_; }
+
+private:
+  friend class ProcGen;
+
+  BoundProgram& program_;
+  const IpaContext& ipa_;
+  CodegenOptions options_;
+  OverlapEstimates overlaps_;
+  std::map<std::string, ProcExports> exports_;
+  SpmdProgram result_;
+};
+
+/// Convenience wrapper: run code generation end to end.
+SpmdProgram generate_spmd(BoundProgram& program, const IpaContext& ipa,
+                          const CodegenOptions& options);
+
+}  // namespace fortd

@@ -1,0 +1,391 @@
+#include "codegen/comm.hpp"
+
+#include <algorithm>
+
+#include "codegen/expr_build.hpp"
+
+namespace fortd {
+
+// ---------------------------------------------------------------------------
+// SymTriplet
+// ---------------------------------------------------------------------------
+
+SymTriplet SymTriplet::constant(int64_t lo, int64_t hi, int64_t st) {
+  SymTriplet t;
+  t.lb.konst = lo;
+  t.ub.konst = hi;
+  t.step = st;
+  return t;
+}
+
+std::vector<std::string> SymTriplet::vars() const {
+  std::vector<std::string> out = lb.vars();
+  for (const auto& v : ub.vars())
+    if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+  return out;
+}
+
+std::string SymTriplet::str() const {
+  std::string s = lb.str();
+  if (!is_singleton()) {
+    s += ":" + ub.str();
+    if (step != 1) s += ":" + std::to_string(step);
+  }
+  return s;
+}
+
+std::string sym_section_str(const SymSection& s) {
+  std::string out = "[";
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i) out += ",";
+    out += s[i].str();
+  }
+  return out + "]";
+}
+
+std::vector<std::string> sym_section_vars(const SymSection& s) {
+  std::vector<std::string> out;
+  for (const auto& t : s)
+    for (const auto& v : t.vars())
+      if (std::find(out.begin(), out.end(), v) == out.end()) out.push_back(v);
+  return out;
+}
+
+AffineForm substitute(const AffineForm& f, const std::string& var,
+                      const AffineForm& replacement) {
+  int64_t c = f.coeff(var);
+  if (c == 0) return f;
+  AffineForm out = f;
+  out.coeffs.erase(var);
+  return out + replacement.scaled(c);
+}
+
+SymTriplet substitute(const SymTriplet& t, const std::string& var,
+                      const AffineForm& replacement) {
+  return {substitute(t.lb, var, replacement), substitute(t.ub, var, replacement),
+          t.step};
+}
+
+SymSection substitute(const SymSection& s, const std::string& var,
+                      const AffineForm& replacement) {
+  SymSection out;
+  out.reserve(s.size());
+  for (const auto& t : s) out.push_back(substitute(t, var, replacement));
+  return out;
+}
+
+std::optional<SymTriplet> widen_over_loop(const SymTriplet& t,
+                                          const std::string& var,
+                                          const AffineForm& loop_lb,
+                                          const AffineForm& loop_ub,
+                                          int64_t loop_step) {
+  int64_t clb = t.lb.coeff(var);
+  int64_t cub = t.ub.coeff(var);
+  if (clb == 0 && cub == 0) return t;
+  if (clb != cub || clb < 0) return std::nullopt;
+  SymTriplet out;
+  out.lb = substitute(t.lb, var, loop_lb);
+  out.ub = substitute(t.ub, var, loop_ub);
+  // A singleton v+c widened over a stride-s loop becomes a stride-s
+  // triplet; a true range collapses strides to dense (conservative).
+  out.step = t.is_singleton() && clb == 1 ? loop_step : 1;
+  if (out.step != 1 && t.step != 1) out.step = 1;
+  return out;
+}
+
+ExprPtr form_to_expr(const AffineForm& f) {
+  using namespace build;
+  ExprPtr e = num(f.konst);
+  for (const auto& [v, c] : f.coeffs) {
+    if (c == 0) continue;
+    ExprPtr term = c == 1 || c == -1 ? var(v) : mul(num(std::abs(c)), var(v));
+    e = c > 0 ? add(std::move(e), std::move(term))
+              : sub(std::move(e), std::move(term));
+  }
+  return simplify(std::move(e));
+}
+
+SectionExpr triplet_to_section(const SymTriplet& t) {
+  SectionExpr s;
+  s.lb = form_to_expr(t.lb);
+  s.ub = form_to_expr(t.ub);
+  if (t.step != 1) s.step = Expr::make_int(t.step);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Dependence classification
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Try to prove `f` is strictly positive (> 0) under the loop context by
+/// substituting each bounded variable with the extreme that minimizes `f`
+/// (f is affine, hence monotone in each variable). Depth-limited to avoid
+/// pathological self-referential bounds.
+bool provably_positive(const AffineForm& f, const LoopCtx& ctx, int depth = 4) {
+  if (f.is_constant()) return f.konst > 0;
+  if (depth == 0) return false;
+  for (const auto& b : ctx) {
+    int64_t c = f.coeff(b.var);
+    if (c == 0) continue;
+    AffineForm at_min = substitute(f, b.var, c > 0 ? b.lb : b.ub);
+    if (at_min.coeff(b.var) != 0) continue;  // bound references itself
+    if (provably_positive(at_min, ctx, depth - 1)) return true;
+  }
+  return false;
+}
+
+bool provably_disjoint_ranges(const SymTriplet& a, const SymTriplet& b,
+                              const LoopCtx& ctx) {
+  // a entirely below b:  b.lb - a.ub > 0, or b entirely below a.
+  return provably_positive(b.lb - a.ub, ctx) ||
+         provably_positive(a.lb - b.ub, ctx);
+}
+
+}  // namespace
+
+DimDistance classify_dim(const SymTriplet& write, const SymTriplet& read,
+                         const LoopCtx& ctx, const std::string& crossing_var) {
+  const bool w_single = write.is_singleton();
+  const bool r_single = read.is_singleton();
+
+  if (w_single && r_single) {
+    AffineForm diff = write.lb - read.lb;
+    const int64_t wc = write.lb.coeff(crossing_var);
+    const int64_t rc = read.lb.coeff(crossing_var);
+    if (diff.is_constant()) {
+      if (wc == 0 && rc == 0) {
+        // Elements independent of the crossing loop: never equal, or equal
+        // at *every* iteration distance.
+        return diff.konst != 0 ? DimDistance::disjoint() : DimDistance::any();
+      }
+      if (wc == rc) {
+        // Both track the crossing variable identically. The element
+        // written at iteration (e - cw)/wc is read at (e - cr)/wc; the
+        // distance (read - write) is (cw - cr)/wc = diff/wc.
+        if (diff.konst % wc != 0) return DimDistance::disjoint();
+        return DimDistance::fixed(diff.konst / wc);
+      }
+      // diff constant with wc != rc cannot happen (the variable would
+      // remain in diff); fall through conservatively.
+      return DimDistance::any();
+    }
+    // Non-constant difference: range reasoning is sound as long as at
+    // most one side varies with the crossing loop — the loop bounds hold
+    // for every iteration, so a provably non-zero difference separates
+    // the elements across all iteration pairs (e.g. column j in [k+1,n]
+    // never equals the fixed column k). When both sides track the
+    // crossing variable with different coefficients, instances from
+    // different iterations can still collide: stay conservative.
+    if (wc == 0 || rc == 0) {
+      if (provably_positive(diff, ctx) ||
+          provably_positive(read.lb - write.lb, ctx))
+        return DimDistance::disjoint();
+    }
+    return DimDistance::any();
+  }
+
+  // Range forms: only disjointness is provable.
+  if (provably_disjoint_ranges(write, read, ctx)) return DimDistance::disjoint();
+  return DimDistance::any();
+}
+
+bool blocks_hoist(const SymSection& write_sec, const SymSection& read_sec,
+                  const LoopCtx& ctx, const std::string& crossing_var,
+                  bool write_lexically_first) {
+  if (write_sec.size() != read_sec.size()) return true;  // reshaped: be safe
+
+  // Intersect the per-dimension distance constraints.
+  bool have_fixed = false;
+  int64_t fixed = 0;
+  for (size_t d = 0; d < write_sec.size(); ++d) {
+    DimDistance dd = classify_dim(write_sec[d], read_sec[d], ctx, crossing_var);
+    switch (dd.kind) {
+      case DimDistance::Disjoint:
+        return false;  // no dependence at all
+      case DimDistance::Fixed:
+        if (have_fixed && fixed != dd.dist) return false;  // inconsistent
+        have_fixed = true;
+        fixed = dd.dist;
+        break;
+      case DimDistance::Unconstrained:
+        break;
+    }
+  }
+  if (!have_fixed) {
+    // Any distance possible. Without a crossing loop this is simply "the
+    // elements may coincide": program order decides. Across a loop, a
+    // positive distance (true dependence) cannot be excluded: block.
+    return crossing_var.empty() ? write_lexically_first : true;
+  }
+  if (fixed > 0) return true;            // flow dependence carried: block
+  if (fixed < 0) return false;           // anti: old values are correct
+  return write_lexically_first;          // loop-independent: order decides
+}
+
+// ---------------------------------------------------------------------------
+// CommEvent
+// ---------------------------------------------------------------------------
+
+std::string CommEvent::str() const {
+  switch (kind) {
+    case Kind::Shift:
+      return "shift(" + array + ",dim" + std::to_string(dist_dim) + "," +
+             std::to_string(shift) + "," + sym_section_str(section) + ")";
+    case Kind::Bcast:
+      return "bcast(" + array + "," + sym_section_str(section) + ",root@" +
+             root_index.str() + ")";
+    case Kind::ScalarBcast:
+      return "sbcast(" + scalar + ",root@" + root_index.str() + ")";
+  }
+  return "?";
+}
+
+bool CommEvent::same_message(const CommEvent& o) const {
+  return kind == o.kind && array == o.array && dist_dim == o.dist_dim &&
+         shift == o.shift && scalar == o.scalar &&
+         root_index.str() == o.root_index.str() &&
+         sym_section_str(section) == sym_section_str(o.section);
+}
+
+std::optional<CommEvent> classify_reference(
+    const Expr& ref, const ArrayDistribution& ref_dist,
+    const IterationSet& iter_set,
+    const std::optional<ArrayDistribution>& lhs_dist, const SymbolicEnv& env,
+    bool* needs_runtime) {
+  *needs_runtime = false;
+  if (ref_dist.replicated_p()) return std::nullopt;
+  int e = ref_dist.dist_dim();
+  if (e == -2 || e >= static_cast<int>(ref.args.size())) {
+    *needs_runtime = true;
+    return std::nullopt;
+  }
+
+  auto sub_form = extract_affine(*ref.args[static_cast<size_t>(e)], env.consts);
+  if (!sub_form) {
+    *needs_runtime = true;
+    return std::nullopt;
+  }
+
+  // Build the full symbolic section of the reference.
+  SymSection section;
+  for (size_t d = 0; d < ref.args.size(); ++d) {
+    auto f = extract_affine(*ref.args[d], env.consts);
+    if (!f) {
+      // Unanalyzable subscript: the section cannot be described.
+      *needs_runtime = true;
+      return std::nullopt;
+    }
+    section.push_back(SymTriplet::single(*f));
+  }
+
+  const auto& svars = sub_form->vars();
+
+  if (iter_set.is_constrained() && iter_set.constraint.uses_var()) {
+    const OwnershipConstraint& c = iter_set.constraint;
+    if (svars.size() == 1 && svars[0] == c.var && sub_form->coeff(c.var) == 1) {
+      // Same induction variable governs ownership and the reference: the
+      // displacement decides locality.
+      // Executing processor owns (v + c.offset) along the lhs array's
+      // distributed dim; it touches (v + sub_form.konst) of this array.
+      bool same_layout = false;
+      if (lhs_dist && !lhs_dist->replicated_p()) {
+        int d = lhs_dist->dist_dim();
+        if (d >= 0 && lhs_dist->array() == c.array) {
+          DimDistribution a = lhs_dist->dim(d);
+          DimDistribution b = ref_dist.dim(e);
+          same_layout = a.kind() == b.kind() && a.glb() == b.glb() &&
+                        a.gub() == b.gub();
+        }
+      }
+      if (!same_layout) {
+        *needs_runtime = true;
+        return std::nullopt;
+      }
+      int64_t shift = sub_form->konst - c.offset;
+      if (shift == 0) return std::nullopt;  // fully local
+      if (ref_dist.dim(e).kind() != DistKind::Block) {
+        // Shifts under CYCLIC / BLOCK_CYCLIC wrap around processors; we
+        // fall back to run-time resolution for those (documented).
+        *needs_runtime = true;
+        return std::nullopt;
+      }
+      if (std::abs(shift) > ref_dist.dim(e).block_size()) {
+        // The shifted section spans more than the immediate neighbor;
+        // the nearest-neighbor send/recv pattern does not apply.
+        *needs_runtime = true;
+        return std::nullopt;
+      }
+      CommEvent ev;
+      ev.kind = CommEvent::Kind::Shift;
+      ev.array = ref_dist.array();
+      ev.spec = ref_dist.spec();
+      ev.dist_dim = e;
+      ev.shift = shift;
+      ev.section = std::move(section);
+      return ev;
+    }
+    if (sub_form->coeff(c.var) == 0) {
+      // Loop-invariant distributed-dim subscript while ownership varies
+      // with v: every executing processor may need the section; its owner
+      // broadcasts (pivot-column pattern).
+      CommEvent ev;
+      ev.kind = CommEvent::Kind::Bcast;
+      ev.array = ref_dist.array();
+      ev.spec = ref_dist.spec();
+      ev.dist_dim = e;
+      ev.root_index = *sub_form;
+      ev.section = std::move(section);
+      return ev;
+    }
+    *needs_runtime = true;
+    return std::nullopt;
+  }
+
+  if (iter_set.is_constrained() && !iter_set.constraint.uses_var()) {
+    // Fixed owner guard: the executing processor is owner(fixed) along the
+    // lhs distribution. If the reference's distributed subscript equals
+    // the guard's subscript on the same layout, the access is local.
+    const OwnershipConstraint& c = iter_set.constraint;
+    if (lhs_dist && lhs_dist->array() == c.array) {
+      int d = lhs_dist->dist_dim();
+      if (d >= 0) {
+        DimDistribution a = lhs_dist->dim(d);
+        DimDistribution b = ref_dist.dim(e);
+        bool same_layout = a.kind() == b.kind() && a.glb() == b.glb() &&
+                           a.gub() == b.gub();
+        AffineForm diff = *sub_form - c.fixed;
+        if (same_layout && diff.is_constant() && diff.konst == 0)
+          return std::nullopt;  // owner reads its own element
+      }
+    }
+    CommEvent ev;
+    ev.kind = CommEvent::Kind::Bcast;
+    ev.array = ref_dist.array();
+    ev.spec = ref_dist.spec();
+    ev.dist_dim = e;
+    ev.root_index = *sub_form;
+    ev.section = std::move(section);
+    return ev;
+  }
+
+  // Universal iteration set (replicated lhs / scalar): all processors need
+  // the data. A single-owner section broadcasts; anything wider needs
+  // run-time resolution.
+  if (svars.empty() ||
+      (svars.size() == 1 && !env.ranges.count(svars[0]))) {
+    CommEvent ev;
+    ev.kind = CommEvent::Kind::Bcast;
+    ev.array = ref_dist.array();
+    ev.spec = ref_dist.spec();
+    ev.dist_dim = e;
+    ev.root_index = *sub_form;
+    ev.section = std::move(section);
+    return ev;
+  }
+  *needs_runtime = true;
+  return std::nullopt;
+}
+
+}  // namespace fortd

@@ -1,0 +1,147 @@
+// Communication analysis and optimization (§5.4, Fig. 11).
+//
+// Nonlocal references are classified into communication *events*:
+//   * Shift   — the reference is offset by a constant from the owner-
+//               computes subscript in the distributed dimension
+//               (nearest-neighbor send/recv, overlap storage),
+//   * Bcast   — the distributed-dimension subscript is loop-invariant
+//               (one owner broadcasts the section, e.g. a pivot column),
+//   * ScalarBcast — a scalar computed under an owner guard must be made
+//               consistent on all processors.
+//
+// Events carry *symbolic sections* (affine triplets over loop variables
+// and formals). Placement walks outward over enclosing loops: an event
+// crosses a loop when no true dependence blocks it, *widening* its section
+// over the loop range (message vectorization); events whose sections still
+// reference formal parameters at the procedure top are exported to callers
+// (delayed instantiation), where translation and further widening realize
+// interprocedural message vectorization.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/symbolic.hpp"
+#include "codegen/distribution.hpp"
+#include "codegen/partition.hpp"
+
+namespace fortd {
+
+/// A triplet with affine bounds: lb:ub:step over loop vars / formals.
+struct SymTriplet {
+  AffineForm lb;
+  AffineForm ub;
+  int64_t step = 1;
+
+  static SymTriplet single(AffineForm f) { return {f, f, 1}; }
+  static SymTriplet constant(int64_t lo, int64_t hi, int64_t st = 1);
+  bool is_singleton() const { return lb.str() == ub.str() && step == 1; }
+  /// Free variables appearing in the bounds.
+  std::vector<std::string> vars() const;
+  std::string str() const;
+};
+
+using SymSection = std::vector<SymTriplet>;
+
+std::string sym_section_str(const SymSection& s);
+std::vector<std::string> sym_section_vars(const SymSection& s);
+
+/// Substitute `var := replacement` in a form / triplet / section.
+AffineForm substitute(const AffineForm& f, const std::string& var,
+                      const AffineForm& replacement);
+SymTriplet substitute(const SymTriplet& t, const std::string& var,
+                      const AffineForm& replacement);
+SymSection substitute(const SymSection& s, const std::string& var,
+                      const AffineForm& replacement);
+
+/// Widen a triplet over a loop range: every occurrence of `var` in the
+/// bounds is replaced by the loop's lower bound in `lb` and upper bound in
+/// `ub` (valid for coefficient +1/0; returns nullopt otherwise).
+std::optional<SymTriplet> widen_over_loop(const SymTriplet& t,
+                                          const std::string& var,
+                                          const AffineForm& loop_lb,
+                                          const AffineForm& loop_ub,
+                                          int64_t loop_step);
+
+/// Loop context for symbolic range reasoning: var -> (lb, ub) forms,
+/// innermost last.
+struct LoopBound {
+  std::string var;
+  AffineForm lb;
+  AffineForm ub;
+  int64_t step = 1;
+};
+using LoopCtx = std::vector<LoopBound>;
+
+/// Render an affine form as an AST expression.
+ExprPtr form_to_expr(const AffineForm& f);
+SectionExpr triplet_to_section(const SymTriplet& t);
+
+// ---------------------------------------------------------------------------
+// Dependence classification for hoisting
+// ---------------------------------------------------------------------------
+
+/// Constraint one subscript dimension places on the iteration distance
+/// (read iteration minus write iteration, in `crossing_var` steps) of a
+/// potential dependence. Dimensions compose by intersection.
+struct DimDistance {
+  enum Kind {
+    Disjoint,       // elements never equal: no dependence at all
+    Fixed,          // elements equal only at distance `dist`
+    Unconstrained,  // any distance possible (conservative)
+  } kind = Unconstrained;
+  int64_t dist = 0;
+
+  static DimDistance disjoint() { return {Disjoint, 0}; }
+  static DimDistance fixed(int64_t d) { return {Fixed, d}; }
+  static DimDistance any() { return {Unconstrained, 0}; }
+};
+
+/// Classify one dimension of a (write section, read section) pair for the
+/// purpose of hoisting communication across the loop with `crossing_var`
+/// (empty = no loop: plain program-order check).
+DimDistance classify_dim(const SymTriplet& write, const SymTriplet& read,
+                         const LoopCtx& ctx, const std::string& crossing_var);
+
+/// Does hoisting the read of `read_sec` across the loop with
+/// `crossing_var` violate a dependence with a write of `write_sec`?
+/// `write_lexically_first` breaks the all-SameIter tie.
+bool blocks_hoist(const SymSection& write_sec, const SymSection& read_sec,
+                  const LoopCtx& ctx, const std::string& crossing_var,
+                  bool write_lexically_first);
+
+// ---------------------------------------------------------------------------
+// Communication events
+// ---------------------------------------------------------------------------
+
+struct CommEvent {
+  enum class Kind { Shift, Bcast, ScalarBcast };
+  Kind kind = Kind::Bcast;
+  std::string array;  // Shift/Bcast: the communicated array
+  DecompSpec spec;    // its distribution
+  std::vector<std::pair<int64_t, int64_t>> bounds;  // its declared bounds
+  int dist_dim = -1;
+  int64_t shift = 0;       // Shift: offset amount (signed)
+  SymSection section;      // full-rank; Shift's dist_dim entry is a
+                           // placeholder overwritten at instantiation
+  AffineForm root_index;   // Bcast/ScalarBcast: dist-dim index owning data
+  std::string scalar;      // ScalarBcast: the scalar variable
+  int hoisted_loops = 0;   // how many loops the event crossed (stats)
+
+  std::string str() const;
+  /// Equality used for coalescing duplicate events.
+  bool same_message(const CommEvent& o) const;
+};
+
+/// Classify the communication required by one rhs reference given the
+/// statement's iteration-set constraint. Returns nullopt when the
+/// reference is local (no communication). `needs_runtime` is set when the
+/// pattern is not compile-time analyzable.
+std::optional<CommEvent> classify_reference(
+    const Expr& ref, const ArrayDistribution& ref_dist,
+    const IterationSet& iter_set,
+    const std::optional<ArrayDistribution>& lhs_dist, const SymbolicEnv& env,
+    bool* needs_runtime);
+
+}  // namespace fortd

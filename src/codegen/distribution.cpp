@@ -1,0 +1,307 @@
+#include "codegen/distribution.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "codegen/expr_build.hpp"
+
+namespace fortd {
+
+namespace build {
+
+ExprPtr simplify(ExprPtr e) {
+  if (!e) return e;
+  for (auto& a : e->args) a = simplify(std::move(a));
+  if (e->kind == ExprKind::Binary && e->args[0]->kind == ExprKind::IntLit &&
+      e->args[1]->kind == ExprKind::IntLit) {
+    int64_t l = e->args[0]->int_val, r = e->args[1]->int_val;
+    switch (e->bin_op) {
+      case BinOp::Add: return Expr::make_int(l + r);
+      case BinOp::Sub: return Expr::make_int(l - r);
+      case BinOp::Mul: return Expr::make_int(l * r);
+      case BinOp::Div:
+        if (r != 0) return Expr::make_int(l / r);
+        break;
+      default:
+        break;
+    }
+  }
+  if (e->kind == ExprKind::Binary) {
+    auto is_zero = [](const Expr& x) {
+      return x.kind == ExprKind::IntLit && x.int_val == 0;
+    };
+    auto is_one = [](const Expr& x) {
+      return x.kind == ExprKind::IntLit && x.int_val == 1;
+    };
+    switch (e->bin_op) {
+      case BinOp::Add:
+        if (is_zero(*e->args[0])) return std::move(e->args[1]);
+        if (is_zero(*e->args[1])) return std::move(e->args[0]);
+        break;
+      case BinOp::Sub:
+        if (is_zero(*e->args[1])) return std::move(e->args[0]);
+        break;
+      case BinOp::Mul:
+        if (is_one(*e->args[0])) return std::move(e->args[1]);
+        if (is_one(*e->args[1])) return std::move(e->args[0]);
+        if (is_zero(*e->args[0]) || is_zero(*e->args[1])) return Expr::make_int(0);
+        break;
+      case BinOp::Div:
+        if (is_one(*e->args[1])) return std::move(e->args[0]);
+        break;
+      default:
+        break;
+    }
+  }
+  if (e->kind == ExprKind::FuncCall && e->args.size() == 2 &&
+      e->args[0]->kind == ExprKind::IntLit && e->args[1]->kind == ExprKind::IntLit) {
+    int64_t l = e->args[0]->int_val, r = e->args[1]->int_val;
+    if (e->name == "min") return Expr::make_int(std::min(l, r));
+    if (e->name == "max") return Expr::make_int(std::max(l, r));
+    if (e->name == "modp" && r != 0) {
+      int64_t m = l % r;
+      return Expr::make_int(m < 0 ? m + r : m);
+    }
+  }
+  return e;
+}
+
+}  // namespace build
+
+// ---------------------------------------------------------------------------
+// DimDistribution
+// ---------------------------------------------------------------------------
+
+DimDistribution::DimDistribution(DistSpec spec, int64_t glb, int64_t gub,
+                                 int nprocs)
+    : spec_(spec), glb_(glb), gub_(gub), nprocs_(nprocs) {
+  assert(nprocs_ >= 1);
+}
+
+int64_t DimDistribution::block_size() const {
+  int64_t n = gub_ - glb_ + 1;
+  return (n + nprocs_ - 1) / nprocs_;
+}
+
+int DimDistribution::owner(int64_t i) const {
+  int64_t off = i - glb_;
+  switch (spec_.kind) {
+    case DistKind::None:
+      return 0;
+    case DistKind::Block:
+      return static_cast<int>(std::min<int64_t>(off / block_size(), nprocs_ - 1));
+    case DistKind::Cyclic:
+      return static_cast<int>(off % nprocs_);
+    case DistKind::BlockCyclic:
+      return static_cast<int>((off / spec_.block_size) % nprocs_);
+  }
+  return 0;
+}
+
+Triplet DimDistribution::local_set(int p) const {
+  switch (spec_.kind) {
+    case DistKind::None:
+      return Triplet(glb_, gub_);
+    case DistKind::Block: {
+      int64_t b = block_size();
+      int64_t lo = glb_ + p * b;
+      int64_t hi = std::min(gub_, glb_ + (p + 1) * b - 1);
+      return Triplet(lo, hi);
+    }
+    case DistKind::Cyclic:
+      return Triplet(glb_ + p, gub_, nprocs_);
+    case DistKind::BlockCyclic:
+      // Not a single triplet; callers that need the exact footprint use
+      // owned_list. Return the bounding triplet of the first block so the
+      // caller can detect the approximation via owned_list instead.
+      return Triplet(glb_ + p * spec_.block_size, gub_, 1);
+  }
+  return Triplet::empty_range();
+}
+
+RsdList DimDistribution::owned_list(int p) const {
+  RsdList out;
+  if (spec_.kind != DistKind::BlockCyclic) {
+    out.add(Rsd({local_set(p)}));
+    return out;
+  }
+  int64_t k = spec_.block_size;
+  for (int64_t start = glb_ + p * k; start <= gub_; start += int64_t{nprocs_} * k) {
+    out.add(Rsd({Triplet(start, std::min(gub_, start + k - 1))}));
+  }
+  return out;
+}
+
+int64_t DimDistribution::local_count(int p) const {
+  if (spec_.kind == DistKind::BlockCyclic) {
+    int64_t n = 0;
+    RsdList owned = owned_list(p);  // keep alive across iteration
+    for (const Rsd& r : owned.sections()) n += r.size();
+    return n;
+  }
+  return local_set(p).count();
+}
+
+ExprPtr DimDistribution::owner_expr(ExprPtr index) const {
+  using namespace build;
+  ExprPtr off = simplify(sub(std::move(index), num(glb_)));
+  switch (spec_.kind) {
+    case DistKind::None:
+      return num(0);
+    case DistKind::Block:
+      return simplify(fmin(div(std::move(off), num(block_size())), num(nprocs_ - 1)));
+    case DistKind::Cyclic:
+      return simplify(modp(std::move(off), num(nprocs_)));
+    case DistKind::BlockCyclic:
+      return simplify(
+          modp(div(std::move(off), num(spec_.block_size)), num(nprocs_)));
+  }
+  return num(0);
+}
+
+ExprPtr DimDistribution::local_lb_expr() const {
+  using namespace build;
+  switch (spec_.kind) {
+    case DistKind::None:
+      return num(glb_);
+    case DistKind::Block:
+      return simplify(add(num(glb_), mul(myp(), num(block_size()))));
+    case DistKind::Cyclic:
+      return simplify(add(num(glb_), myp()));
+    case DistKind::BlockCyclic:
+      return simplify(add(num(glb_), mul(myp(), num(spec_.block_size))));
+  }
+  return num(glb_);
+}
+
+ExprPtr DimDistribution::local_ub_expr() const {
+  using namespace build;
+  switch (spec_.kind) {
+    case DistKind::None:
+    case DistKind::Cyclic:
+      return num(gub_);
+    case DistKind::Block:
+      return simplify(fmin(
+          num(gub_),
+          sub(add(num(glb_), mul(add(myp(), num(1)), num(block_size()))), num(1))));
+    case DistKind::BlockCyclic:
+      return num(gub_);
+  }
+  return num(gub_);
+}
+
+// ---------------------------------------------------------------------------
+// ArrayDistribution
+// ---------------------------------------------------------------------------
+
+ArrayDistribution::ArrayDistribution(std::string array, DecompSpec spec,
+                                     std::vector<std::pair<int64_t, int64_t>> bounds,
+                                     int nprocs)
+    : array_(std::move(array)),
+      spec_(std::move(spec)),
+      bounds_(std::move(bounds)),
+      nprocs_(nprocs) {
+  if (spec_.dists.size() < bounds_.size())
+    spec_.dists.resize(bounds_.size(), DistSpec{});
+}
+
+ArrayDistribution ArrayDistribution::replicated(
+    std::string array, std::vector<std::pair<int64_t, int64_t>> bounds,
+    int nprocs) {
+  DecompSpec spec;
+  spec.dists.assign(bounds.size(), DistSpec{});
+  return ArrayDistribution(std::move(array), std::move(spec), std::move(bounds),
+                           nprocs);
+}
+
+std::optional<ArrayDistribution> ArrayDistribution::from_symbol(
+    const Symbol& sym, const DecompSpec& spec, int nprocs) {
+  if (!sym.dims_const) return std::nullopt;
+  return ArrayDistribution(sym.name, spec, sym.dims, nprocs);
+}
+
+bool ArrayDistribution::replicated_p() const {
+  if (spec_.is_top) return false;
+  return spec_.distributed_dims() == 0;
+}
+
+int ArrayDistribution::dist_dim() const {
+  if (replicated_p()) return -1;
+  int d = spec_.single_distributed_dim();
+  return d >= 0 ? d : -2;
+}
+
+DimDistribution ArrayDistribution::dim(int d) const {
+  auto [lb, ub] = bounds_[static_cast<size_t>(d)];
+  return DimDistribution(spec_.dists[static_cast<size_t>(d)], lb, ub, nprocs_);
+}
+
+Rsd ArrayDistribution::local_section(int p) const {
+  std::vector<Triplet> dims;
+  for (int d = 0; d < rank(); ++d) dims.push_back(dim(d).local_set(p));
+  return Rsd(std::move(dims));
+}
+
+int ArrayDistribution::owner_of(const std::vector<int64_t>& point) const {
+  int d = dist_dim();
+  if (d < 0) return 0;
+  return dim(d).owner(point[static_cast<size_t>(d)]);
+}
+
+bool ArrayDistribution::owns(int p, const std::vector<int64_t>& point) const {
+  if (replicated_p()) return true;
+  // With multiple distributed dims, ownership requires owning along every
+  // distributed dimension (linearized grid would be needed for owner ids;
+  // `owns` remains well-defined).
+  for (int d = 0; d < rank(); ++d) {
+    if (spec_.dists[static_cast<size_t>(d)].kind == DistKind::None) continue;
+    if (dim(d).owner(point[static_cast<size_t>(d)]) != p) return false;
+  }
+  return true;
+}
+
+int64_t ArrayDistribution::remap_bytes(const ArrayDistribution& to,
+                                       int elem_size) const {
+  // Count elements whose owner changes. Along the (single) distributed
+  // dimensions this factorizes: iterate the dist-dim indices, multiply by
+  // the product of the other extents.
+  assert(rank() == to.rank());
+  int64_t other = 1;
+  for (int d = 0; d < rank(); ++d) {
+    auto [lb, ub] = bounds_[static_cast<size_t>(d)];
+    bool involved = spec_.dists[static_cast<size_t>(d)].kind != DistKind::None ||
+                    to.spec_.dists[static_cast<size_t>(d)].kind != DistKind::None;
+    if (!involved) other *= (ub - lb + 1);
+  }
+  int64_t moved = 0;
+  // Iterate over the involved dims jointly (at most 2 in practice; we
+  // support exactly the single-dist-dim case plus replicated).
+  std::vector<int> involved_dims;
+  for (int d = 0; d < rank(); ++d) {
+    bool involved = spec_.dists[static_cast<size_t>(d)].kind != DistKind::None ||
+                    to.spec_.dists[static_cast<size_t>(d)].kind != DistKind::None;
+    if (involved) involved_dims.push_back(d);
+  }
+  if (involved_dims.empty()) return 0;
+  // Enumerate the cross product of involved dims (sizes are modest).
+  std::vector<int64_t> point(static_cast<size_t>(rank()), 0);
+  std::function<void(size_t)> walk = [&](size_t k) {
+    if (k == involved_dims.size()) {
+      std::vector<int64_t> full(static_cast<size_t>(rank()), 0);
+      for (int d = 0; d < rank(); ++d)
+        full[static_cast<size_t>(d)] = point[static_cast<size_t>(d)];
+      if (owner_of(full) != to.owner_of(full)) moved += other;
+      return;
+    }
+    int d = involved_dims[k];
+    auto [lb, ub] = bounds_[static_cast<size_t>(d)];
+    for (int64_t i = lb; i <= ub; ++i) {
+      point[static_cast<size_t>(d)] = i;
+      walk(k + 1);
+    }
+  };
+  walk(0);
+  return moved * elem_size;
+}
+
+}  // namespace fortd

@@ -1,0 +1,380 @@
+#include "codegen/dyndecomp.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "analysis/cfg.hpp"
+#include "analysis/dataflow.hpp"
+
+namespace fortd {
+
+namespace {
+
+bool is_remap(const Stmt& s) {
+  return s.kind == StmtKind::Remap || s.kind == StmtKind::MarkDist;
+}
+
+/// Does this statement (including nested bodies) reference the array —
+/// i.e. "use" its current decomposition?
+bool uses_array(const Stmt& s, const std::string& array) {
+  if (is_remap(s)) return false;
+  bool used = false;
+  for_each_expr(s, [&](const Expr& e) {
+    if ((e.kind == ExprKind::ArrayRef || e.kind == ExprKind::VarRef) &&
+        e.name == array)
+      used = true;
+  });
+  if (used) return true;
+  for (const auto& list : {&s.then_body, &s.else_body, &s.body})
+    for (const auto& inner : *list)
+      if (uses_array(*inner, array)) return true;
+  return false;
+}
+
+std::string spec_key(const std::vector<DistSpec>& specs) {
+  std::string k;
+  for (const auto& d : specs) k += d.str() + ",";
+  return k;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: dead-remap elimination (live decompositions, backward may)
+// ---------------------------------------------------------------------------
+
+int eliminate_dead_remaps(Procedure& proc, CompileStats& stats) {
+  // Arrays of interest: those that are remapped.
+  std::vector<std::string> arrays;
+  walk_stmts(proc.body, [&](const Stmt& s) {
+    if (is_remap(s) &&
+        std::find(arrays.begin(), arrays.end(), s.dist_target) == arrays.end())
+      arrays.push_back(s.dist_target);
+  });
+  if (arrays.empty()) return 0;
+
+  Cfg cfg = Cfg::build(proc);
+  const int n = static_cast<int>(arrays.size());
+  auto idx_of = [&](const std::string& a) {
+    return static_cast<int>(std::find(arrays.begin(), arrays.end(), a) -
+                            arrays.begin());
+  };
+
+  // Backward may problem: fact i live = "array i is used before being
+  // remapped on some path forward".
+  DataflowProblem problem;
+  problem.num_facts = n;
+  problem.forward = false;
+  problem.may = true;
+  problem.gen.assign(static_cast<size_t>(cfg.size()), BitSet(n));
+  problem.kill.assign(static_cast<size_t>(cfg.size()), BitSet(n));
+  problem.boundary = BitSet(n);
+  for (const auto& blk : cfg.blocks()) {
+    BitSet gen(n), kill(n);
+    // Backward: process the block's statements in reverse.
+    for (auto it = blk.stmts.rbegin(); it != blk.stmts.rend(); ++it) {
+      const Stmt* s = *it;
+      if (is_remap(*s)) {
+        int i = idx_of(s->dist_target);
+        if (i < n) {
+          kill.set(i);
+          gen.reset(i);
+        }
+      } else {
+        for (int i = 0; i < n; ++i)
+          if (uses_array(*s, arrays[static_cast<size_t>(i)])) gen.set(i);
+      }
+    }
+    problem.gen[static_cast<size_t>(blk.id)] = std::move(gen);
+    problem.kill[static_cast<size_t>(blk.id)] = std::move(kill);
+  }
+  DataflowResult res = solve_dataflow(cfg, problem);
+
+  // For each remap, compute liveness immediately after it.
+  std::vector<const Stmt*> dead;
+  for (const auto& blk : cfg.blocks()) {
+    // res.in[b] holds the facts at the block *end* (backward problem).
+    BitSet live = res.in[static_cast<size_t>(blk.id)];
+    for (auto it = blk.stmts.rbegin(); it != blk.stmts.rend(); ++it) {
+      const Stmt* s = *it;
+      if (is_remap(*s)) {
+        int i = idx_of(s->dist_target);
+        if (i < n && !live.get(i)) dead.push_back(s);
+        if (i < n) live.reset(i);
+      } else {
+        for (int i = 0; i < n; ++i)
+          if (uses_array(*s, arrays[static_cast<size_t>(i)])) live.set(i);
+      }
+    }
+  }
+
+  // Remove dead remaps from the AST.
+  std::function<void(std::vector<StmtPtr>&)> prune =
+      [&](std::vector<StmtPtr>& stmts) {
+        stmts.erase(std::remove_if(stmts.begin(), stmts.end(),
+                                   [&](const StmtPtr& s) {
+                                     return std::find(dead.begin(), dead.end(),
+                                                      s.get()) != dead.end();
+                                   }),
+                    stmts.end());
+        for (auto& s : stmts) {
+          prune(s->then_body);
+          prune(s->else_body);
+          prune(s->body);
+        }
+      };
+  prune(proc.body);
+  stats.remaps_eliminated_dead += static_cast<int>(dead.size());
+  return static_cast<int>(dead.size());
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: coalesce remaps whose target decomposition already reaches them
+// ---------------------------------------------------------------------------
+
+int coalesce_remaps(Procedure& proc, CompileStats& stats) {
+  // Forward "current spec" analysis. Values per array: set of spec keys
+  // ("?" = unknown initial).
+  Cfg cfg = Cfg::build(proc);
+  using State = std::map<std::string, std::set<std::string>>;
+  std::vector<State> in(static_cast<size_t>(cfg.size()));
+  std::vector<State> out(static_cast<size_t>(cfg.size()));
+  in[static_cast<size_t>(cfg.entry())] = {};
+
+  auto transfer = [&](const BasicBlock& blk, State st) {
+    for (const Stmt* s : blk.stmts)
+      if (is_remap(*s)) st[s->dist_target] = {spec_key(s->dist_specs)};
+    return st;
+  };
+  auto merge = [](State& into, const State& from) {
+    bool changed = false;
+    for (const auto& [a, specs] : from)
+      for (const auto& k : specs)
+        if (into[a].insert(k).second) changed = true;
+    return changed;
+  };
+
+  bool changed = true;
+  auto order = cfg.reverse_postorder();
+  while (changed) {
+    changed = false;
+    for (int b : order) {
+      const BasicBlock& blk = cfg.block(b);
+      State meet;
+      for (int p : blk.preds) merge(meet, out[static_cast<size_t>(p)]);
+      // A predecessor with no entry for an array implicitly carries the
+      // initial/unknown spec "?" along that path.
+      for (int p : blk.preds) {
+        const State& po = out[static_cast<size_t>(p)];
+        for (auto& [a, specs] : meet)
+          if (!po.count(a)) specs.insert("?");
+      }
+      State next_out = transfer(blk, meet);
+      if (!(next_out == out[static_cast<size_t>(b)]) ||
+          !(meet == in[static_cast<size_t>(b)])) {
+        in[static_cast<size_t>(b)] = std::move(meet);
+        out[static_cast<size_t>(b)] = std::move(next_out);
+        changed = true;
+      }
+    }
+  }
+
+  // A remap is redundant when the only spec reaching it equals its target.
+  std::vector<const Stmt*> redundant;
+  for (const auto& blk : cfg.blocks()) {
+    State st = in[static_cast<size_t>(blk.id)];
+    for (const Stmt* s : blk.stmts) {
+      if (is_remap(*s)) {
+        auto it = st.find(s->dist_target);
+        if (it != st.end() && it->second.size() == 1 &&
+            *it->second.begin() == spec_key(s->dist_specs))
+          redundant.push_back(s);
+        st[s->dist_target] = {spec_key(s->dist_specs)};
+      }
+    }
+  }
+
+  std::function<void(std::vector<StmtPtr>&)> prune =
+      [&](std::vector<StmtPtr>& stmts) {
+        stmts.erase(std::remove_if(stmts.begin(), stmts.end(),
+                                   [&](const StmtPtr& s) {
+                                     return std::find(redundant.begin(),
+                                                      redundant.end(),
+                                                      s.get()) != redundant.end();
+                                   }),
+                    stmts.end());
+        for (auto& s : stmts) {
+          prune(s->then_body);
+          prune(s->else_body);
+          prune(s->body);
+        }
+      };
+  prune(proc.body);
+  stats.remaps_coalesced += static_cast<int>(redundant.size());
+  return static_cast<int>(redundant.size());
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: loop-invariant remap hoisting
+// ---------------------------------------------------------------------------
+
+int hoist_remaps_in_list(std::vector<StmtPtr>& stmts, CompileStats& stats);
+
+int hoist_loop(std::vector<StmtPtr>& parent, size_t loop_pos,
+               CompileStats& stats) {
+  Stmt& loop = *parent[loop_pos];
+  int moved = 0;
+
+  // (a) Move-after: a remap whose definition reaches no use inside the
+  // loop body (scanning forward then around the back edge).
+  for (size_t i = 0; i < loop.body.size();) {
+    Stmt& s = *loop.body[i];
+    if (!is_remap(s)) {
+      ++i;
+      continue;
+    }
+    const std::string& arr = s.dist_target;
+    bool reaches_use = false;
+    for (size_t j = i + 1; j < loop.body.size(); ++j) {
+      if (is_remap(*loop.body[j]) && loop.body[j]->dist_target == arr) break;
+      if (uses_array(*loop.body[j], arr)) {
+        reaches_use = true;
+        break;
+      }
+    }
+    if (!reaches_use) {
+      // Around the back edge: from body start down to (not including) the
+      // remap, stopping at another remap of the array.
+      for (size_t j = 0; j < i; ++j) {
+        if (is_remap(*loop.body[j]) && loop.body[j]->dist_target == arr) break;
+        if (uses_array(*loop.body[j], arr)) {
+          reaches_use = true;
+          break;
+        }
+      }
+    }
+    if (!reaches_use) {
+      StmtPtr r = std::move(loop.body[static_cast<size_t>(i)]);
+      loop.body.erase(loop.body.begin() + static_cast<long>(i));
+      parent.insert(parent.begin() + static_cast<long>(loop_pos) + 1,
+                    std::move(r));
+      ++moved;
+      ++stats.remaps_hoisted;
+      continue;  // same index now holds the next statement
+    }
+    ++i;
+  }
+
+  // (b) Move-before: the only remap of its array in the body, with no use
+  // of the array before it in the body.
+  for (size_t i = 0; i < loop.body.size();) {
+    Stmt& s = *loop.body[i];
+    if (!is_remap(s)) {
+      ++i;
+      continue;
+    }
+    const std::string& arr = s.dist_target;
+    int remap_count = 0;
+    for (const auto& t : loop.body)
+      if (is_remap(*t) && t->dist_target == arr) ++remap_count;
+    bool use_before = false;
+    for (size_t j = 0; j < i; ++j)
+      if (uses_array(*loop.body[j], arr)) use_before = true;
+    if (remap_count == 1 && !use_before) {
+      StmtPtr r = std::move(loop.body[static_cast<size_t>(i)]);
+      loop.body.erase(loop.body.begin() + static_cast<long>(i));
+      parent.insert(parent.begin() + static_cast<long>(loop_pos),
+                    std::move(r));
+      ++loop_pos;  // the loop shifted right
+      ++moved;
+      ++stats.remaps_hoisted;
+      continue;
+    }
+    ++i;
+  }
+  return moved;
+}
+
+int hoist_remaps_in_list(std::vector<StmtPtr>& stmts, CompileStats& stats) {
+  int moved = 0;
+  // Bottom-up: inner structures first.
+  for (auto& s : stmts) {
+    moved += hoist_remaps_in_list(s->then_body, stats);
+    moved += hoist_remaps_in_list(s->else_body, stats);
+    moved += hoist_remaps_in_list(s->body, stats);
+  }
+  for (size_t i = 0; i < stmts.size(); ++i)
+    if (stmts[i]->kind == StmtKind::Do) moved += hoist_loop(stmts, i, stats);
+  return moved;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 4: array kills — remap in place (MarkDist)
+// ---------------------------------------------------------------------------
+
+const Stmt* next_access(const std::vector<StmtPtr>& stmts, size_t from,
+                        const std::string& array) {
+  for (size_t j = from; j < stmts.size(); ++j) {
+    const Stmt& s = *stmts[j];
+    if (is_remap(s) && s.dist_target == array) return &s;
+    if (s.kind == StmtKind::Do || s.kind == StmtKind::If) {
+      for (const auto* list : {&s.then_body, &s.else_body, &s.body}) {
+        const Stmt* a = next_access(*list, 0, array);
+        if (a) return a;
+      }
+      continue;
+    }
+    if (uses_array(s, array)) return &s;
+  }
+  return nullptr;
+}
+
+int apply_array_kills(std::vector<StmtPtr>& stmts,
+                      const std::map<std::string, ArrayKillSummary>& kills,
+                      CompileStats& stats) {
+  int marked = 0;
+  for (size_t i = 0; i < stmts.size(); ++i) {
+    Stmt& s = *stmts[i];
+    marked += apply_array_kills(s.then_body, kills, stats);
+    marked += apply_array_kills(s.else_body, kills, stats);
+    marked += apply_array_kills(s.body, kills, stats);
+    if (s.kind != StmtKind::Remap) continue;
+    const Stmt* acc = next_access(stmts, i + 1, s.dist_target);
+    if (!acc || acc->kind != StmtKind::Call) continue;
+    auto kit = kills.find(acc->callee);
+    if (kit == kills.end()) continue;
+    const ArrayKillSummary& ks = kit->second;
+    bool killed = ks.killed_globals.count(s.dist_target) > 0;
+    for (int fi : ks.killed_formals) {
+      if (fi < static_cast<int>(acc->call_args.size()) &&
+          acc->call_args[static_cast<size_t>(fi)]->kind == ExprKind::VarRef &&
+          acc->call_args[static_cast<size_t>(fi)]->name == s.dist_target)
+        killed = true;
+    }
+    if (killed) {
+      s.kind = StmtKind::MarkDist;
+      ++marked;
+      ++stats.remaps_marked_in_place;
+    }
+  }
+  return marked;
+}
+
+}  // namespace
+
+void optimize_dynamic_decomps(SpmdProgram& program, DynDecompOpt level,
+                              const std::map<std::string, ArrayKillSummary>& kills) {
+  if (level == DynDecompOpt::None) return;
+  for (auto& proc : program.ast.procedures) {
+    eliminate_dead_remaps(*proc, program.stats);
+    coalesce_remaps(*proc, program.stats);
+    if (level == DynDecompOpt::LiveInvariant || level == DynDecompOpt::Full) {
+      hoist_remaps_in_list(proc->body, program.stats);
+      // Hoisting can expose new dead/duplicate remaps.
+      eliminate_dead_remaps(*proc, program.stats);
+      coalesce_remaps(*proc, program.stats);
+    }
+    if (level == DynDecompOpt::Full)
+      apply_array_kills(proc->body, kills, program.stats);
+  }
+}
+
+}  // namespace fortd

@@ -1,0 +1,31 @@
+// Dynamic data decomposition optimization (§6, Figs. 15-17): dead-remap
+// elimination via live decompositions, coalescing of identical reaching
+// remaps, loop-invariant remap hoisting, and array-kill remap-in-place.
+// Operates on the generated SPMD AST, where delayed remaps have already
+// been instantiated in the callers.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "codegen/options.hpp"
+#include "codegen/spmd.hpp"
+
+namespace fortd {
+
+/// Which arrays a procedure kills (fully overwrites before any use) —
+/// drives the array-kill optimization (Fig. 16d): remapping such an array
+/// needs no data motion, only relabeling.
+struct ArrayKillSummary {
+  std::set<int> killed_formals;            // formal positions
+  std::set<std::string> killed_globals;    // COMMON arrays by name
+};
+
+/// Apply the optimization pipeline up to `level` to every procedure of the
+/// generated program, updating `program.stats`.
+void optimize_dynamic_decomps(
+    SpmdProgram& program, DynDecompOpt level,
+    const std::map<std::string, ArrayKillSummary>& kills = {});
+
+}  // namespace fortd

@@ -1,0 +1,51 @@
+// Small expression-building helpers used throughout code generation.
+// Generated code references the intrinsics `min`, `max`, `modp` (positive
+// modulus) and the pseudo-variable `my$p` (this processor's 0-based id),
+// all of which the SPMD interpreter and pretty-printer understand.
+#pragma once
+
+#include <utility>
+
+#include "frontend/ast.hpp"
+
+namespace fortd::build {
+
+inline ExprPtr num(int64_t v) { return Expr::make_int(v); }
+inline ExprPtr var(const std::string& name) { return Expr::make_var(name); }
+inline ExprPtr myp() { return Expr::make_var("my$p"); }
+
+inline ExprPtr add(ExprPtr a, ExprPtr b) {
+  return Expr::make_binary(BinOp::Add, std::move(a), std::move(b));
+}
+inline ExprPtr sub(ExprPtr a, ExprPtr b) {
+  return Expr::make_binary(BinOp::Sub, std::move(a), std::move(b));
+}
+inline ExprPtr mul(ExprPtr a, ExprPtr b) {
+  return Expr::make_binary(BinOp::Mul, std::move(a), std::move(b));
+}
+inline ExprPtr div(ExprPtr a, ExprPtr b) {
+  return Expr::make_binary(BinOp::Div, std::move(a), std::move(b));
+}
+
+inline ExprPtr fn(const std::string& name, ExprPtr a, ExprPtr b) {
+  std::vector<ExprPtr> args;
+  args.push_back(std::move(a));
+  args.push_back(std::move(b));
+  return Expr::make_call(name, std::move(args));
+}
+inline ExprPtr fmin(ExprPtr a, ExprPtr b) { return fn("min", std::move(a), std::move(b)); }
+inline ExprPtr fmax(ExprPtr a, ExprPtr b) { return fn("max", std::move(a), std::move(b)); }
+inline ExprPtr modp(ExprPtr a, ExprPtr b) { return fn("modp", std::move(a), std::move(b)); }
+
+inline ExprPtr cmp(BinOp op, ExprPtr a, ExprPtr b) {
+  return Expr::make_binary(op, std::move(a), std::move(b));
+}
+inline ExprPtr land(ExprPtr a, ExprPtr b) {
+  return Expr::make_binary(BinOp::And, std::move(a), std::move(b));
+}
+
+/// Constant-fold trivial arithmetic so generated code stays readable
+/// (e.g. `i + 0` -> `i`, `2 + 3` -> `5`).
+ExprPtr simplify(ExprPtr e);
+
+}  // namespace fortd::build

@@ -1,0 +1,76 @@
+#include "codegen/partition.hpp"
+
+namespace fortd {
+
+std::string OwnershipConstraint::str() const {
+  std::string s = "own(" + array + ",dim" + std::to_string(dim) + ",";
+  if (uses_var())
+    s += var + (offset >= 0 ? "+" : "") + std::to_string(offset);
+  else
+    s += fixed.str();
+  return s + ")";
+}
+
+std::string IterationSet::str() const {
+  switch (kind) {
+    case Kind::Universal: return "<universal>";
+    case Kind::RuntimeOnly: return "<runtime>";
+    case Kind::Constrained: return constraint.str();
+  }
+  return "?";
+}
+
+IterationSet owner_computes(const Expr& lhs,
+                            const std::optional<ArrayDistribution>& lhs_dist,
+                            const SymbolicEnv& env) {
+  if (lhs.kind == ExprKind::VarRef) return IterationSet::universal();
+  if (!lhs_dist || lhs_dist->replicated_p()) return IterationSet::universal();
+
+  int d = lhs_dist->dist_dim();
+  if (d == -2) return IterationSet::runtime();  // multi-dim distribution
+  if (d < 0 || d >= static_cast<int>(lhs.args.size()))
+    return IterationSet::universal();
+  // BLOCK_CYCLIC footprints are not single strided ranges: compile-time
+  // bounds reduction / guards do not apply — fall back to the run-time
+  // resolution scheme (documented substitution).
+  if (lhs_dist->spec().dists[static_cast<size_t>(d)].kind ==
+      DistKind::BlockCyclic)
+    return IterationSet::runtime();
+
+  auto form = extract_affine(*lhs.args[static_cast<size_t>(d)], env.consts);
+  if (!form) return IterationSet::runtime();
+
+  OwnershipConstraint c;
+  c.array = lhs.name;
+  c.dim = d;
+  auto vars = form->vars();
+  if (vars.empty()) {
+    c.fixed = *form;
+    c.offset = 0;
+  } else if (vars.size() == 1 && form->coeff(vars[0]) == 1) {
+    c.var = vars[0];
+    c.offset = form->konst;
+  } else {
+    // Coupled or scaled subscripts: owner tests must run per iteration.
+    return IterationSet::runtime();
+  }
+  return IterationSet::constrained(std::move(c));
+}
+
+std::optional<IterationSet> unify_iteration_sets(
+    const std::vector<IterationSet>& sets) {
+  std::optional<IterationSet> unified;
+  for (const auto& s : sets) {
+    if (s.kind == IterationSet::Kind::RuntimeOnly) return std::nullopt;
+    if (s.is_universal()) continue;  // replicated statements run anywhere
+    if (!unified) {
+      unified = s;
+    } else if (!(unified->constraint == s.constraint)) {
+      return std::nullopt;
+    }
+  }
+  if (!unified) return IterationSet::universal();
+  return unified;
+}
+
+}  // namespace fortd

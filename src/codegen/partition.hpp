@@ -1,0 +1,87 @@
+// Data and computation partitioning with delayed instantiation (§5.3,
+// Fig. 9).
+//
+// Each assignment statement gets an *iteration-set constraint* derived
+// from the owner-computes rule on its left-hand side:
+//
+//   lhs A(..., v+c, ...) with A distributed in that dimension
+//     =>  the statement executes for v in localset(A) - c.
+//
+// The constraint variable `v` may be
+//   * a DO variable of a loop local to the procedure — instantiated here
+//     by loop-bounds reduction (uniform) or a guard (mixed),
+//   * a formal parameter / caller-defined variable — *delayed*: exported
+//     to callers, where it becomes bounds reduction of the caller's loop
+//     or a guard at the call site, or
+//   * a constant/loop-invariant expression — an owner guard.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/symbolic.hpp"
+#include "codegen/distribution.hpp"
+#include "ir/decomp.hpp"
+
+namespace fortd {
+
+/// "my$p must own element (var + offset) along dimension `dim` of `array`".
+struct OwnershipConstraint {
+  std::string var;    // constraint variable; empty when `fixed` is used
+  AffineForm fixed;   // loop-invariant subscript (var empty)
+  std::string array;  // array whose distribution constrains execution
+  int dim = -1;
+  int64_t offset = 0;
+
+  bool uses_var() const { return !var.empty(); }
+  bool operator==(const OwnershipConstraint& o) const {
+    return var == o.var && fixed.str() == o.fixed.str() && array == o.array &&
+           dim == o.dim && offset == o.offset;
+  }
+  std::string str() const;
+};
+
+/// The iteration-set of one statement (or one whole procedure).
+struct IterationSet {
+  enum class Kind {
+    Universal,   // executes on every processor (replicated lhs)
+    Constrained, // owner-computes constraint below
+    RuntimeOnly, // needs run-time resolution (non-affine / multi-dim dist)
+  };
+  Kind kind = Kind::Universal;
+  OwnershipConstraint constraint;
+
+  static IterationSet universal() { return {}; }
+  static IterationSet runtime() {
+    IterationSet s;
+    s.kind = Kind::RuntimeOnly;
+    return s;
+  }
+  static IterationSet constrained(OwnershipConstraint c) {
+    IterationSet s;
+    s.kind = Kind::Constrained;
+    s.constraint = std::move(c);
+    return s;
+  }
+  bool is_universal() const { return kind == Kind::Universal; }
+  bool is_constrained() const { return kind == Kind::Constrained; }
+  std::string str() const;
+};
+
+/// Derive the iteration set of an assignment from its lhs under the given
+/// distribution of the lhs array (nullopt distribution = replicated).
+/// `env` supplies constants; loop variables of the enclosing nest are
+/// passed so constant-folding can classify subscripts.
+IterationSet owner_computes(const Expr& lhs,
+                            const std::optional<ArrayDistribution>& lhs_dist,
+                            const SymbolicEnv& env);
+
+/// Union of statement iteration sets for a whole procedure (Fig. 9:
+/// "collect union of all iteration sets in P for callers"). Returns
+/// nullopt when the sets differ (the procedure must guard internally and
+/// export Universal).
+std::optional<IterationSet> unify_iteration_sets(
+    const std::vector<IterationSet>& sets);
+
+}  // namespace fortd

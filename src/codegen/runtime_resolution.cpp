@@ -1,0 +1,97 @@
+#include "codegen/runtime_resolution.hpp"
+
+#include "codegen/expr_build.hpp"
+
+namespace fortd {
+
+ExprPtr owner_intrinsic(const std::string& array,
+                        const std::vector<ExprPtr>& subscripts) {
+  std::vector<ExprPtr> args;
+  args.reserve(subscripts.size());
+  for (const auto& s : subscripts) args.push_back(s->clone());
+  return Expr::make_call("owner$" + array, std::move(args));
+}
+
+namespace {
+
+std::vector<SectionExpr> element_section(const Expr& ref) {
+  std::vector<SectionExpr> sec;
+  for (const auto& sub : ref.args) {
+    SectionExpr t;
+    t.lb = sub->clone();
+    t.ub = sub->clone();
+    sec.push_back(std::move(t));
+  }
+  return sec;
+}
+
+ExprPtr owner_of_ref(const Expr& ref) {
+  std::vector<ExprPtr> subs;
+  for (const auto& s : ref.args) subs.push_back(s->clone());
+  return owner_intrinsic(ref.name, subs);
+}
+
+}  // namespace
+
+void emit_runtime_resolved_assign(const Stmt& stmt, const SymbolTable& st,
+                                  const IsDistributedFn& is_distributed,
+                                  std::vector<StmtPtr>& out,
+                                  CompileStats& stats) {
+  using namespace build;
+  ++stats.runtime_resolved_stmts;
+
+  // Collect distributed rhs references.
+  std::vector<const Expr*> dist_refs;
+  walk_expr(*stmt.rhs, [&](const Expr& e) {
+    if (e.kind == ExprKind::ArrayRef && is_distributed(e.name))
+      dist_refs.push_back(&e);
+  });
+
+  const bool lhs_distributed = stmt.lhs->kind == ExprKind::ArrayRef &&
+                               is_distributed(stmt.lhs->name);
+
+  if (!lhs_distributed) {
+    // Replicated target: every processor executes; each distributed rhs
+    // element is broadcast from its owner.
+    for (const Expr* r : dist_refs) {
+      out.push_back(
+          Stmt::make_broadcast(r->name, element_section(*r), owner_of_ref(*r)));
+    }
+    out.push_back(Stmt::make_assign(stmt.lhs->clone(), stmt.rhs->clone()));
+    return;
+  }
+
+  ExprPtr lhs_owner = owner_of_ref(*stmt.lhs);
+  for (const Expr* r : dist_refs) {
+    // Skip references that are syntactically the lhs element itself.
+    if (r->structurally_equal(*stmt.lhs)) continue;
+    ExprPtr r_owner = owner_of_ref(*r);
+
+    // Sender side.
+    std::vector<StmtPtr> send_body;
+    send_body.push_back(
+        Stmt::make_send(r->name, element_section(*r), lhs_owner->clone()));
+    out.push_back(Stmt::make_if(
+        land(cmp(BinOp::Eq, myp(), r_owner->clone()),
+             cmp(BinOp::Ne, lhs_owner->clone(), myp())),
+        std::move(send_body)));
+
+    // Receiver side.
+    std::vector<StmtPtr> recv_body;
+    recv_body.push_back(
+        Stmt::make_recv(r->name, element_section(*r), r_owner->clone()));
+    out.push_back(Stmt::make_if(
+        land(cmp(BinOp::Eq, myp(), lhs_owner->clone()),
+             cmp(BinOp::Ne, r_owner->clone(), myp())),
+        std::move(recv_body)));
+  }
+
+  // Owner executes the assignment.
+  std::vector<StmtPtr> body;
+  body.push_back(Stmt::make_assign(stmt.lhs->clone(), stmt.rhs->clone()));
+  out.push_back(
+      Stmt::make_if(cmp(BinOp::Eq, myp(), lhs_owner->clone()), std::move(body)));
+  (void)st;
+}
+
+}  // namespace fortd

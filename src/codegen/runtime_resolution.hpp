@@ -1,0 +1,46 @@
+// Run-time resolution code generation (§3.1, Fig. 3): the baseline the
+// paper compares against, and the compiler's per-statement fallback when
+// compile-time analysis fails (non-affine subscripts, BLOCK_CYCLIC or
+// multi-dimensional distributions, cloning threshold exceeded).
+//
+// Every assignment touching distributed data is rewritten to explicitly
+// test ownership of each reference and move single elements:
+//
+//     if (my$p .eq. owner(X(i+5)) .and. owner(X(i)) .ne. my$p)
+//        send X(i+5) to owner(X(i))
+//     if (my$p .eq. owner(X(i)) .and. owner(X(i+5)) .ne. my$p)
+//        recv X(i+5) from owner(X(i+5))
+//     if (my$p .eq. owner(X(i)))  X(i) = F(X(i+5))
+//
+// Ownership is resolved through the runtime intrinsic `owner$<array>`,
+// which the SPMD interpreter evaluates against the live distribution
+// registry (so dynamic redistribution works under this scheme too).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "codegen/spmd.hpp"
+#include "frontend/ast.hpp"
+#include "ir/symbol_table.hpp"
+
+namespace fortd {
+
+/// Is `name` distributed (non-replicated) in this statement's context?
+/// Supplied by the caller because reaching decompositions are a
+/// compile-time notion even for this baseline's code shape.
+using IsDistributedFn = std::function<bool(const std::string&)>;
+
+/// Rewrite one assignment into run-time-resolved form. Appends the
+/// generated statements to `out`.
+void emit_runtime_resolved_assign(const Stmt& stmt, const SymbolTable& st,
+                                  const IsDistributedFn& is_distributed,
+                                  std::vector<StmtPtr>& out,
+                                  CompileStats& stats);
+
+/// Owner intrinsic reference: owner$<array>(subscripts...).
+ExprPtr owner_intrinsic(const std::string& array,
+                        const std::vector<ExprPtr>& subscripts);
+
+}  // namespace fortd

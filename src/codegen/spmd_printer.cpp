@@ -1,0 +1,266 @@
+#include "codegen/spmd_printer.hpp"
+
+#include <sstream>
+
+namespace fortd {
+
+namespace {
+
+const char* binop_str(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return " + ";
+    case BinOp::Sub: return " - ";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Eq: return " .eq. ";
+    case BinOp::Ne: return " .ne. ";
+    case BinOp::Lt: return " .lt. ";
+    case BinOp::Le: return " .le. ";
+    case BinOp::Gt: return " .gt. ";
+    case BinOp::Ge: return " .ge. ";
+    case BinOp::And: return " .and. ";
+    case BinOp::Or: return " .or. ";
+  }
+  return "?";
+}
+
+int precedence(const Expr& e) {
+  if (e.kind != ExprKind::Binary) return 100;
+  switch (e.bin_op) {
+    case BinOp::Or: return 1;
+    case BinOp::And: return 2;
+    case BinOp::Eq:
+    case BinOp::Ne:
+    case BinOp::Lt:
+    case BinOp::Le:
+    case BinOp::Gt:
+    case BinOp::Ge: return 3;
+    case BinOp::Add:
+    case BinOp::Sub: return 4;
+    case BinOp::Mul:
+    case BinOp::Div: return 5;
+  }
+  return 100;
+}
+
+std::string print_child(const Expr& parent, const Expr& child, bool right) {
+  std::string s = print_expr(child);
+  bool need_parens = precedence(child) < precedence(parent) ||
+                     (right && precedence(child) == precedence(parent) &&
+                      (parent.bin_op == BinOp::Sub || parent.bin_op == BinOp::Div));
+  return need_parens ? "(" + s + ")" : s;
+}
+
+std::string section_str(const std::vector<SectionExpr>& sec) {
+  std::string s = "(";
+  for (size_t i = 0; i < sec.size(); ++i) {
+    if (i) s += ",";
+    std::string lb = print_expr(*sec[i].lb);
+    std::string ub = print_expr(*sec[i].ub);
+    s += lb == ub ? lb : lb + ":" + ub;
+    if (sec[i].step) s += ":" + print_expr(*sec[i].step);
+  }
+  return s + ")";
+}
+
+std::string dists_str(const std::vector<DistSpec>& dists) {
+  std::string s = "(";
+  for (size_t i = 0; i < dists.size(); ++i) {
+    if (i) s += ",";
+    s += dists[i].str();
+  }
+  return s + ")";
+}
+
+void print_stmts(std::ostringstream& out, const std::vector<StmtPtr>& stmts,
+                 int indent);
+
+void print_one(std::ostringstream& out, const Stmt& s, int indent) {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  switch (s.kind) {
+    case StmtKind::Assign:
+      out << pad << print_expr(*s.lhs) << " = " << print_expr(*s.rhs) << "\n";
+      break;
+    case StmtKind::If:
+      out << pad << "if (" << print_expr(*s.cond) << ") then\n";
+      print_stmts(out, s.then_body, indent + 1);
+      if (!s.else_body.empty()) {
+        out << pad << "else\n";
+        print_stmts(out, s.else_body, indent + 1);
+      }
+      out << pad << "endif\n";
+      break;
+    case StmtKind::Do:
+      out << pad << "do " << s.loop_var << " = " << print_expr(*s.lb) << ", "
+          << print_expr(*s.ub);
+      if (s.step) out << ", " << print_expr(*s.step);
+      out << "\n";
+      print_stmts(out, s.body, indent + 1);
+      out << pad << "enddo\n";
+      break;
+    case StmtKind::Call: {
+      out << pad << "call " << s.callee << "(";
+      for (size_t i = 0; i < s.call_args.size(); ++i) {
+        if (i) out << ", ";
+        out << print_expr(*s.call_args[i]);
+      }
+      out << ")\n";
+      break;
+    }
+    case StmtKind::Return:
+      out << pad << "return\n";
+      break;
+    case StmtKind::Continue:
+      out << pad << "continue\n";
+      break;
+    case StmtKind::Align: {
+      out << pad << "ALIGN " << s.align_array << " WITH " << s.align_target
+          << "\n";
+      break;
+    }
+    case StmtKind::Distribute:
+      out << pad << "DISTRIBUTE " << s.dist_target << dists_str(s.dist_specs)
+          << "\n";
+      break;
+    case StmtKind::Send:
+      out << pad << "send " << s.msg_array << section_str(s.msg_section)
+          << " to " << print_expr(*s.peer) << "\n";
+      break;
+    case StmtKind::Recv:
+      out << pad << "recv " << s.msg_array << section_str(s.msg_section)
+          << " from " << print_expr(*s.peer) << "\n";
+      break;
+    case StmtKind::Broadcast:
+      out << pad << "broadcast " << s.msg_array;
+      if (!s.msg_section.empty()) out << section_str(s.msg_section);
+      out << " from " << print_expr(*s.peer) << "\n";
+      break;
+    case StmtKind::Remap:
+      out << pad << "call remap$" << s.dist_target << "("
+          << dists_str(s.from_specs) << " -> " << dists_str(s.dist_specs)
+          << ")\n";
+      break;
+    case StmtKind::MarkDist:
+      out << pad << "call mark$" << s.dist_target << "("
+          << dists_str(s.dist_specs) << ")  ! array kill: no data motion\n";
+      break;
+    case StmtKind::AllReduce:
+      out << pad << "allreduce " << s.msg_array << " (" << s.reduce_op
+          << ")\n";
+      break;
+  }
+}
+
+void print_stmts(std::ostringstream& out, const std::vector<StmtPtr>& stmts,
+                 int indent) {
+  for (const auto& s : stmts) print_one(out, *s, indent);
+}
+
+}  // namespace
+
+std::string print_expr(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      return std::to_string(e.int_val);
+    case ExprKind::RealLit: {
+      std::ostringstream os;
+      os << e.real_val;
+      std::string s = os.str();
+      if (s.find('.') == std::string::npos && s.find('e') == std::string::npos)
+        s += ".0";
+      return s;
+    }
+    case ExprKind::VarRef:
+      return e.name;
+    case ExprKind::ArrayRef:
+    case ExprKind::FuncCall: {
+      std::string s = e.name + "(";
+      for (size_t i = 0; i < e.args.size(); ++i) {
+        if (i) s += ",";
+        s += print_expr(*e.args[i]);
+      }
+      return s + ")";
+    }
+    case ExprKind::Binary:
+      return print_child(e, *e.args[0], false) + binop_str(e.bin_op) +
+             print_child(e, *e.args[1], true);
+    case ExprKind::Unary: {
+      std::string inner = print_expr(*e.args[0]);
+      if (precedence(*e.args[0]) < 100) inner = "(" + inner + ")";
+      return (e.un_op == UnOp::Neg ? "-" : ".not. ") + inner;
+    }
+  }
+  return "?";
+}
+
+std::string print_stmt(const Stmt& s, int indent) {
+  std::ostringstream out;
+  print_one(out, s, indent);
+  return out.str();
+}
+
+std::string print_procedure(const Procedure& proc) {
+  std::ostringstream out;
+  if (proc.is_program) {
+    out << "PROGRAM " << proc.name << "\n";
+  } else {
+    out << "SUBROUTINE " << proc.name << "(";
+    for (size_t i = 0; i < proc.formals.size(); ++i) {
+      if (i) out << ",";
+      out << proc.formals[i];
+    }
+    out << ")\n";
+  }
+  for (const auto& d : proc.decls) {
+    out << "  " << (d.is_decomposition ? "DECOMPOSITION"
+                    : d.type == ElemType::Real ? "REAL"
+                    : d.type == ElemType::Integer ? "INTEGER"
+                                                  : "LOGICAL")
+        << " " << d.name;
+    if (!d.dims.empty()) {
+      out << "(";
+      for (size_t i = 0; i < d.dims.size(); ++i) {
+        if (i) out << ",";
+        if (d.dims[i].lb) out << print_expr(*d.dims[i].lb) << ":";
+        out << print_expr(*d.dims[i].ub);
+      }
+      out << ")";
+    }
+    out << "\n";
+  }
+  print_stmts(out, proc.body, 1);
+  out << "END\n";
+  return out.str();
+}
+
+std::string print_program(const SourceProgram& prog) {
+  std::string out;
+  for (const auto& p : prog.procedures) {
+    out += print_procedure(*p);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string print_spmd(const SpmdProgram& spmd) {
+  std::ostringstream out;
+  out << "! SPMD program for " << spmd.options.n_procs << " processors\n\n";
+  for (const auto& p : spmd.ast.procedures) {
+    auto sit = spmd.storage.find(p->name);
+    if (sit != spmd.storage.end()) {
+      for (const auto& info : sit->second) {
+        if (info.dist_dim < 0) continue;
+        out << "! " << p->name << ": " << info.array << " " << info.spec.str()
+            << " local " << info.local_extent << " (+" << info.overlap_lo
+            << "/+" << info.overlap_hi << " overlap, est " << info.est_lo
+            << "/" << info.est_hi << ")"
+            << (info.used_buffer ? " [buffer]" : "")
+            << (info.parameterized ? " [parameterized]" : "") << "\n";
+      }
+    }
+    out << print_procedure(*p) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace fortd

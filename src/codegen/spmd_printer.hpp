@@ -1,0 +1,22 @@
+// Pretty-printer: unparses source-level and SPMD-level ASTs to the
+// Fortran-like concrete syntax used throughout the paper's figures
+// (guarded `send`/`recv`, reduced loop bounds with min/max over my$p,
+// remap calls). Used by golden tests, examples, and debugging.
+#pragma once
+
+#include <string>
+
+#include "codegen/spmd.hpp"
+#include "frontend/ast.hpp"
+
+namespace fortd {
+
+std::string print_expr(const Expr& e);
+std::string print_stmt(const Stmt& s, int indent = 0);
+std::string print_procedure(const Procedure& proc);
+std::string print_program(const SourceProgram& prog);
+
+/// Full SPMD program including storage annotations per procedure.
+std::string print_spmd(const SpmdProgram& spmd);
+
+}  // namespace fortd

@@ -1,0 +1,21 @@
+// Storage management (§5.6): overlap regions, buffers, and parameterized
+// overlaps. Computes, per procedure and array, the local extent along the
+// distributed dimension, the actual overlap demanded by shift
+// communication, and whether the interprocedural estimate (Fig. 13)
+// sufficed — falling back to buffers when it did not.
+#pragma once
+
+#include "codegen/spmd.hpp"
+#include "ipa/cloning.hpp"
+
+namespace fortd {
+
+class CodeGenerator;
+struct ProcExports;
+
+/// Populate `result.storage[proc]` from the compiled procedure's
+/// communication shape and the overlap estimates.
+void compute_storage(CodeGenerator& cg, const Procedure& proc,
+                     const ProcExports& exports, SpmdProgram& result);
+
+}  // namespace fortd

@@ -1,0 +1,35 @@
+#include "driver/compiler.hpp"
+
+#include "frontend/parser.hpp"
+
+namespace fortd {
+
+Compiler::Compiler(CodegenOptions options, IpaOptions ipa_options)
+    : options_(options), ipa_options_(ipa_options) {}
+
+CompileResult Compiler::compile_source(std::string_view source) {
+  DiagnosticEngine diags;
+  Parser parser(source, diags);
+  return compile(parser.parse_unit());
+}
+
+CompileResult Compiler::compile(SourceProgram ast) {
+  CompileResult result;
+  result.program = bind_program(std::move(ast));
+  result.ipa = run_ipa(result.program, ipa_options_);
+  result.overlaps = compute_overlap_estimates(result.program, result.ipa.acg,
+                                              result.ipa.summaries);
+  result.spmd = generate_spmd(result.program, result.ipa, options_);
+  result.record =
+      make_compilation_record(result.program, result.ipa, result.overlaps);
+  return result;
+}
+
+RunResult compile_and_run(std::string_view source, const CodegenOptions& options,
+                          CostModel cost_model) {
+  Compiler compiler(options);
+  CompileResult r = compiler.compile_source(source);
+  return simulate(r.spmd, cost_model);
+}
+
+}  // namespace fortd

@@ -1,0 +1,49 @@
+// fortd::Compiler — the public entry point to the library.
+//
+//   fortd::Compiler compiler(options);
+//   fortd::CompileResult r = compiler.compile_source(fortran_d_text);
+//   fortd::RunResult run = fortd::simulate(r.spmd);
+//
+// The result bundles the bound program (after interprocedural cloning),
+// the interprocedural solution, and the generated SPMD program that the
+// machine simulator executes and the pretty-printer renders.
+#pragma once
+
+#include <string_view>
+
+#include "codegen/codegen.hpp"
+#include "ipa/recompilation.hpp"
+#include "machine/simulator.hpp"
+
+namespace fortd {
+
+struct CompileResult {
+  BoundProgram program;  // post-cloning source program
+  IpaContext ipa;
+  OverlapEstimates overlaps;
+  SpmdProgram spmd;
+  /// Snapshot for recompilation analysis (§8).
+  CompilationRecord record;
+};
+
+class Compiler {
+public:
+  explicit Compiler(CodegenOptions options = {}, IpaOptions ipa_options = {});
+
+  /// Parse, bind, analyze, and generate SPMD code. Throws CompileError.
+  CompileResult compile_source(std::string_view source);
+  CompileResult compile(SourceProgram ast);
+
+  const CodegenOptions& options() const { return options_; }
+
+private:
+  CodegenOptions options_;
+  IpaOptions ipa_options_;
+};
+
+/// Convenience: compile and simulate in one call.
+RunResult compile_and_run(std::string_view source,
+                          const CodegenOptions& options = {},
+                          CostModel cost_model = CostModel::ipsc860());
+
+}  // namespace fortd

@@ -1,0 +1,253 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace fortd {
+
+namespace {
+
+std::string to_lower(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  return out;
+}
+
+const std::unordered_map<std::string, Tok>& keyword_table() {
+  static const std::unordered_map<std::string, Tok> table = {
+      {"program", Tok::KwProgram},
+      {"subroutine", Tok::KwSubroutine},
+      {"function", Tok::KwFunction},
+      {"end", Tok::KwEnd},
+      {"enddo", Tok::KwEndDo},
+      {"endif", Tok::KwEndIf},
+      {"real", Tok::KwReal},
+      {"integer", Tok::KwInteger},
+      {"logical", Tok::KwLogical},
+      {"parameter", Tok::KwParameter},
+      {"common", Tok::KwCommon},
+      {"decomposition", Tok::KwDecomposition},
+      {"align", Tok::KwAlign},
+      {"with", Tok::KwWith},
+      {"distribute", Tok::KwDistribute},
+      {"do", Tok::KwDo},
+      {"if", Tok::KwIf},
+      {"then", Tok::KwThen},
+      {"else", Tok::KwElse},
+      {"call", Tok::KwCall},
+      {"return", Tok::KwReturn},
+      {"continue", Tok::KwContinue},
+  };
+  return table;
+}
+
+}  // namespace
+
+const char* tok_name(Tok t) {
+  switch (t) {
+    case Tok::Ident: return "identifier";
+    case Tok::IntLit: return "integer literal";
+    case Tok::RealLit: return "real literal";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::Comma: return "','";
+    case Tok::Colon: return "':'";
+    case Tok::Slash: return "'/'";
+    case Tok::Star: return "'*'";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Assign: return "'='";
+    case Tok::Eq: return "'.eq.'";
+    case Tok::Ne: return "'.ne.'";
+    case Tok::Lt: return "'.lt.'";
+    case Tok::Le: return "'.le.'";
+    case Tok::Gt: return "'.gt.'";
+    case Tok::Ge: return "'.ge.'";
+    case Tok::And: return "'.and.'";
+    case Tok::Or: return "'.or.'";
+    case Tok::Not: return "'.not.'";
+    case Tok::KwProgram: return "'program'";
+    case Tok::KwSubroutine: return "'subroutine'";
+    case Tok::KwFunction: return "'function'";
+    case Tok::KwEnd: return "'end'";
+    case Tok::KwEndDo: return "'enddo'";
+    case Tok::KwEndIf: return "'endif'";
+    case Tok::KwReal: return "'real'";
+    case Tok::KwInteger: return "'integer'";
+    case Tok::KwLogical: return "'logical'";
+    case Tok::KwParameter: return "'parameter'";
+    case Tok::KwCommon: return "'common'";
+    case Tok::KwDecomposition: return "'decomposition'";
+    case Tok::KwAlign: return "'align'";
+    case Tok::KwWith: return "'with'";
+    case Tok::KwDistribute: return "'distribute'";
+    case Tok::KwDo: return "'do'";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwThen: return "'then'";
+    case Tok::KwElse: return "'else'";
+    case Tok::KwCall: return "'call'";
+    case Tok::KwReturn: return "'return'";
+    case Tok::KwContinue: return "'continue'";
+    case Tok::Newline: return "end of statement";
+    case Tok::Eof: return "end of file";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string_view source, DiagnosticEngine& diags)
+    : src_(source), diags_(diags) {}
+
+char Lexer::peek(int ahead) const {
+  size_t p = pos_ + static_cast<size_t>(ahead);
+  return p < src_.size() ? src_[p] : '\0';
+}
+
+char Lexer::advance() {
+  char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+Token Lexer::make(Tok kind) const {
+  Token t;
+  t.kind = kind;
+  t.loc = tok_start_;
+  return t;
+}
+
+Token Lexer::lex_number() {
+  std::string text;
+  bool is_real = false;
+  while (std::isdigit(static_cast<unsigned char>(peek()))) text.push_back(advance());
+  // A '.' starts a fraction only if not a dot-operator like `1.eq.`.
+  if (peek() == '.' && !std::isalpha(static_cast<unsigned char>(peek(1)))) {
+    is_real = true;
+    text.push_back(advance());
+    while (std::isdigit(static_cast<unsigned char>(peek()))) text.push_back(advance());
+  }
+  if (peek() == 'e' || peek() == 'E' || peek() == 'd' || peek() == 'D') {
+    char nxt = peek(1);
+    if (std::isdigit(static_cast<unsigned char>(nxt)) || nxt == '+' || nxt == '-') {
+      is_real = true;
+      advance();
+      text.push_back('e');
+      if (peek() == '+' || peek() == '-') text.push_back(advance());
+      while (std::isdigit(static_cast<unsigned char>(peek()))) text.push_back(advance());
+    }
+  }
+  Token t = make(is_real ? Tok::RealLit : Tok::IntLit);
+  t.text = text;
+  if (is_real)
+    t.real_val = std::strtod(text.c_str(), nullptr);
+  else
+    t.int_val = std::strtoll(text.c_str(), nullptr, 10);
+  return t;
+}
+
+Token Lexer::lex_ident_or_keyword() {
+  std::string text;
+  while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_' || peek() == '$')
+    text.push_back(advance());
+  text = to_lower(text);
+  auto it = keyword_table().find(text);
+  if (it != keyword_table().end()) return make(it->second);
+  Token t = make(Tok::Ident);
+  t.text = text;
+  return t;
+}
+
+Token Lexer::lex_dot_operator() {
+  // Called with pos_ at '.', followed by a letter.
+  advance();  // '.'
+  std::string name;
+  while (std::isalpha(static_cast<unsigned char>(peek()))) name.push_back(advance());
+  if (peek() == '.') advance();
+  else diags_.error(tok_start_, "malformed dot-operator '." + name + "'");
+  name = to_lower(name);
+  if (name == "eq") return make(Tok::Eq);
+  if (name == "ne") return make(Tok::Ne);
+  if (name == "lt") return make(Tok::Lt);
+  if (name == "le") return make(Tok::Le);
+  if (name == "gt") return make(Tok::Gt);
+  if (name == "ge") return make(Tok::Ge);
+  if (name == "and") return make(Tok::And);
+  if (name == "or") return make(Tok::Or);
+  if (name == "not") return make(Tok::Not);
+  diags_.error(tok_start_, "unknown dot-operator '." + name + ".'");
+}
+
+Token Lexer::next() {
+  // Skip horizontal whitespace, comments, and '&' line continuations.
+  for (;;) {
+    char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r') {
+      advance();
+    } else if (c == '!') {
+      while (!at_end() && peek() != '\n') advance();
+    } else if (c == '&') {
+      // Continuation: swallow '&', trailing spaces/comment, and the newline.
+      advance();
+      while (!at_end() && peek() != '\n') advance();
+      if (!at_end()) advance();
+    } else {
+      break;
+    }
+  }
+  tok_start_ = {line_, col_};
+  if (at_end()) return make(Tok::Eof);
+
+  char c = peek();
+  if (c == '\n') {
+    advance();
+    return make(Tok::Newline);
+  }
+  if (std::isdigit(static_cast<unsigned char>(c))) return lex_number();
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') return lex_ident_or_keyword();
+  if (c == '.' && std::isalpha(static_cast<unsigned char>(peek(1)))) return lex_dot_operator();
+  if (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) return lex_number();
+
+  advance();
+  switch (c) {
+    case '(': return make(Tok::LParen);
+    case ')': return make(Tok::RParen);
+    case ',': return make(Tok::Comma);
+    case ':': return make(Tok::Colon);
+    case '+': return make(Tok::Plus);
+    case '-': return make(Tok::Minus);
+    case '*': return make(Tok::Star);
+    case '/':
+      if (peek() == '=') { advance(); return make(Tok::Ne); }
+      return make(Tok::Slash);
+    case '=':
+      if (peek() == '=') { advance(); return make(Tok::Eq); }
+      return make(Tok::Assign);
+    case '<':
+      if (peek() == '=') { advance(); return make(Tok::Le); }
+      return make(Tok::Lt);
+    case '>':
+      if (peek() == '=') { advance(); return make(Tok::Ge); }
+      return make(Tok::Gt);
+    default:
+      diags_.error(tok_start_, std::string("unexpected character '") + c + "'");
+  }
+}
+
+std::vector<Token> Lexer::tokenize() {
+  std::vector<Token> out;
+  for (;;) {
+    Token t = next();
+    if (t.kind == Tok::Newline && (out.empty() || out.back().kind == Tok::Newline)) continue;
+    out.push_back(t);
+    if (t.kind == Tok::Eof) break;
+  }
+  return out;
+}
+
+}  // namespace fortd

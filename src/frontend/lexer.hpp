@@ -1,0 +1,41 @@
+// Line-oriented lexer for the Fortran D dialect. Statements are
+// newline-terminated (Fortran style); '!' starts a comment; keywords and
+// identifiers are case-insensitive and reported lower-case. '&' at end of
+// line continues the statement onto the next line.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "frontend/token.hpp"
+
+namespace fortd {
+
+class Lexer {
+public:
+  Lexer(std::string_view source, DiagnosticEngine& diags);
+
+  /// Tokenize the whole buffer. Consecutive Newline tokens are collapsed;
+  /// the stream always ends with Eof.
+  std::vector<Token> tokenize();
+
+private:
+  Token next();
+  char peek(int ahead = 0) const;
+  char advance();
+  bool at_end() const { return pos_ >= src_.size(); }
+  Token make(Tok kind) const;
+  Token lex_number();
+  Token lex_ident_or_keyword();
+  Token lex_dot_operator();
+
+  std::string_view src_;
+  DiagnosticEngine& diags_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  SourceLoc tok_start_;
+};
+
+}  // namespace fortd

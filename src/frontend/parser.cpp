@@ -1,0 +1,479 @@
+#include "frontend/parser.hpp"
+
+#include "frontend/lexer.hpp"
+
+namespace fortd {
+
+Parser::Parser(std::string_view source, DiagnosticEngine& diags) : diags_(diags) {
+  Lexer lexer(source, diags);
+  tokens_ = lexer.tokenize();
+}
+
+const Token& Parser::peek(int ahead) const {
+  size_t p = pos_ + static_cast<size_t>(ahead);
+  if (p >= tokens_.size()) p = tokens_.size() - 1;  // Eof
+  return tokens_[p];
+}
+
+const Token& Parser::advance() {
+  const Token& t = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::match(Tok kind) {
+  if (!check(kind)) return false;
+  advance();
+  return true;
+}
+
+const Token& Parser::expect(Tok kind, const char* context) {
+  if (!check(kind))
+    diags_.error(peek().loc, std::string("expected ") + tok_name(kind) + " " +
+                                 context + ", found " + tok_name(peek().kind));
+  return advance();
+}
+
+void Parser::expect_newline(const char* context) {
+  if (check(Tok::Eof)) return;
+  expect(Tok::Newline, context);
+}
+
+void Parser::skip_newlines() {
+  while (match(Tok::Newline)) {
+  }
+}
+
+SourceProgram Parser::parse_unit() {
+  SourceProgram unit;
+  skip_newlines();
+  while (!check(Tok::Eof)) {
+    unit.procedures.push_back(parse_procedure());
+    skip_newlines();
+  }
+  return unit;
+}
+
+std::unique_ptr<Procedure> Parser::parse_procedure() {
+  auto proc = std::make_unique<Procedure>();
+  if (match(Tok::KwProgram)) {
+    proc->is_program = true;
+    proc->name = expect(Tok::Ident, "after PROGRAM").text;
+  } else if (match(Tok::KwSubroutine)) {
+    proc->name = expect(Tok::Ident, "after SUBROUTINE").text;
+    if (match(Tok::LParen)) {
+      if (!check(Tok::RParen)) {
+        do {
+          proc->formals.push_back(expect(Tok::Ident, "in formal list").text);
+        } while (match(Tok::Comma));
+      }
+      expect(Tok::RParen, "closing formal list");
+    }
+  } else {
+    diags_.error(peek().loc, "expected PROGRAM or SUBROUTINE");
+  }
+  expect_newline("after procedure header");
+  parse_declarations(*proc);
+  proc->body = parse_body(*proc);
+  expect(Tok::KwEnd, "terminating procedure");
+  if (!check(Tok::Eof)) expect_newline("after END");
+  return proc;
+}
+
+void Parser::parse_declarations(Procedure& proc) {
+  for (;;) {
+    skip_newlines();
+    if (match(Tok::KwReal)) {
+      parse_type_decl(proc, ElemType::Real, false);
+    } else if (match(Tok::KwInteger)) {
+      parse_type_decl(proc, ElemType::Integer, false);
+    } else if (match(Tok::KwLogical)) {
+      parse_type_decl(proc, ElemType::Logical, false);
+    } else if (match(Tok::KwDecomposition)) {
+      parse_type_decl(proc, ElemType::Real, true);
+    } else if (match(Tok::KwParameter)) {
+      parse_parameter(proc);
+    } else if (match(Tok::KwCommon)) {
+      parse_common(proc);
+    } else {
+      return;
+    }
+    expect_newline("after declaration");
+  }
+}
+
+void Parser::parse_type_decl(Procedure& proc, ElemType type, bool is_decomposition) {
+  do {
+    VarDecl decl;
+    decl.type = type;
+    decl.is_decomposition = is_decomposition;
+    const Token& name = expect(Tok::Ident, "in declaration");
+    decl.name = name.text;
+    decl.loc = name.loc;
+    if (match(Tok::LParen)) {
+      do {
+        ArrayDim dim;
+        dim.ub = parse_additive(proc);
+        if (match(Tok::Colon)) {
+          dim.lb = std::move(dim.ub);
+          dim.ub = parse_additive(proc);
+        }
+        decl.dims.push_back(std::move(dim));
+      } while (match(Tok::Comma));
+      expect(Tok::RParen, "closing array dimensions");
+    }
+    if (proc.find_decl(decl.name))
+      diags_.error(decl.loc, "redeclaration of '" + decl.name + "'");
+    proc.decls.push_back(std::move(decl));
+  } while (match(Tok::Comma));
+}
+
+void Parser::parse_parameter(Procedure& proc) {
+  expect(Tok::LParen, "after PARAMETER");
+  do {
+    std::string name = expect(Tok::Ident, "in PARAMETER").text;
+    expect(Tok::Assign, "in PARAMETER");
+    proc.params.push_back({std::move(name), parse_additive(proc)});
+  } while (match(Tok::Comma));
+  expect(Tok::RParen, "closing PARAMETER");
+}
+
+void Parser::parse_common(Procedure& proc) {
+  CommonBlock blk;
+  expect(Tok::Slash, "after COMMON");
+  blk.name = expect(Tok::Ident, "common block name").text;
+  expect(Tok::Slash, "after common block name");
+  do {
+    blk.vars.push_back(expect(Tok::Ident, "in COMMON list").text);
+  } while (match(Tok::Comma));
+  proc.commons.push_back(std::move(blk));
+}
+
+std::vector<StmtPtr> Parser::parse_body(Procedure& proc) {
+  std::vector<StmtPtr> stmts;
+  for (;;) {
+    skip_newlines();
+    switch (peek().kind) {
+      case Tok::KwEnd:
+      case Tok::KwEndDo:
+      case Tok::KwEndIf:
+      case Tok::KwElse:
+      case Tok::Eof:
+        return stmts;
+      default:
+        stmts.push_back(parse_statement(proc));
+    }
+  }
+}
+
+StmtPtr Parser::parse_statement(Procedure& proc) {
+  StmtPtr s;
+  SourceLoc loc = peek().loc;
+  switch (peek().kind) {
+    case Tok::KwDo: s = parse_do(proc); break;
+    case Tok::KwIf: s = parse_if(proc); break;
+    case Tok::KwCall: s = parse_call(proc); break;
+    case Tok::KwAlign: s = parse_align(proc); break;
+    case Tok::KwDistribute: s = parse_distribute(proc); break;
+    case Tok::KwReturn: {
+      advance();
+      s = std::make_unique<Stmt>();
+      s->kind = StmtKind::Return;
+      expect_newline("after RETURN");
+      break;
+    }
+    case Tok::KwContinue: {
+      advance();
+      s = std::make_unique<Stmt>();
+      s->kind = StmtKind::Continue;
+      expect_newline("after CONTINUE");
+      break;
+    }
+    case Tok::Ident: s = parse_assign(proc); break;
+    default:
+      diags_.error(loc, std::string("unexpected ") + tok_name(peek().kind) +
+                            " at start of statement");
+  }
+  s->loc = loc;
+  if (s->id < 0) s->id = fresh_id(proc);
+  return s;
+}
+
+StmtPtr Parser::parse_do(Procedure& proc) {
+  expect(Tok::KwDo, "DO");
+  std::string var = expect(Tok::Ident, "loop variable").text;
+  expect(Tok::Assign, "in DO");
+  ExprPtr lb = parse_additive(proc);
+  expect(Tok::Comma, "in DO bounds");
+  ExprPtr ub = parse_additive(proc);
+  ExprPtr step;
+  if (match(Tok::Comma)) step = parse_additive(proc);
+  expect_newline("after DO header");
+  std::vector<StmtPtr> body = parse_body(proc);
+  expect(Tok::KwEndDo, "terminating DO loop");
+  expect_newline("after ENDDO");
+  return Stmt::make_do(std::move(var), std::move(lb), std::move(ub),
+                       std::move(step), std::move(body));
+}
+
+StmtPtr Parser::parse_if(Procedure& proc) {
+  expect(Tok::KwIf, "IF");
+  expect(Tok::LParen, "after IF");
+  ExprPtr cond = parse_expr(proc);
+  expect(Tok::RParen, "closing IF condition");
+  if (match(Tok::KwThen)) {
+    expect_newline("after THEN");
+    std::vector<StmtPtr> then_body = parse_body(proc);
+    std::vector<StmtPtr> else_body;
+    if (match(Tok::KwElse)) {
+      expect_newline("after ELSE");
+      else_body = parse_body(proc);
+    }
+    expect(Tok::KwEndIf, "terminating IF");
+    expect_newline("after ENDIF");
+    return Stmt::make_if(std::move(cond), std::move(then_body),
+                         std::move(else_body));
+  }
+  // Logical IF: a single statement on the same line.
+  std::vector<StmtPtr> then_body;
+  then_body.push_back(parse_statement(proc));
+  return Stmt::make_if(std::move(cond), std::move(then_body));
+}
+
+StmtPtr Parser::parse_call(Procedure& proc) {
+  expect(Tok::KwCall, "CALL");
+  std::string callee = expect(Tok::Ident, "callee name").text;
+  std::vector<ExprPtr> args;
+  if (match(Tok::LParen)) {
+    if (!check(Tok::RParen)) {
+      do {
+        args.push_back(parse_expr(proc));
+      } while (match(Tok::Comma));
+    }
+    expect(Tok::RParen, "closing CALL arguments");
+  }
+  expect_newline("after CALL");
+  return Stmt::make_call(std::move(callee), std::move(args));
+}
+
+StmtPtr Parser::parse_align(Procedure& proc) {
+  // ALIGN a(i,j) WITH d(j,i)   or   ALIGN a WITH d
+  expect(Tok::KwAlign, "ALIGN");
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Align;
+  s->align_array = expect(Tok::Ident, "aligned array name").text;
+  std::vector<std::string> placeholders;
+  if (match(Tok::LParen)) {
+    do {
+      placeholders.push_back(expect(Tok::Ident, "alignment placeholder").text);
+    } while (match(Tok::Comma));
+    expect(Tok::RParen, "closing alignment placeholders");
+  }
+  expect(Tok::KwWith, "in ALIGN");
+  s->align_target = expect(Tok::Ident, "alignment target name").text;
+  if (match(Tok::LParen)) {
+    do {
+      const Token& ph = expect(Tok::Ident, "alignment placeholder");
+      int found = -1;
+      for (size_t i = 0; i < placeholders.size(); ++i)
+        if (placeholders[i] == ph.text) found = static_cast<int>(i);
+      if (found < 0)
+        diags_.error(ph.loc, "alignment placeholder '" + ph.text +
+                                 "' not bound on the array side");
+      s->align_perm.push_back(found);
+    } while (match(Tok::Comma));
+    expect(Tok::RParen, "closing alignment target");
+  } else {
+    // Identity alignment over the array's placeholders.
+    for (size_t i = 0; i < placeholders.size(); ++i)
+      s->align_perm.push_back(static_cast<int>(i));
+  }
+  expect_newline("after ALIGN");
+  (void)proc;
+  return s;
+}
+
+DistSpec Parser::parse_dist_spec() {
+  DistSpec spec;
+  if (match(Tok::Colon)) {
+    spec.kind = DistKind::None;
+    return spec;
+  }
+  const Token& name = expect(Tok::Ident, "distribution kind");
+  if (name.text == "block") {
+    spec.kind = DistKind::Block;
+  } else if (name.text == "cyclic") {
+    spec.kind = DistKind::Cyclic;
+  } else if (name.text == "block_cyclic") {
+    spec.kind = DistKind::BlockCyclic;
+    expect(Tok::LParen, "after BLOCK_CYCLIC");
+    spec.block_size = static_cast<int>(expect(Tok::IntLit, "block size").int_val);
+    expect(Tok::RParen, "closing BLOCK_CYCLIC");
+  } else {
+    diags_.error(name.loc, "unknown distribution kind '" + name.text + "'");
+  }
+  return spec;
+}
+
+StmtPtr Parser::parse_distribute(Procedure& proc) {
+  expect(Tok::KwDistribute, "DISTRIBUTE");
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Distribute;
+  s->dist_target = expect(Tok::Ident, "distributed name").text;
+  expect(Tok::LParen, "after distributed name");
+  do {
+    s->dist_specs.push_back(parse_dist_spec());
+  } while (match(Tok::Comma));
+  expect(Tok::RParen, "closing DISTRIBUTE");
+  expect_newline("after DISTRIBUTE");
+  (void)proc;
+  return s;
+}
+
+StmtPtr Parser::parse_assign(Procedure& proc) {
+  ExprPtr lhs = parse_primary(proc);
+  if (lhs->kind != ExprKind::VarRef && lhs->kind != ExprKind::ArrayRef)
+    diags_.error(lhs->loc, "left-hand side of assignment must be a variable");
+  if (lhs->kind == ExprKind::FuncCall)
+    diags_.error(lhs->loc, "cannot assign to function call");
+  expect(Tok::Assign, "in assignment");
+  ExprPtr rhs = parse_expr(proc);
+  expect_newline("after assignment");
+  return Stmt::make_assign(std::move(lhs), std::move(rhs));
+}
+
+// -- expressions ------------------------------------------------------------
+
+ExprPtr Parser::parse_expr(Procedure& proc) { return parse_or(proc); }
+
+ExprPtr Parser::parse_or(Procedure& proc) {
+  ExprPtr e = parse_and(proc);
+  while (check(Tok::Or)) {
+    SourceLoc loc = advance().loc;
+    e = Expr::make_binary(BinOp::Or, std::move(e), parse_and(proc), loc);
+  }
+  return e;
+}
+
+ExprPtr Parser::parse_and(Procedure& proc) {
+  ExprPtr e = parse_not(proc);
+  while (check(Tok::And)) {
+    SourceLoc loc = advance().loc;
+    e = Expr::make_binary(BinOp::And, std::move(e), parse_not(proc), loc);
+  }
+  return e;
+}
+
+ExprPtr Parser::parse_not(Procedure& proc) {
+  if (check(Tok::Not)) {
+    SourceLoc loc = advance().loc;
+    return Expr::make_unary(UnOp::Not, parse_not(proc), loc);
+  }
+  return parse_rel(proc);
+}
+
+ExprPtr Parser::parse_rel(Procedure& proc) {
+  ExprPtr e = parse_additive(proc);
+  BinOp op;
+  switch (peek().kind) {
+    case Tok::Eq: op = BinOp::Eq; break;
+    case Tok::Ne: op = BinOp::Ne; break;
+    case Tok::Lt: op = BinOp::Lt; break;
+    case Tok::Le: op = BinOp::Le; break;
+    case Tok::Gt: op = BinOp::Gt; break;
+    case Tok::Ge: op = BinOp::Ge; break;
+    default: return e;
+  }
+  SourceLoc loc = advance().loc;
+  return Expr::make_binary(op, std::move(e), parse_additive(proc), loc);
+}
+
+ExprPtr Parser::parse_additive(Procedure& proc) {
+  ExprPtr e = parse_term(proc);
+  for (;;) {
+    if (check(Tok::Plus)) {
+      SourceLoc loc = advance().loc;
+      e = Expr::make_binary(BinOp::Add, std::move(e), parse_term(proc), loc);
+    } else if (check(Tok::Minus)) {
+      SourceLoc loc = advance().loc;
+      e = Expr::make_binary(BinOp::Sub, std::move(e), parse_term(proc), loc);
+    } else {
+      return e;
+    }
+  }
+}
+
+ExprPtr Parser::parse_term(Procedure& proc) {
+  ExprPtr e = parse_unary(proc);
+  for (;;) {
+    if (check(Tok::Star)) {
+      SourceLoc loc = advance().loc;
+      e = Expr::make_binary(BinOp::Mul, std::move(e), parse_unary(proc), loc);
+    } else if (check(Tok::Slash)) {
+      SourceLoc loc = advance().loc;
+      e = Expr::make_binary(BinOp::Div, std::move(e), parse_unary(proc), loc);
+    } else {
+      return e;
+    }
+  }
+}
+
+ExprPtr Parser::parse_unary(Procedure& proc) {
+  if (check(Tok::Minus)) {
+    SourceLoc loc = advance().loc;
+    return Expr::make_unary(UnOp::Neg, parse_unary(proc), loc);
+  }
+  if (check(Tok::Plus)) advance();
+  return parse_primary(proc);
+}
+
+bool Parser::is_array_name(const Procedure& proc, const std::string& name) const {
+  const VarDecl* d = proc.find_decl(name);
+  return d && !d->dims.empty();
+}
+
+ExprPtr Parser::parse_primary(Procedure& proc) {
+  const Token& t = peek();
+  switch (t.kind) {
+    case Tok::IntLit: {
+      advance();
+      return Expr::make_int(t.int_val, t.loc);
+    }
+    case Tok::RealLit: {
+      advance();
+      return Expr::make_real(t.real_val, t.loc);
+    }
+    case Tok::LParen: {
+      advance();
+      ExprPtr e = parse_expr(proc);
+      expect(Tok::RParen, "closing parenthesized expression");
+      return e;
+    }
+    case Tok::Ident: {
+      advance();
+      if (!check(Tok::LParen)) return Expr::make_var(t.text, t.loc);
+      advance();  // '('
+      std::vector<ExprPtr> args;
+      if (!check(Tok::RParen)) {
+        do {
+          args.push_back(parse_expr(proc));
+        } while (match(Tok::Comma));
+      }
+      expect(Tok::RParen, "closing reference");
+      if (is_array_name(proc, t.text))
+        return Expr::make_array_ref(t.text, std::move(args), t.loc);
+      return Expr::make_call(t.text, std::move(args), t.loc);
+    }
+    default:
+      diags_.error(t.loc, std::string("unexpected ") + tok_name(t.kind) +
+                              " in expression");
+  }
+}
+
+SourceProgram parse_program(std::string_view source) {
+  DiagnosticEngine diags;
+  Parser parser(source, diags);
+  return parser.parse_unit();
+}
+
+}  // namespace fortd

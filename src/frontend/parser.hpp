@@ -1,0 +1,68 @@
+// Recursive-descent parser producing a SourceProgram from Fortran D text.
+//
+// A reference `name(exprs)` parses to an ArrayRef when `name` is declared
+// as an array (or decomposition) in the current procedure, and to a
+// FuncCall otherwise. Declarations must precede executable statements, as
+// in Fortran.
+#pragma once
+
+#include <string_view>
+
+#include "frontend/ast.hpp"
+#include "frontend/token.hpp"
+
+namespace fortd {
+
+class Parser {
+public:
+  Parser(std::string_view source, DiagnosticEngine& diags);
+
+  /// Parse a complete compilation unit. Throws CompileError on syntax errors.
+  SourceProgram parse_unit();
+
+private:
+  const Token& peek(int ahead = 0) const;
+  const Token& advance();
+  bool check(Tok kind) const { return peek().kind == kind; }
+  bool match(Tok kind);
+  const Token& expect(Tok kind, const char* context);
+  void expect_newline(const char* context);
+  void skip_newlines();
+
+  std::unique_ptr<Procedure> parse_procedure();
+  void parse_declarations(Procedure& proc);
+  void parse_type_decl(Procedure& proc, ElemType type, bool is_decomposition);
+  void parse_parameter(Procedure& proc);
+  void parse_common(Procedure& proc);
+  std::vector<StmtPtr> parse_body(Procedure& proc);
+  StmtPtr parse_statement(Procedure& proc);
+  StmtPtr parse_do(Procedure& proc);
+  StmtPtr parse_if(Procedure& proc);
+  StmtPtr parse_call(Procedure& proc);
+  StmtPtr parse_align(Procedure& proc);
+  StmtPtr parse_distribute(Procedure& proc);
+  StmtPtr parse_assign(Procedure& proc);
+  DistSpec parse_dist_spec();
+
+  ExprPtr parse_expr(Procedure& proc);      // full logical expression
+  ExprPtr parse_or(Procedure& proc);
+  ExprPtr parse_and(Procedure& proc);
+  ExprPtr parse_not(Procedure& proc);
+  ExprPtr parse_rel(Procedure& proc);
+  ExprPtr parse_additive(Procedure& proc);
+  ExprPtr parse_term(Procedure& proc);
+  ExprPtr parse_unary(Procedure& proc);
+  ExprPtr parse_primary(Procedure& proc);
+
+  bool is_array_name(const Procedure& proc, const std::string& name) const;
+  int fresh_id(Procedure& proc) { return proc.next_stmt_id++; }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  DiagnosticEngine& diags_;
+};
+
+/// Convenience: parse `source`, using a throw-away DiagnosticEngine.
+SourceProgram parse_program(std::string_view source);
+
+}  // namespace fortd

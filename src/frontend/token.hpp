@@ -1,0 +1,74 @@
+// Token definitions for the Fortran D dialect lexer.
+#pragma once
+
+#include <string>
+
+#include "support/diagnostics.hpp"
+
+namespace fortd {
+
+enum class Tok {
+  // literals / identifiers
+  Ident,
+  IntLit,
+  RealLit,
+  // punctuation
+  LParen,
+  RParen,
+  Comma,
+  Colon,
+  Slash,
+  Star,
+  Plus,
+  Minus,
+  Assign,  // =
+  // relational / logical (Fortran dot-operators and symbolic forms)
+  Eq,   // .eq. / ==
+  Ne,   // .ne. / /=
+  Lt,   // .lt. / <
+  Le,   // .le. / <=
+  Gt,   // .gt. / >
+  Ge,   // .ge. / >=
+  And,  // .and.
+  Or,   // .or.
+  Not,  // .not.
+  // keywords
+  KwProgram,
+  KwSubroutine,
+  KwFunction,
+  KwEnd,
+  KwEndDo,
+  KwEndIf,
+  KwReal,
+  KwInteger,
+  KwLogical,
+  KwParameter,
+  KwCommon,
+  KwDecomposition,
+  KwAlign,
+  KwWith,
+  KwDistribute,
+  KwDo,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwCall,
+  KwReturn,
+  KwContinue,
+  // structure
+  Newline,
+  Eof,
+};
+
+struct Token {
+  Tok kind = Tok::Eof;
+  std::string text;     // identifier / literal spelling (lower-cased for idents)
+  long long int_val = 0;
+  double real_val = 0.0;
+  SourceLoc loc;
+};
+
+/// Human-readable token-kind name, for parse-error messages.
+const char* tok_name(Tok t);
+
+}  // namespace fortd

@@ -1,0 +1,125 @@
+#include "ipa/call_graph.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace fortd {
+
+AugmentedCallGraph AugmentedCallGraph::build(const BoundProgram& program) {
+  AugmentedCallGraph acg;
+
+  // Collect call sites with their enclosing-loop context.
+  for (const auto& proc : program.ast.procedures) {
+    const SymbolTable& st = program.symtab(proc->name);
+    SymbolicEnv env = SymbolicEnv::from_params(*proc, st);
+
+    std::vector<AcgLoop> loop_stack;
+    std::function<void(const std::vector<StmtPtr>&)> visit =
+        [&](const std::vector<StmtPtr>& stmts) {
+          for (const auto& s : stmts) {
+            switch (s->kind) {
+              case StmtKind::Do: {
+                AcgLoop loop;
+                loop.stmt = s.get();
+                loop.var = s->loop_var;
+                auto lb = eval_int(*s->lb, env);
+                auto ub = eval_int(*s->ub, env);
+                auto step = s->step ? eval_int(*s->step, env)
+                                    : std::optional<int64_t>(1);
+                if (lb && ub && step && *step > 0)
+                  loop.range = Triplet(*lb, *ub, *step);
+                loop_stack.push_back(loop);
+                visit(s->body);
+                loop_stack.pop_back();
+                break;
+              }
+              case StmtKind::If:
+                visit(s->then_body);
+                visit(s->else_body);
+                break;
+              case StmtKind::Call: {
+                if (!program.ast.find(s->callee)) break;  // intrinsic
+                CallSiteInfo site;
+                site.site_id = static_cast<int>(acg.sites_.size());
+                site.caller = proc->name;
+                site.callee = s->callee;
+                site.stmt = s.get();
+                for (const auto& a : s->call_args) site.actuals.push_back(a.get());
+                site.enclosing_loops = loop_stack;
+                // Fig. 5 annotation: formals receiving loop index variables.
+                for (size_t f = 0; f < s->call_args.size(); ++f) {
+                  const Expr* a = s->call_args[f].get();
+                  if (a->kind != ExprKind::VarRef) continue;
+                  for (const auto& loop : loop_stack)
+                    if (loop.var == a->name && loop.range)
+                      site.formal_loop_ranges[static_cast<int>(f)] = *loop.range;
+                }
+                acg.site_of_stmt_[s.get()] = site.site_id;
+                acg.sites_.push_back(std::move(site));
+                break;
+              }
+              default:
+                break;
+            }
+          }
+        };
+    visit(proc->body);
+  }
+
+  // Topological sort (Kahn) over the procedure call DAG.
+  std::map<std::string, int> in_degree;
+  std::map<std::string, std::vector<std::string>> succs;
+  for (const auto& proc : program.ast.procedures) in_degree[proc->name] = 0;
+  for (const auto& site : acg.sites_) {
+    succs[site.caller].push_back(site.callee);
+    ++in_degree[site.callee];
+  }
+  std::vector<std::string> ready;
+  for (const auto& proc : program.ast.procedures)
+    if (in_degree[proc->name] == 0) ready.push_back(proc->name);
+  // Keep source order deterministic.
+  while (!ready.empty()) {
+    std::string p = ready.front();
+    ready.erase(ready.begin());
+    acg.topo_.push_back(p);
+    for (const auto& q : succs[p])
+      if (--in_degree[q] == 0) ready.push_back(q);
+  }
+  if (acg.topo_.size() != program.ast.procedures.size())
+    throw CompileError({}, "recursive call graph: the single-pass Fortran D "
+                           "compilation strategy requires non-recursive programs");
+  return acg;
+}
+
+std::vector<const CallSiteInfo*> AugmentedCallGraph::calls_to(
+    const std::string& callee) const {
+  std::vector<const CallSiteInfo*> out;
+  for (const auto& s : sites_)
+    if (s.callee == callee) out.push_back(&s);
+  return out;
+}
+
+std::vector<const CallSiteInfo*> AugmentedCallGraph::calls_from(
+    const std::string& caller) const {
+  std::vector<const CallSiteInfo*> out;
+  for (const auto& s : sites_)
+    if (s.caller == caller) out.push_back(&s);
+  return out;
+}
+
+const CallSiteInfo* AugmentedCallGraph::site_for(const Stmt* call_stmt) const {
+  auto it = site_of_stmt_.find(call_stmt);
+  return it == site_of_stmt_.end() ? nullptr : &sites_[static_cast<size_t>(it->second)];
+}
+
+std::vector<std::string> AugmentedCallGraph::reverse_topological_order() const {
+  std::vector<std::string> out = topo_;
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+bool AugmentedCallGraph::has_procedure(const std::string& name) const {
+  return std::find(topo_.begin(), topo_.end(), name) != topo_.end();
+}
+
+}  // namespace fortd

@@ -1,0 +1,66 @@
+// The augmented call graph (ACG) of §5.1 / Fig. 5: procedures and call
+// sites plus loop nodes and nesting edges, with the annotations the
+// Fortran D compiler needs — which loops enclose each call site, and which
+// formal parameters receive loop index variables (with their ranges).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "analysis/symbolic.hpp"
+#include "ir/program.hpp"
+
+namespace fortd {
+
+/// A loop enclosing a call site, with its constant-evaluated range when
+/// available.
+struct AcgLoop {
+  const Stmt* stmt = nullptr;  // the DO statement in the caller
+  std::string var;
+  std::optional<Triplet> range;  // nullopt when bounds are not constant
+};
+
+struct CallSiteInfo {
+  int site_id = -1;
+  std::string caller;
+  std::string callee;
+  const Stmt* stmt = nullptr;  // the CALL statement (points into caller AST)
+  std::vector<const Expr*> actuals;
+  std::vector<AcgLoop> enclosing_loops;  // outermost first
+
+  /// For each formal index of the callee: if the actual is a loop index
+  /// variable of an enclosing loop, its range annotation (Fig. 5's
+  /// "formal i iterates 1:100:1").
+  std::map<int, Triplet> formal_loop_ranges;
+};
+
+class AugmentedCallGraph {
+public:
+  /// Build the ACG. Throws CompileError on recursion (the single-pass
+  /// compilation strategy requires an acyclic call graph) or on calls to
+  /// undefined procedures that are not treated as intrinsics.
+  static AugmentedCallGraph build(const BoundProgram& program);
+
+  const std::vector<CallSiteInfo>& call_sites() const { return sites_; }
+  std::vector<const CallSiteInfo*> calls_to(const std::string& callee) const;
+  std::vector<const CallSiteInfo*> calls_from(const std::string& caller) const;
+  const CallSiteInfo* site_for(const Stmt* call_stmt) const;
+
+  /// Procedure names in topological order (callers before callees).
+  const std::vector<std::string>& topological_order() const { return topo_; }
+  /// Reverse topological order (callees before callers) — the order of
+  /// interprocedural code generation.
+  std::vector<std::string> reverse_topological_order() const;
+
+  bool has_procedure(const std::string& name) const;
+
+private:
+  std::vector<CallSiteInfo> sites_;
+  std::vector<std::string> topo_;
+  std::map<const Stmt*, int> site_of_stmt_;
+};
+
+}  // namespace fortd

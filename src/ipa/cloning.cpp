@@ -1,0 +1,129 @@
+#include "ipa/cloning.hpp"
+
+#include <algorithm>
+
+namespace fortd {
+
+namespace {
+
+/// Canonical key for a translated+filtered reaching set, used to partition
+/// call sites (call sites providing equal decompositions share a clone).
+std::string partition_key(
+    const std::map<std::string, std::set<DecompSpec>>& reaching) {
+  std::string key;
+  for (const auto& [var, specs] : reaching) {
+    key += var + "=";
+    for (const auto& spec : specs) key += spec.str() + "|";
+    key += ";";
+  }
+  return key;
+}
+
+/// Translate the resolved reaching sets at a call site into the callee's
+/// name space, keeping only variables in `appear`.
+std::map<std::string, std::set<DecompSpec>> translate_and_filter(
+    const std::map<std::string, std::set<DecompSpec>>& at_call,
+    const Procedure& callee, const CallSiteInfo& site,
+    const std::set<std::string>& appear) {
+  std::map<std::string, std::set<DecompSpec>> out;
+  auto add = [&](const std::string& callee_var, const std::set<DecompSpec>& specs) {
+    if (!appear.count(callee_var)) return;  // Filter (Fig. 8)
+    for (const auto& spec : specs)
+      if (!spec.is_top) out[callee_var].insert(spec);
+  };
+  for (size_t f = 0; f < callee.formals.size() && f < site.actuals.size(); ++f) {
+    const Expr* actual = site.actuals[f];
+    if (actual->kind != ExprKind::VarRef) continue;
+    auto it = at_call.find(actual->name);
+    if (it != at_call.end()) add(callee.formals[f], it->second);
+  }
+  for (const auto& [var, specs] : at_call) {
+    if (callee.formal_index(var) >= 0) continue;
+    add(var, specs);
+  }
+  return out;
+}
+
+void retarget_call(BoundProgram& program, const std::string& caller,
+                   const Stmt* call_stmt, const std::string& new_callee) {
+  Procedure* proc = program.find(caller);
+  walk_stmts(proc->body, [&](Stmt& s) {
+    if (&s == call_stmt) s.callee = new_callee;
+  });
+}
+
+}  // namespace
+
+int apply_cloning_pass(BoundProgram& program, IpaContext& ctx,
+                       const IpaOptions& options) {
+  if (!options.enable_cloning) return 0;
+  int clones = 0;
+
+  // Visit in topological order so callers' reaching sets are final before
+  // their callees are partitioned.
+  for (const std::string& name : ctx.acg.topological_order()) {
+    const Procedure* proc = program.find(name);
+    if (!proc || proc->is_program) continue;
+    auto sites = ctx.acg.calls_to(name);
+    if (sites.size() < 2) continue;
+
+    std::set<std::string> appear = ctx.effects.appear(name, program);
+    std::map<std::string, std::vector<const CallSiteInfo*>> partitions;
+    std::vector<std::string> order;  // deterministic partition order
+    for (const CallSiteInfo* site : sites) {
+      const auto& caller_at_stmt = ctx.reaching.at_stmt.at(site->caller);
+      auto sit = caller_at_stmt.find(site->stmt);
+      std::map<std::string, std::set<DecompSpec>> translated;
+      if (sit != caller_at_stmt.end())
+        translated = translate_and_filter(sit->second, *proc, *site, appear);
+      std::string key = partition_key(translated);
+      if (!partitions.count(key)) order.push_back(key);
+      partitions[key].push_back(site);
+    }
+    if (partitions.size() < 2) continue;
+
+    // Growth threshold check (§5.2): fall back to run-time resolution.
+    if (static_cast<int>(program.ast.procedures.size() + partitions.size() - 1) >
+        options.max_procedures) {
+      ctx.runtime_fallback.insert(name);
+      continue;
+    }
+
+    // The first partition keeps the original procedure; each further
+    // partition gets a clone.
+    for (size_t i = 1; i < order.size(); ++i) {
+      std::string clone_name;
+      for (int suffix = static_cast<int>(i) + 1;; ++suffix) {
+        clone_name = name + "$" + std::to_string(suffix);
+        if (!program.find(clone_name)) break;
+      }
+      program.add_procedure(proc->clone_as(clone_name));
+      std::string origin = name;
+      auto oit = ctx.clone_origin.find(name);
+      if (oit != ctx.clone_origin.end()) origin = oit->second;
+      ctx.clone_origin[clone_name] = origin;
+      for (const CallSiteInfo* site : partitions[order[i]])
+        retarget_call(program, site->caller, site->stmt, clone_name);
+      ++clones;
+      // `proc` pointer may have been invalidated by add_procedure's
+      // vector growth; refetch.
+      proc = program.find(name);
+    }
+  }
+  ctx.clones_created += clones;
+  return clones;
+}
+
+IpaContext run_ipa(BoundProgram& program, const IpaOptions& options) {
+  IpaContext ctx;
+  for (int round = 0; round < 64; ++round) {
+    ctx.acg = AugmentedCallGraph::build(program);
+    ctx.summaries = compute_all_summaries(program);
+    ctx.effects = compute_side_effects(program, ctx.acg, ctx.summaries);
+    ctx.reaching = compute_reaching_decomps(program, ctx.acg, ctx.summaries);
+    if (apply_cloning_pass(program, ctx, options) == 0) break;
+  }
+  return ctx;
+}
+
+}  // namespace fortd

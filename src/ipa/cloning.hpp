@@ -1,0 +1,51 @@
+// Procedure cloning (Fig. 8) and the overall interprocedural analysis
+// driver. Call sites to P are partitioned by
+// Filter(Translate(LocalReaching(C)), Appear(P)); each partition beyond
+// the first gets a clone of P so every procedure body sees a unique
+// decomposition per variable. Exceeding the growth threshold flips the
+// offending procedure to run-time resolution, as §5.2 prescribes.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "ipa/call_graph.hpp"
+#include "ipa/reaching_decomps.hpp"
+#include "ipa/side_effects.hpp"
+#include "ipa/summaries.hpp"
+
+namespace fortd {
+
+struct IpaOptions {
+  bool enable_cloning = true;
+  /// Growth threshold: cloning stops (falling back to run-time
+  /// resolution) once the program would exceed this many procedures.
+  int max_procedures = 256;
+};
+
+/// Everything the interprocedural propagation phase produces; the input
+/// to interprocedural code generation.
+struct IpaContext {
+  AugmentedCallGraph acg;
+  std::map<std::string, ProcSummary> summaries;
+  SideEffects effects;
+  ReachingDecomps reaching;
+  /// Procedures whose decomposition conflicts could not be cloned away.
+  std::set<std::string> runtime_fallback;
+  /// clone name -> original name.
+  std::map<std::string, std::string> clone_origin;
+  int clones_created = 0;
+};
+
+/// One cloning pass; returns the number of clones created (the caller
+/// must re-run analysis when > 0). Populates `ctx.runtime_fallback` when
+/// the growth threshold is hit.
+int apply_cloning_pass(BoundProgram& program, IpaContext& ctx,
+                       const IpaOptions& options);
+
+/// Build the full interprocedural context: ACG + summaries + side effects
+/// + reaching decompositions, iterating cloning to a fixed point.
+IpaContext run_ipa(BoundProgram& program, const IpaOptions& options = {});
+
+}  // namespace fortd

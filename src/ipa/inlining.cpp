@@ -1,0 +1,228 @@
+#include "ipa/inlining.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "ipa/call_graph.hpp"
+
+namespace fortd {
+
+namespace {
+
+int g_inline_counter = 0;
+
+/// Rewrite names in an expression tree: identifiers found in `subst` are
+/// replaced by clones of the mapped expression (VarRef) or renamed in
+/// place (ArrayRef bases keep their subscripts).
+void rewrite_expr(ExprPtr& e, const std::map<std::string, ExprPtr>& subst) {
+  for (auto& a : e->args) rewrite_expr(a, subst);
+  if (e->kind == ExprKind::VarRef) {
+    auto it = subst.find(e->name);
+    if (it != subst.end()) {
+      std::vector<ExprPtr> saved_args = std::move(e->args);
+      ExprPtr repl = it->second->clone();
+      *e = std::move(*repl);
+      e->args = std::move(saved_args);
+    }
+  } else if (e->kind == ExprKind::ArrayRef) {
+    auto it = subst.find(e->name);
+    if (it != subst.end() && it->second->kind == ExprKind::VarRef)
+      e->name = it->second->name;
+  }
+}
+
+void rewrite_stmt(Stmt& s, const std::map<std::string, ExprPtr>& subst) {
+  auto rw = [&](ExprPtr& e) {
+    if (e) rewrite_expr(e, subst);
+  };
+  rw(s.lhs);
+  rw(s.rhs);
+  rw(s.cond);
+  rw(s.lb);
+  rw(s.ub);
+  rw(s.step);
+  rw(s.peer);
+  for (auto& a : s.call_args) rewrite_expr(a, subst);
+  auto rename = [&](std::string& name) {
+    auto it = subst.find(name);
+    if (it != subst.end() && it->second->kind == ExprKind::VarRef)
+      name = it->second->name;
+  };
+  rename(s.loop_var);
+  rename(s.align_array);
+  rename(s.align_target);
+  rename(s.dist_target);
+  rename(s.msg_array);
+  for (auto& inner : s.then_body) rewrite_stmt(*inner, subst);
+  for (auto& inner : s.else_body) rewrite_stmt(*inner, subst);
+  for (auto& inner : s.body) rewrite_stmt(*inner, subst);
+}
+
+/// Does the statement list contain a RETURN anywhere but as the very last
+/// top-level statement?
+bool has_early_return(const std::vector<StmtPtr>& body) {
+  bool found = false;
+  for (size_t i = 0; i < body.size(); ++i) {
+    const Stmt& s = *body[i];
+    if (s.kind == StmtKind::Return && i + 1 < body.size()) return true;
+    std::function<void(const Stmt&)> scan = [&](const Stmt& t) {
+      if (t.kind == StmtKind::Return) found = true;
+      for (const auto& inner : t.then_body) scan(*inner);
+      for (const auto& inner : t.else_body) scan(*inner);
+      for (const auto& inner : t.body) scan(*inner);
+    };
+    if (s.kind != StmtKind::Return) scan(s);
+  }
+  return found;
+}
+
+}  // namespace
+
+bool inline_call(BoundProgram& program, const std::string& caller_name,
+                 const Stmt* call_stmt, InlineStats* stats) {
+  Procedure* caller = program.find(caller_name);
+  if (!caller) return false;
+  const Procedure* callee = program.find(call_stmt->callee);
+  if (!callee || callee->is_program) return false;
+  if (has_early_return(callee->body)) return false;
+
+  const int uid = ++g_inline_counter;
+  std::map<std::string, ExprPtr> subst;
+  std::vector<StmtPtr> prologue;
+
+  // Formals.
+  for (size_t f = 0; f < callee->formals.size(); ++f) {
+    const std::string& formal = callee->formals[f];
+    if (f >= call_stmt->call_args.size()) return false;
+    const Expr& actual = *call_stmt->call_args[f];
+    if (actual.kind == ExprKind::VarRef) {
+      subst[formal] = actual.clone();
+    } else {
+      // Expression actual: copy-in temporary.
+      std::string temp = "inl$" + std::to_string(uid) + "$" + formal;
+      prologue.push_back(
+          Stmt::make_assign(Expr::make_var(temp), actual.clone()));
+      subst[formal] = Expr::make_var(temp);
+      VarDecl decl;
+      decl.name = temp;
+      decl.type = ElemType::Real;
+      caller->decls.push_back(std::move(decl));
+    }
+  }
+
+  // PARAMETER constants fold to literals.
+  {
+    const SymbolTable& st = program.symtab(callee->name);
+    for (const auto& [name, sym] : st.all())
+      if (sym.kind == SymbolKind::Param)
+        subst[name] = Expr::make_int(sym.param_value);
+  }
+
+  // COMMON variables keep their names; everything else local renames.
+  std::set<std::string> commons;
+  for (const auto& blk : callee->commons)
+    for (const auto& v : blk.vars) commons.insert(v);
+
+  for (const auto& decl : callee->decls) {
+    if (decl.is_decomposition) continue;
+    if (subst.count(decl.name)) continue;  // formal or parameter
+    if (commons.count(decl.name)) continue;
+    std::string fresh = "inl$" + std::to_string(uid) + "$" + decl.name;
+    subst[decl.name] = Expr::make_var(fresh);
+    VarDecl copy = decl.clone();
+    copy.name = fresh;
+    // Dimension expressions may reference formals/parameters.
+    for (auto& dim : copy.dims) {
+      if (dim.lb) rewrite_expr(dim.lb, subst);
+      rewrite_expr(dim.ub, subst);
+    }
+    caller->decls.push_back(std::move(copy));
+  }
+  // Implicit locals (undeclared loop variables) rename too.
+  walk_stmts(callee->body, [&](const Stmt& s) {
+    if (s.kind == StmtKind::Do && !subst.count(s.loop_var) &&
+        !commons.count(s.loop_var))
+      subst[s.loop_var] =
+          Expr::make_var("inl$" + std::to_string(uid) + "$" + s.loop_var);
+  });
+
+  // Clone + rewrite the body.
+  std::vector<StmtPtr> body = clone_stmts(callee->body);
+  if (!body.empty() && body.back()->kind == StmtKind::Return) body.pop_back();
+  for (auto& s : body) rewrite_stmt(*s, subst);
+  // Cloned statements carry the callee's ids, which may collide with the
+  // caller's — reset them so fresh ids are assigned below.
+  walk_stmts(body, [](Stmt& s) { s.id = -1; });
+
+  // Splice into the caller at the call site.
+  bool spliced = false;
+  std::function<void(std::vector<StmtPtr>&)> splice =
+      [&](std::vector<StmtPtr>& stmts) {
+        for (size_t i = 0; i < stmts.size(); ++i) {
+          if (stmts[i].get() == call_stmt) {
+            std::vector<StmtPtr> seq;
+            for (auto& s : prologue) seq.push_back(std::move(s));
+            for (auto& s : body) seq.push_back(std::move(s));
+            if (stats) {
+              ++stats->calls_inlined;
+              stats->statements_added += static_cast<int>(seq.size());
+            }
+            stmts.erase(stmts.begin() + static_cast<long>(i));
+            for (size_t k = 0; k < seq.size(); ++k)
+              stmts.insert(stmts.begin() + static_cast<long>(i + k),
+                           std::move(seq[k]));
+            spliced = true;
+            return;
+          }
+          if (spliced) return;
+          splice(stmts[i]->then_body);
+          splice(stmts[i]->else_body);
+          splice(stmts[i]->body);
+        }
+      };
+  splice(caller->body);
+  if (!spliced) return false;
+
+  // Fresh statement ids keep dataflow facts unique.
+  walk_stmts(caller->body, [&](Stmt& s) {
+    if (s.id < 0) s.id = caller->next_stmt_id++;
+  });
+  program.rebind(caller_name);
+  return true;
+}
+
+InlineStats inline_all(BoundProgram& program) {
+  InlineStats stats;
+  // Guard against recursion by bounding on the acyclic call graph.
+  AugmentedCallGraph::build(program);
+  for (int round = 0; round < 1024; ++round) {
+    const Stmt* next_call = nullptr;
+    std::string in_proc;
+    for (const auto& proc : program.ast.procedures) {
+      walk_stmts(proc->body, [&](const Stmt& s) {
+        if (next_call || s.kind != StmtKind::Call) return;
+        if (program.find(s.callee)) {
+          next_call = &s;
+          in_proc = proc->name;
+        }
+      });
+      if (next_call) break;
+    }
+    if (!next_call) break;
+    if (!inline_call(program, in_proc, next_call, &stats))
+      throw CompileError({}, "inline_all: could not inline call to '" +
+                                 next_call->callee + "'");
+  }
+  // Drop now-unreachable subroutines.
+  program.ast.procedures.erase(
+      std::remove_if(program.ast.procedures.begin(),
+                     program.ast.procedures.end(),
+                     [](const std::unique_ptr<Procedure>& p) {
+                       return !p->is_program;
+                     }),
+      program.ast.procedures.end());
+  return stats;
+}
+
+}  // namespace fortd

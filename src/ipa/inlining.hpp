@@ -1,0 +1,31 @@
+// Procedure inlining — the other interprocedural transformation ParaScope
+// supports (§4: "Inlining merges the body of the called procedure into
+// the caller"). Inlining is the classical alternative to interprocedural
+// compilation: it exposes the same context at the price of program
+// growth and the loss of separate compilation. The bench_inlining ablation
+// compares fully inlined programs against interprocedural compilation.
+#pragma once
+
+#include "ir/program.hpp"
+
+namespace fortd {
+
+struct InlineStats {
+  int calls_inlined = 0;
+  int statements_added = 0;
+};
+
+/// Inline one call statement. Formals bound to simple variables are
+/// renamed to the actuals; expression actuals become initialized
+/// temporaries; the callee's locals are renamed fresh. Returns false when
+/// the call cannot be inlined (unknown callee, callee uses COMMON under a
+/// different name binding, or a formal is written but bound to an
+/// expression actual).
+bool inline_call(BoundProgram& program, const std::string& caller,
+                 const Stmt* call_stmt, InlineStats* stats = nullptr);
+
+/// Repeatedly inline every call in the program (callee-first) until only
+/// the main program remains. Throws CompileError on recursion.
+InlineStats inline_all(BoundProgram& program);
+
+}  // namespace fortd

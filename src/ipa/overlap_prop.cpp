@@ -1,0 +1,64 @@
+#include "ipa/overlap_prop.hpp"
+
+#include "ipa/side_effects.hpp"
+
+namespace fortd {
+
+const OverlapOffsets* OverlapEstimates::lookup(const std::string& proc,
+                                               const std::string& var) const {
+  auto pit = estimates.find(proc);
+  if (pit == estimates.end()) return nullptr;
+  auto vit = pit->second.find(var);
+  if (vit == pit->second.end()) return nullptr;
+  return &vit->second;
+}
+
+OverlapEstimates compute_overlap_estimates(
+    const BoundProgram& program, const AugmentedCallGraph& acg,
+    const std::map<std::string, ProcSummary>& summaries) {
+  OverlapEstimates est;
+
+  // Bottom-up: merge local offsets with translated callee offsets.
+  for (const std::string& name : acg.reverse_topological_order()) {
+    auto& mine = est.estimates[name];
+    auto sit = summaries.find(name);
+    if (sit != summaries.end())
+      for (const auto& [var, ov] : sit->second.overlaps) mine[var].merge(ov);
+    for (const CallSiteInfo* site : acg.calls_from(name)) {
+      const Procedure* callee = program.find(site->callee);
+      if (!callee) continue;
+      for (const auto& [var, ov] : est.estimates[site->callee]) {
+        auto t = translate_to_caller(var, *callee, *site);
+        if (t) mine[*t].merge(ov);
+      }
+    }
+  }
+
+  // Top-down: push the caller-side maxima back into callees so overlap
+  // extents agree everywhere ("propagate resulting estimates down ACG").
+  for (const std::string& name : acg.topological_order()) {
+    const auto& mine = est.estimates[name];
+    for (const CallSiteInfo* site : acg.calls_from(name)) {
+      const Procedure* callee = program.find(site->callee);
+      if (!callee) continue;
+      auto& theirs = est.estimates[site->callee];
+      // Formals: actual's estimate flows to the formal.
+      for (size_t f = 0; f < callee->formals.size() && f < site->actuals.size();
+           ++f) {
+        const Expr* actual = site->actuals[f];
+        if (actual->kind != ExprKind::VarRef) continue;
+        auto it = mine.find(actual->name);
+        if (it != mine.end()) theirs[callee->formals[f]].merge(it->second);
+      }
+      // Globals: merged by name.
+      const SymbolTable& callee_st = program.symtab(site->callee);
+      for (const auto& [var, ov] : mine) {
+        const Symbol* sym = callee_st.lookup(var);
+        if (sym && sym->is_global()) theirs[var].merge(ov);
+      }
+    }
+  }
+  return est;
+}
+
+}  // namespace fortd

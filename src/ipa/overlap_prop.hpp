@@ -1,0 +1,33 @@
+// Interprocedural overlap-offset estimation (Fig. 13).
+//
+// Overlap regions extend an array's local bounds to hold nonlocal data
+// from neighboring processors. Because Fortran requires consistent array
+// extents across procedures, overlap sizes must agree program-wide — the
+// only interprocedural problem in the paper that is naturally
+// bidirectional. The estimation algorithm keeps compilation single-pass:
+// constant subscript offsets recorded during local analysis are merged
+// bottom-up over the ACG, and the resulting maxima are pushed back down so
+// every procedure declares the same overlap extents.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "ipa/call_graph.hpp"
+#include "ipa/summaries.hpp"
+
+namespace fortd {
+
+struct OverlapEstimates {
+  /// Per procedure, per array variable: estimated overlap demand.
+  std::map<std::string, std::map<std::string, OverlapOffsets>> estimates;
+
+  const OverlapOffsets* lookup(const std::string& proc,
+                               const std::string& var) const;
+};
+
+OverlapEstimates compute_overlap_estimates(
+    const BoundProgram& program, const AugmentedCallGraph& acg,
+    const std::map<std::string, ProcSummary>& summaries);
+
+}  // namespace fortd

@@ -1,0 +1,95 @@
+#include "ipa/reaching_decomps.hpp"
+
+namespace fortd {
+
+std::set<DecompSpec> ReachingDecomps::specs_for(const std::string& proc,
+                                                const std::string& var) const {
+  std::set<DecompSpec> out;
+  auto pit = at_stmt.find(proc);
+  if (pit == at_stmt.end()) return out;
+  for (const auto& [stmt, vars] : pit->second) {
+    auto vit = vars.find(var);
+    if (vit == vars.end()) continue;
+    for (const auto& spec : vit->second)
+      if (!spec.is_top) out.insert(spec);
+  }
+  return out;
+}
+
+std::optional<DecompSpec> ReachingDecomps::unique_spec(
+    const std::string& proc, const std::string& var) const {
+  auto specs = specs_for(proc, var);
+  if (specs.size() != 1) return std::nullopt;
+  return *specs.begin();
+}
+
+bool ReachingDecomps::has_conflict(const std::string& proc,
+                                   const std::string& var) const {
+  return specs_for(proc, var).size() > 1;
+}
+
+std::set<DecompSpec> ReachingDecomps::specs_at(const std::string& proc,
+                                               const Stmt* stmt,
+                                               const std::string& var) const {
+  auto pit = at_stmt.find(proc);
+  if (pit == at_stmt.end()) return {};
+  auto sit = pit->second.find(stmt);
+  if (sit == pit->second.end()) return {};
+  auto vit = sit->second.find(var);
+  if (vit == sit->second.end()) return {};
+  return vit->second;
+}
+
+ReachingDecomps compute_reaching_decomps(
+    const BoundProgram& program, const AugmentedCallGraph& acg,
+    const std::map<std::string, ProcSummary>& summaries) {
+  ReachingDecomps rd;
+
+  // Top-down over the call graph: callers are fully resolved before any of
+  // their callees are visited.
+  for (const std::string& name : acg.topological_order()) {
+    const Procedure* proc = program.find(name);
+    const std::map<std::string, std::set<DecompSpec>>& inherited =
+        rd.reaching[name];  // empty for the main program
+
+    // Resolve LocalReaching point-wise with ⊤ expanded (the "replace
+    // <top,X> with <D,X> from Reaching(P)" step of Fig. 6).
+    rd.at_stmt[name] = compute_local_reaching(program, *proc, inherited);
+
+    // Translate the resolved sets at each call site into the callee.
+    for (const CallSiteInfo* site : acg.calls_from(name)) {
+      const Procedure* callee = program.find(site->callee);
+      if (!callee) continue;
+      auto sit = rd.at_stmt[name].find(site->stmt);
+      if (sit == rd.at_stmt[name].end()) continue;
+      const auto& at_call = sit->second;
+
+      auto& target = rd.reaching[site->callee];
+      // Formals: positionally matched array actuals.
+      for (size_t f = 0; f < callee->formals.size() && f < site->actuals.size();
+           ++f) {
+        const Expr* actual = site->actuals[f];
+        if (actual->kind != ExprKind::VarRef) continue;
+        auto vit = at_call.find(actual->name);
+        if (vit == at_call.end()) continue;
+        for (const auto& spec : vit->second)
+          if (!spec.is_top) target[callee->formals[f]].insert(spec);
+      }
+      // Globals: copied by name when the callee (transitively) declares
+      // them; we copy whenever the name is an array in the caller and a
+      // global array in the callee.
+      const SymbolTable& callee_st = program.symtab(site->callee);
+      for (const auto& [var, specs] : at_call) {
+        const Symbol* sym = callee_st.lookup(var);
+        if (!sym || !sym->is_global()) continue;
+        for (const auto& spec : specs)
+          if (!spec.is_top) target[var].insert(spec);
+      }
+    }
+
+    (void)summaries;
+  }
+  return rd;
+}
+
+}  // namespace fortd

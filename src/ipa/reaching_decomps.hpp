@@ -1,0 +1,53 @@
+// Interprocedural reaching decompositions — the algorithm of Fig. 6.
+//
+// Fortran D scoping makes this a one-top-down-pass problem: a procedure's
+// reaching decompositions depend only on control flow in its *callers*
+// (decomposition changes in callees are undone on return). Processing the
+// ACG in topological order, each procedure's LocalReaching sets are
+// resolved (⊤ expanded through Reaching(P)) and translated to its callees.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "ipa/call_graph.hpp"
+#include "ipa/summaries.hpp"
+
+namespace fortd {
+
+struct ReachingDecomps {
+  /// Reaching(P): decompositions reaching procedure P from its callers,
+  /// keyed by formal-parameter / global variable name.
+  std::map<std::string, std::map<std::string, std::set<DecompSpec>>> reaching;
+
+  /// Point-wise resolved solution: per procedure, per statement, the specs
+  /// reaching each array (⊤ already expanded through Reaching).
+  std::map<std::string,
+           std::map<const Stmt*, std::map<std::string, std::set<DecompSpec>>>>
+      at_stmt;
+
+  /// All specs that reach any statement of `proc` for `var`.
+  std::set<DecompSpec> specs_for(const std::string& proc,
+                                 const std::string& var) const;
+
+  /// The unique decomposition of `var` throughout `proc`, when there is
+  /// exactly one (the common case after cloning). nullopt when the
+  /// variable is replicated (no decomposition) or has several specs.
+  std::optional<DecompSpec> unique_spec(const std::string& proc,
+                                        const std::string& var) const;
+
+  /// True when more than one distinct spec reaches `var` in `proc` —
+  /// requires cloning or run-time resolution.
+  bool has_conflict(const std::string& proc, const std::string& var) const;
+
+  /// Specs reaching `var` at a specific statement.
+  std::set<DecompSpec> specs_at(const std::string& proc, const Stmt* stmt,
+                                const std::string& var) const;
+};
+
+ReachingDecomps compute_reaching_decomps(
+    const BoundProgram& program, const AugmentedCallGraph& acg,
+    const std::map<std::string, ProcSummary>& summaries);
+
+}  // namespace fortd

@@ -1,0 +1,109 @@
+#include "ipa/recompilation.hpp"
+
+namespace fortd {
+
+namespace {
+
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void mix(uint64_t& h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+void mix_str(uint64_t& h, const std::string& s) {
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  mix(h, s.size());
+}
+
+uint64_t hash_reaching(const std::map<std::string, std::set<DecompSpec>>& r) {
+  uint64_t h = 1469598103934665603ull;
+  for (const auto& [var, specs] : r) {
+    mix_str(h, var);
+    for (const auto& spec : specs) mix_str(h, spec.str());
+  }
+  return h;
+}
+
+uint64_t hash_interface(const std::string& proc, const IpaContext& ctx) {
+  uint64_t h = 1469598103934665603ull;
+  auto mixset = [&](const std::map<std::string, std::set<std::string>>& m) {
+    auto it = m.find(proc);
+    if (it == m.end()) return;
+    for (const auto& v : it->second) mix_str(h, v);
+    mix(h, it->second.size());
+  };
+  mixset(ctx.effects.gmod);
+  mixset(ctx.effects.gref);
+  auto mixsections = [&](const std::map<std::string, std::map<std::string, RsdList>>& m) {
+    auto it = m.find(proc);
+    if (it == m.end()) return;
+    for (const auto& [var, list] : it->second) {
+      mix_str(h, var);
+      mix_str(h, list.str());
+    }
+  };
+  mixsections(ctx.effects.gdefs);
+  mixsections(ctx.effects.guses);
+  return h;
+}
+
+}  // namespace
+
+CompilationRecord make_compilation_record(const BoundProgram& program,
+                                          const IpaContext& ctx,
+                                          const OverlapEstimates& overlaps) {
+  CompilationRecord rec;
+  for (const auto& proc : program.ast.procedures) {
+    const std::string& name = proc->name;
+    auto sit = ctx.summaries.find(name);
+    rec.proc_hashes[name] =
+        sit != ctx.summaries.end() ? sit->second.hash : hash_procedure(*proc);
+
+    uint64_t h = 1469598103934665603ull;
+    // Reaching decompositions consumed by this procedure.
+    auto rit = ctx.reaching.reaching.find(name);
+    if (rit != ctx.reaching.reaching.end()) mix(h, hash_reaching(rit->second));
+    // Overlap estimates consumed.
+    auto oit = overlaps.estimates.find(name);
+    if (oit != overlaps.estimates.end())
+      for (const auto& [var, ov] : oit->second) {
+        mix_str(h, var);
+        mix_str(h, ov.str());
+      }
+    // Callee interface summaries consumed (bottom-up facts).
+    for (const CallSiteInfo* site : ctx.acg.calls_from(name)) {
+      mix_str(h, site->callee);
+      mix(h, hash_interface(site->callee, ctx));
+    }
+    // Run-time fallback status changes code shape too.
+    mix(h, ctx.runtime_fallback.count(name));
+    rec.input_hashes[name] = h;
+  }
+  return rec;
+}
+
+std::set<std::string> procedures_to_recompile(const CompilationRecord& before,
+                                              const CompilationRecord& after) {
+  std::set<std::string> out;
+  for (const auto& [name, hash] : after.proc_hashes) {
+    auto bit = before.proc_hashes.find(name);
+    if (bit == before.proc_hashes.end() || bit->second != hash) {
+      out.insert(name);
+      continue;
+    }
+    auto ait = after.input_hashes.find(name);
+    auto bif = before.input_hashes.find(name);
+    if (ait != after.input_hashes.end() &&
+        (bif == before.input_hashes.end() || bif->second != ait->second))
+      out.insert(name);
+  }
+  return out;
+}
+
+}  // namespace fortd

@@ -1,0 +1,41 @@
+// Recompilation analysis (§4/§8): preserve the benefits of separate
+// compilation by recompiling, after an edit, only the procedures whose
+// own source changed or whose *interprocedural inputs* changed — not the
+// whole program.
+//
+// A CompilationRecord captures, per procedure:
+//   * the structural hash of its body (local summary identity), and
+//   * a hash of every interprocedural fact code generation consumed:
+//     Reaching(P), overlap estimates, and the translated summary
+//     interface (GMOD/GREF/def-use sections) of each callee.
+// Editing a callee in a way that leaves its interface summary unchanged
+// therefore does not trigger recompilation of its callers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "ipa/cloning.hpp"
+#include "ipa/overlap_prop.hpp"
+
+namespace fortd {
+
+struct CompilationRecord {
+  std::map<std::string, uint64_t> proc_hashes;   // source identity
+  std::map<std::string, uint64_t> input_hashes;  // interprocedural inputs
+};
+
+/// Snapshot the current program + interprocedural solution.
+CompilationRecord make_compilation_record(const BoundProgram& program,
+                                          const IpaContext& ctx,
+                                          const OverlapEstimates& overlaps);
+
+/// The procedures that must be recompiled going from `before` to `after`:
+/// new procedures, procedures whose source hash changed, and procedures
+/// whose interprocedural input hash changed.
+std::set<std::string> procedures_to_recompile(const CompilationRecord& before,
+                                              const CompilationRecord& after);
+
+}  // namespace fortd

@@ -1,0 +1,92 @@
+#include "ipa/side_effects.hpp"
+
+namespace fortd {
+
+std::set<std::string> SideEffects::appear(const std::string& proc,
+                                          const BoundProgram& program) const {
+  std::set<std::string> out;
+  const Procedure* p = program.find(proc);
+  const SymbolTable& st = program.symtab(proc);
+  auto consider = [&](const std::set<std::string>& names) {
+    for (const auto& n : names) {
+      const Symbol* sym = st.lookup(n);
+      if (!sym) continue;
+      if (sym->formal_index >= 0 || sym->is_global()) out.insert(n);
+    }
+  };
+  auto mit = gmod.find(proc);
+  if (mit != gmod.end()) consider(mit->second);
+  auto rit = gref.find(proc);
+  if (rit != gref.end()) consider(rit->second);
+  (void)p;
+  return out;
+}
+
+std::optional<std::string> translate_to_caller(const std::string& callee_var,
+                                               const Procedure& callee,
+                                               const CallSiteInfo& site) {
+  int fi = callee.formal_index(callee_var);
+  if (fi >= 0) {
+    if (fi >= static_cast<int>(site.actuals.size())) return std::nullopt;
+    const Expr* actual = site.actuals[static_cast<size_t>(fi)];
+    if (actual->kind == ExprKind::VarRef || actual->kind == ExprKind::ArrayRef)
+      return actual->name;
+    return std::nullopt;  // expression actual: no l-value to propagate to
+  }
+  // Globals keep their name across procedures (COMMON by matching names).
+  return callee_var;
+}
+
+SideEffects compute_side_effects(
+    const BoundProgram& program, const AugmentedCallGraph& acg,
+    const std::map<std::string, ProcSummary>& summaries) {
+  SideEffects fx;
+  for (const std::string& name : acg.reverse_topological_order()) {
+    const ProcSummary& sum = summaries.at(name);
+    std::set<std::string> mod = sum.mod;
+    std::set<std::string> ref = sum.ref;
+    std::map<std::string, RsdList> defs = sum.defs;
+    std::map<std::string, RsdList> uses = sum.uses;
+
+    for (const CallSiteInfo* site : acg.calls_from(name)) {
+      const Procedure* callee = program.find(site->callee);
+      if (!callee) continue;
+      auto add_names = [&](const std::set<std::string>& src,
+                           std::set<std::string>& dst) {
+        for (const auto& v : src) {
+          auto t = translate_to_caller(v, *callee, *site);
+          if (t) dst.insert(*t);
+        }
+      };
+      add_names(fx.gmod[site->callee], mod);
+      add_names(fx.gref[site->callee], ref);
+
+      auto add_sections = [&](const std::map<std::string, RsdList>& src,
+                              std::map<std::string, RsdList>& dst) {
+        for (const auto& [v, list] : src) {
+          auto t = translate_to_caller(v, *callee, *site);
+          if (!t) continue;
+          // Only propagate sections to a variable of matching rank; a
+          // reshaped actual falls back to the whole declared section.
+          const Symbol* sym = program.symtab(name).lookup(*t);
+          if (!sym || !sym->is_array()) continue;
+          for (const Rsd& r : list.sections()) {
+            if (r.rank() == sym->rank())
+              dst[*t].add_coalescing(r);
+            else
+              dst[*t].add_coalescing(sym->full_section());
+          }
+        }
+      };
+      add_sections(fx.gdefs[site->callee], defs);
+      add_sections(fx.guses[site->callee], uses);
+    }
+    fx.gmod[name] = std::move(mod);
+    fx.gref[name] = std::move(ref);
+    fx.gdefs[name] = std::move(defs);
+    fx.guses[name] = std::move(uses);
+  }
+  return fx;
+}
+
+}  // namespace fortd

@@ -1,0 +1,45 @@
+// Interprocedural scalar and array side-effect analysis (GMOD/GREF) and
+// the Appear(P) sets of §5.2: Appear(P) = Gmod(P) ∪ Gref(P), the formals
+// and globals accessed by P or its descendants. Computed bottom-up over
+// the ACG, translating callee formals to actuals at each call site.
+//
+// Array def/use *sections* (RSD summaries, §5.4) propagate alongside:
+// `gdefs`/`guses` give, per procedure, the sections of each array that may
+// be defined/used by the procedure or its descendants, in the procedure's
+// own name space.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "ipa/call_graph.hpp"
+#include "ipa/summaries.hpp"
+
+namespace fortd {
+
+struct SideEffects {
+  /// Transitive MOD/REF per procedure (variable names in that procedure).
+  std::map<std::string, std::set<std::string>> gmod;
+  std::map<std::string, std::set<std::string>> gref;
+  /// Transitive array def/use sections per procedure.
+  std::map<std::string, std::map<std::string, RsdList>> gdefs;
+  std::map<std::string, std::map<std::string, RsdList>> guses;
+
+  /// Appear(P): formals and globals of P in Gmod(P) ∪ Gref(P).
+  std::set<std::string> appear(const std::string& proc,
+                               const BoundProgram& program) const;
+};
+
+/// Translate a callee-scope variable name to the caller scope at a call
+/// site: formals map to their actual argument's base variable (nullopt for
+/// expression actuals), globals map to themselves.
+std::optional<std::string> translate_to_caller(const std::string& callee_var,
+                                               const Procedure& callee,
+                                               const CallSiteInfo& site);
+
+SideEffects compute_side_effects(const BoundProgram& program,
+                                 const AugmentedCallGraph& acg,
+                                 const std::map<std::string, ProcSummary>& summaries);
+
+}  // namespace fortd

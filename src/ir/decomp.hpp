@@ -1,0 +1,66 @@
+// DecompSpec: the value-level form of a Fortran D data decomposition as it
+// applies to one array — the per-array-dimension distribution obtained by
+// composing the array's alignment with its decomposition's distribution.
+//
+// Example (Fig. 4 of the paper):
+//   ALIGN Y(i,j) WITH X(j,i) ; DISTRIBUTE X(BLOCK,:)
+// gives X the spec (BLOCK,:) and Y the spec (:,BLOCK).
+//
+// The reaching-decompositions lattice element ⊤ ("inherited from caller,
+// unknown locally") is represented by `is_top`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/ast.hpp"
+
+namespace fortd {
+
+struct DecompSpec {
+  std::vector<DistSpec> dists;  // one per array dimension
+  bool is_top = false;
+
+  static DecompSpec top() {
+    DecompSpec s;
+    s.is_top = true;
+    return s;
+  }
+
+  bool operator==(const DecompSpec&) const = default;
+  bool operator<(const DecompSpec& o) const { return key() < o.key(); }
+
+  /// Number of distributed dimensions.
+  int distributed_dims() const {
+    int n = 0;
+    for (const auto& d : dists)
+      if (d.kind != DistKind::None) ++n;
+    return n;
+  }
+
+  /// Index of the single distributed dimension, or -1 when none/many.
+  int single_distributed_dim() const {
+    int found = -1;
+    for (size_t d = 0; d < dists.size(); ++d) {
+      if (dists[d].kind == DistKind::None) continue;
+      if (found >= 0) return -1;
+      found = static_cast<int>(d);
+    }
+    return found;
+  }
+
+  std::string str() const {
+    if (is_top) return "<top>";
+    std::string s = "(";
+    for (size_t i = 0; i < dists.size(); ++i) {
+      if (i) s += ",";
+      s += dists[i].str();
+    }
+    return s + ")";
+  }
+
+private:
+  std::string key() const { return is_top ? "\x01top" : str(); }
+};
+
+}  // namespace fortd

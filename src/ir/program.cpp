@@ -1,0 +1,51 @@
+#include "ir/program.hpp"
+
+#include "frontend/parser.hpp"
+
+namespace fortd {
+
+const SymbolTable& BoundProgram::symtab(const std::string& proc) const {
+  auto it = symtabs.find(proc);
+  if (it == symtabs.end())
+    throw CompileError({}, "no symbol table for procedure '" + proc + "'");
+  return it->second;
+}
+
+SymbolTable& BoundProgram::symtab(const std::string& proc) {
+  auto it = symtabs.find(proc);
+  if (it == symtabs.end())
+    throw CompileError({}, "no symbol table for procedure '" + proc + "'");
+  return it->second;
+}
+
+void BoundProgram::rebind(const std::string& proc_name) {
+  const Procedure* proc = ast.find(proc_name);
+  if (!proc)
+    throw CompileError({}, "rebind: unknown procedure '" + proc_name + "'");
+  symtabs[proc_name] = build_symbol_table(*proc, *diags);
+}
+
+Procedure* BoundProgram::add_procedure(std::unique_ptr<Procedure> proc) {
+  Procedure* raw = proc.get();
+  ast.procedures.push_back(std::move(proc));
+  rebind(raw->name);
+  return raw;
+}
+
+BoundProgram bind_program(SourceProgram ast,
+                          std::shared_ptr<DiagnosticEngine> diags) {
+  BoundProgram bp;
+  bp.ast = std::move(ast);
+  bp.diags = diags ? std::move(diags) : std::make_shared<DiagnosticEngine>();
+  for (const auto& proc : bp.ast.procedures)
+    bp.symtabs[proc->name] = build_symbol_table(*proc, *bp.diags);
+  return bp;
+}
+
+BoundProgram parse_and_bind(std::string_view source) {
+  auto diags = std::make_shared<DiagnosticEngine>();
+  Parser parser(source, *diags);
+  return bind_program(parser.parse_unit(), diags);
+}
+
+}  // namespace fortd

@@ -1,0 +1,37 @@
+// BoundProgram: a parsed compilation unit together with per-procedure
+// symbol tables — the input to all analysis and code-generation phases.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "frontend/ast.hpp"
+#include "ir/symbol_table.hpp"
+
+namespace fortd {
+
+struct BoundProgram {
+  SourceProgram ast;
+  std::map<std::string, SymbolTable> symtabs;
+  std::shared_ptr<DiagnosticEngine> diags;
+
+  Procedure* find(const std::string& name) { return ast.find(name); }
+  const Procedure* find(const std::string& name) const { return ast.find(name); }
+  const SymbolTable& symtab(const std::string& proc) const;
+  SymbolTable& symtab(const std::string& proc);
+
+  /// (Re)build the symbol table for one procedure — used after cloning or
+  /// any transformation that adds declarations.
+  void rebind(const std::string& proc_name);
+
+  /// Register a freshly created procedure (e.g. a clone) and bind it.
+  Procedure* add_procedure(std::unique_ptr<Procedure> proc);
+};
+
+/// Parse + bind in one step. Throws CompileError on any error.
+BoundProgram bind_program(SourceProgram ast,
+                          std::shared_ptr<DiagnosticEngine> diags = nullptr);
+BoundProgram parse_and_bind(std::string_view source);
+
+}  // namespace fortd

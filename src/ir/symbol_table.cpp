@@ -1,0 +1,168 @@
+#include "ir/symbol_table.hpp"
+
+#include <algorithm>
+
+namespace fortd {
+
+int64_t Symbol::extent(int d) const {
+  auto [lb, ub] = dims[static_cast<size_t>(d)];
+  return ub - lb + 1;
+}
+
+Rsd Symbol::full_section() const { return Rsd::dense(dims); }
+
+const Symbol* SymbolTable::lookup(const std::string& name) const {
+  auto it = table_.find(name);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+Symbol* SymbolTable::lookup(const std::string& name) {
+  auto it = table_.find(name);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+void SymbolTable::insert(Symbol sym) { table_[sym.name] = std::move(sym); }
+
+std::vector<std::string> SymbolTable::array_names() const {
+  std::vector<std::string> names;
+  for (const auto& [name, sym] : table_)
+    if (sym.is_array()) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::optional<int64_t> try_eval_int(
+    const Expr& e, const std::unordered_map<std::string, int64_t>& env) {
+  switch (e.kind) {
+    case ExprKind::IntLit:
+      return e.int_val;
+    case ExprKind::VarRef: {
+      auto it = env.find(e.name);
+      if (it == env.end()) return std::nullopt;
+      return it->second;
+    }
+    case ExprKind::Unary: {
+      if (e.un_op != UnOp::Neg) return std::nullopt;
+      auto v = try_eval_int(*e.args[0], env);
+      if (!v) return std::nullopt;
+      return -*v;
+    }
+    case ExprKind::Binary: {
+      auto l = try_eval_int(*e.args[0], env);
+      auto r = try_eval_int(*e.args[1], env);
+      if (!l || !r) return std::nullopt;
+      switch (e.bin_op) {
+        case BinOp::Add: return *l + *r;
+        case BinOp::Sub: return *l - *r;
+        case BinOp::Mul: return *l * *r;
+        case BinOp::Div:
+          if (*r == 0) return std::nullopt;
+          return *l / *r;
+        default: return std::nullopt;
+      }
+    }
+    case ExprKind::FuncCall: {
+      // Fold the intrinsics codegen emits into bounds expressions.
+      if (e.name == "min" || e.name == "max") {
+        std::optional<int64_t> acc;
+        for (const auto& a : e.args) {
+          auto v = try_eval_int(*a, env);
+          if (!v) return std::nullopt;
+          if (!acc)
+            acc = *v;
+          else
+            acc = e.name == "min" ? std::min(*acc, *v) : std::max(*acc, *v);
+        }
+        return acc;
+      }
+      if (e.name == "mod" && e.args.size() == 2) {
+        auto l = try_eval_int(*e.args[0], env);
+        auto r = try_eval_int(*e.args[1], env);
+        if (!l || !r || *r == 0) return std::nullopt;
+        return *l % *r;
+      }
+      return std::nullopt;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+SymbolTable build_symbol_table(const Procedure& proc, DiagnosticEngine& diags) {
+  SymbolTable table;
+  std::unordered_map<std::string, int64_t> env;
+
+  // PARAMETER constants first: they may appear in later bounds.
+  for (const auto& pc : proc.params) {
+    auto v = try_eval_int(*pc.value, env);
+    if (!v)
+      diags.error(pc.value->loc,
+                  "PARAMETER '" + pc.name + "' is not a compile-time constant");
+    env[pc.name] = *v;
+    Symbol sym;
+    sym.name = pc.name;
+    sym.kind = SymbolKind::Param;
+    sym.type = ElemType::Integer;
+    sym.param_value = *v;
+    table.insert(std::move(sym));
+  }
+
+  for (const auto& decl : proc.decls) {
+    Symbol sym;
+    sym.name = decl.name;
+    sym.type = decl.type;
+    sym.kind = decl.is_decomposition ? SymbolKind::Decomposition
+               : decl.dims.empty()   ? SymbolKind::Scalar
+                                     : SymbolKind::Array;
+    for (const auto& dim : decl.dims) {
+      int64_t lb = 1;
+      bool ok = true;
+      if (dim.lb) {
+        auto v = try_eval_int(*dim.lb, env);
+        if (v)
+          lb = *v;
+        else
+          ok = false;
+      }
+      int64_t ub = -1;
+      auto v = try_eval_int(*dim.ub, env);
+      if (v)
+        ub = *v;
+      else
+        ok = false;
+      if (!ok) {
+        sym.dims_const = false;
+        sym.dims.emplace_back(1, -1);
+      } else {
+        sym.dims.emplace_back(lb, ub);
+      }
+    }
+    sym.formal_index = proc.formal_index(decl.name);
+    table.insert(std::move(sym));
+  }
+
+  // Formals without explicit declarations default to integer scalars
+  // (Fortran implicit-style, restricted to scalars).
+  for (size_t i = 0; i < proc.formals.size(); ++i) {
+    if (table.lookup(proc.formals[i])) continue;
+    Symbol sym;
+    sym.name = proc.formals[i];
+    sym.kind = SymbolKind::Scalar;
+    sym.type = ElemType::Integer;
+    sym.formal_index = static_cast<int>(i);
+    table.insert(std::move(sym));
+  }
+
+  for (const auto& blk : proc.commons) {
+    for (const auto& var : blk.vars) {
+      Symbol* sym = table.lookup(var);
+      if (!sym)
+        diags.error({}, "COMMON variable '" + var + "' has no declaration in '" +
+                            proc.name + "'");
+      sym->common_block = blk.name;
+    }
+  }
+  return table;
+}
+
+}  // namespace fortd

@@ -1,0 +1,64 @@
+// Per-procedure symbol tables with constant-evaluated array bounds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "frontend/ast.hpp"
+#include "ir/rsd.hpp"
+
+namespace fortd {
+
+enum class SymbolKind { Scalar, Array, Decomposition, Param };
+
+struct Symbol {
+  std::string name;
+  SymbolKind kind = SymbolKind::Scalar;
+  ElemType type = ElemType::Real;
+  /// Declared bounds per dimension (lb, ub), constant-evaluated.
+  /// Dimensions whose bounds are not compile-time constants are recorded
+  /// as (1, -1) and flagged via `dims_const`.
+  std::vector<std::pair<int64_t, int64_t>> dims;
+  bool dims_const = true;
+  int formal_index = -1;           // >= 0 when this is a formal parameter
+  std::string common_block;        // non-empty when in a COMMON block
+  int64_t param_value = 0;         // Param only
+
+  bool is_array() const { return kind == SymbolKind::Array; }
+  bool is_global() const { return !common_block.empty(); }
+  int rank() const { return static_cast<int>(dims.size()); }
+  /// Declared extent of a dimension (ub - lb + 1).
+  int64_t extent(int d) const;
+  /// The full declared index space as an RSD.
+  Rsd full_section() const;
+};
+
+class SymbolTable {
+public:
+  const Symbol* lookup(const std::string& name) const;
+  Symbol* lookup(const std::string& name);
+  void insert(Symbol sym);
+  const std::unordered_map<std::string, Symbol>& all() const { return table_; }
+
+  /// Names of all array symbols, sorted for deterministic iteration.
+  std::vector<std::string> array_names() const;
+
+private:
+  std::unordered_map<std::string, Symbol> table_;
+};
+
+/// Fold an integer-valued expression with the given environment of known
+/// scalar values. Returns nullopt when the expression involves unknown
+/// names, reals, or non-arithmetic operators.
+std::optional<int64_t> try_eval_int(
+    const Expr& e, const std::unordered_map<std::string, int64_t>& env);
+
+/// Build the symbol table for one procedure: evaluates PARAMETER constants
+/// and array bounds, classifies formals/commons. Throws CompileError on
+/// redeclaration conflicts.
+SymbolTable build_symbol_table(const Procedure& proc, DiagnosticEngine& diags);
+
+}  // namespace fortd

@@ -1,0 +1,52 @@
+// Cost model for the simulated MIMD distributed-memory machine.
+//
+// Substitution (see DESIGN.md): the paper ran on real iPSC/860 hardware;
+// we charge per-processor logical clocks with a latency+bandwidth message
+// model (T_msg = alpha + beta * bytes), tree-structured broadcasts, and a
+// per-operation compute cost. The defaults approximate the iPSC/860
+// (~136 us message startup, ~2.8 MB/s sustained per link in 1992 terms
+// scaled to 0.4 us/byte); all knobs are configurable so benchmark shapes
+// can be stress-tested across machine balances.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace fortd {
+
+struct CostModel {
+  double alpha_us = 136.0;        // message startup latency
+  double beta_us_per_byte = 0.4;  // per-byte transfer time
+  double send_overhead_us = 44.0; // sender-side occupancy per message
+  double recv_overhead_us = 44.0; // receiver-side occupancy per message
+  double flop_us = 0.1;           // per arithmetic operation
+  double loop_overhead_us = 0.05; // per loop iteration
+  double guard_us = 0.02;         // per evaluated guard/branch
+  double call_overhead_us = 0.5;  // per procedure call
+  int elem_bytes = 8;             // REAL is REAL*8 in the simulator
+
+  /// Point-to-point delivery time after the send is initiated.
+  double wire_time(int64_t bytes) const {
+    return alpha_us + beta_us_per_byte * static_cast<double>(bytes);
+  }
+
+  /// Tree depth used for broadcast cost.
+  int bcast_depth(int nprocs) const {
+    int d = 0;
+    while ((1 << d) < nprocs) ++d;
+    return d == 0 ? 1 : d;
+  }
+
+  static CostModel ipsc860() { return CostModel{}; }
+
+  /// A low-latency machine (alpha 10x smaller) for crossover studies.
+  static CostModel low_latency() {
+    CostModel cm;
+    cm.alpha_us = 13.6;
+    cm.send_overhead_us = 5.0;
+    cm.recv_overhead_us = 5.0;
+    return cm;
+  }
+};
+
+}  // namespace fortd

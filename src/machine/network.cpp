@@ -1,0 +1,45 @@
+#include "machine/network.hpp"
+
+#include <chrono>
+
+namespace fortd {
+
+Network::Network(int nprocs, double timeout_seconds)
+    : nprocs_(nprocs),
+      timeout_seconds_(timeout_seconds),
+      channels_(static_cast<size_t>(nprocs) * static_cast<size_t>(nprocs)) {}
+
+void Network::send(int src, int dst, SimMessage msg) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++messages_;
+    bytes_ += msg.bytes;
+    channel(src, dst).queue.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+SimMessage Network::recv(int dst, int src) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Channel& ch = channel(src, dst);
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(timeout_seconds_);
+  while (ch.queue.empty()) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        ch.queue.empty())
+      throw SimDeadlock("simulated deadlock: processor " +
+                        std::to_string(dst) + " waiting on message from " +
+                        std::to_string(src));
+  }
+  SimMessage msg = std::move(ch.queue.front());
+  ch.queue.pop_front();
+  return msg;
+}
+
+void Network::add_traffic(int64_t messages, int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  messages_ += messages;
+  bytes_ += bytes;
+}
+
+}  // namespace fortd

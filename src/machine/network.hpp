@@ -1,0 +1,62 @@
+// Deterministic message-passing fabric for the machine simulator: one FIFO
+// channel per (source, destination) pair, blocking receives with explicit
+// sources, and global traffic statistics. Logical send timestamps ride on
+// the messages so receivers can advance their clocks to the arrival time.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fortd {
+
+struct SimMessage {
+  int src = -1;
+  std::string tag;               // array name (debug/assertion aid)
+  std::vector<double> payload;
+  double send_time_us = 0.0;     // sender's clock when initiated
+  double arrival_us = 0.0;       // earliest time the receiver may consume
+  int64_t bytes = 0;
+};
+
+/// Thrown when a receive waits longer than the configured wall-clock
+/// timeout — almost always a generated-code deadlock.
+struct SimDeadlock : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class Network {
+public:
+  explicit Network(int nprocs, double timeout_seconds = 30.0);
+
+  void send(int src, int dst, SimMessage msg);
+  /// Blocking receive of the next message on the (src, dst) channel.
+  SimMessage recv(int dst, int src);
+
+  int64_t total_messages() const { return messages_; }
+  int64_t total_bytes() const { return bytes_; }
+  void add_traffic(int64_t messages, int64_t bytes);
+
+private:
+  struct Channel {
+    std::deque<SimMessage> queue;
+  };
+  Channel& channel(int src, int dst) {
+    return channels_[static_cast<size_t>(src) * static_cast<size_t>(nprocs_) +
+                     static_cast<size_t>(dst)];
+  }
+
+  int nprocs_;
+  double timeout_seconds_;
+  std::vector<Channel> channels_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int64_t messages_ = 0;
+  int64_t bytes_ = 0;
+};
+
+}  // namespace fortd

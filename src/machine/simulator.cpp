@@ -1,0 +1,134 @@
+#include "machine/simulator.hpp"
+
+#include <algorithm>
+#include <thread>
+
+namespace fortd {
+
+Machine::Machine(CostModel cost_model) : cost_(cost_model) {}
+
+double Machine::barrier_max_clock(double my_clock) {
+  std::unique_lock<std::mutex> lock(bar_mu_);
+  long my_generation = bar_generation_;
+  bar_max_ = std::max(bar_max_, my_clock);
+  if (++bar_waiting_ == n_procs_) {
+    // Last arrival releases the barrier. The release value stays valid for
+    // this generation: a subsequent barrier cannot complete (and overwrite
+    // it) until every waiter of this one has re-entered.
+    bar_release_value_ = bar_max_;
+    bar_max_ = 0.0;
+    bar_waiting_ = 0;
+    ++bar_generation_;
+    bar_cv_.notify_all();
+    return bar_release_value_;
+  }
+  bar_cv_.wait(lock, [&] { return bar_generation_ != my_generation; });
+  return bar_release_value_;
+}
+
+void Machine::count_remap(int64_t bytes) {
+  std::lock_guard<std::mutex> lock(stat_mu_);
+  ++remaps_;
+  remap_bytes_ += bytes;
+}
+
+RunResult Machine::run(const SpmdProgram& program) {
+  n_procs_ = program.options.n_procs;
+  network_ = std::make_unique<Network>(n_procs_);
+  contexts_ =
+      std::make_shared<std::vector<std::unique_ptr<ProcessorContext>>>();
+  for (int p = 0; p < n_procs_; ++p)
+    contexts_->push_back(std::make_unique<ProcessorContext>(*this, program, p));
+
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<size_t>(n_procs_));
+  threads.reserve(static_cast<size_t>(n_procs_));
+  for (int p = 0; p < n_procs_; ++p) {
+    threads.emplace_back([this, p, &errors] {
+      try {
+        (*contexts_)[static_cast<size_t>(p)]->run();
+      } catch (...) {
+        errors[static_cast<size_t>(p)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const auto& err : errors)
+    if (err) std::rethrow_exception(err);
+
+  RunResult result;
+  result.n_procs = n_procs_;
+  result.contexts = contexts_;
+  for (int p = 0; p < n_procs_; ++p) {
+    const ProcStats& st = (*contexts_)[static_cast<size_t>(p)]->stats();
+    result.per_proc.push_back(st);
+    result.sim_time_us = std::max(result.sim_time_us, st.clock_us);
+  }
+  result.messages = network_->total_messages();
+  result.bytes = network_->total_bytes();
+  result.remaps_executed = remaps_;
+  result.remap_bytes = remap_bytes_;
+  return result;
+}
+
+namespace {
+
+std::vector<double> gather_impl(
+    const std::vector<std::unique_ptr<ProcessorContext>>& contexts,
+    int n_procs, const std::string& array, const DecompSpec* spec) {
+  const ProcessorContext& p0 = *contexts[0];
+  auto it = p0.main_frame().arrays.find(array);
+  if (it == p0.main_frame().arrays.end())
+    throw std::runtime_error("gather: unknown main-program array '" + array +
+                             "'");
+  const ArrayStorage& proto = *it->second;
+  if (!spec) spec = p0.registry_spec(&proto);
+
+  Rsd full = Rsd::dense(proto.bounds);
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(proto.size()));
+  std::optional<ArrayDistribution> dist;
+  if (spec) dist.emplace(array, *spec, proto.bounds, n_procs);
+
+  for (const auto& point : full.enumerate()) {
+    if (dist && !dist->replicated_p()) {
+      int owner = dist->owner_of(point);
+      const ArrayStorage* arr =
+          contexts[static_cast<size_t>(owner)]->array_by_uid(proto.uid);
+      out.push_back(arr ? arr->get(point) : 0.0);
+    } else {
+      out.push_back(proto.get(point));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> RunResult::gather(const std::string& array) const {
+  if (!contexts || contexts->empty())
+    throw std::runtime_error("gather: no simulation contexts");
+  return gather_impl(*contexts, n_procs, array, nullptr);
+}
+
+std::vector<double> RunResult::gather(const std::string& array,
+                                      const DecompSpec& spec) const {
+  if (!contexts || contexts->empty())
+    throw std::runtime_error("gather: no simulation contexts");
+  return gather_impl(*contexts, n_procs, array, &spec);
+}
+
+double RunResult::gather_scalar(const std::string& name) const {
+  const ProcessorContext& p0 = *(*contexts)[0];
+  auto it = p0.main_frame().scalars.find(name);
+  if (it == p0.main_frame().scalars.end())
+    throw std::runtime_error("gather_scalar: unknown scalar '" + name + "'");
+  return it->second->as_real();
+}
+
+RunResult simulate(const SpmdProgram& program, CostModel cost_model) {
+  Machine machine(cost_model);
+  return machine.run(program);
+}
+
+}  // namespace fortd

@@ -1,0 +1,39 @@
+#include "support/diagnostics.hpp"
+
+namespace fortd {
+
+std::string SourceLoc::str() const {
+  if (!valid()) return "<unknown>";
+  return std::to_string(line) + ":" + std::to_string(col);
+}
+
+std::string Diagnostic::str() const {
+  const char* lvl = level == DiagLevel::Error     ? "error"
+                    : level == DiagLevel::Warning ? "warning"
+                                                  : "note";
+  return loc.str() + ": " + lvl + ": " + message;
+}
+
+CompileError::CompileError(SourceLoc loc, const std::string& msg)
+    : std::runtime_error(loc.str() + ": error: " + msg), loc_(loc) {}
+
+void DiagnosticEngine::error(SourceLoc loc, const std::string& msg) {
+  diags_.push_back({DiagLevel::Error, loc, msg});
+  throw CompileError(loc, msg);
+}
+
+void DiagnosticEngine::warning(SourceLoc loc, const std::string& msg) {
+  diags_.push_back({DiagLevel::Warning, loc, msg});
+  ++warnings_;
+}
+
+void DiagnosticEngine::note(SourceLoc loc, const std::string& msg) {
+  diags_.push_back({DiagLevel::Note, loc, msg});
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  warnings_ = 0;
+}
+
+}  // namespace fortd

@@ -1,0 +1,60 @@
+// Diagnostics: source locations, error collection, and the exception type
+// thrown on unrecoverable front-end or compiler errors.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fortd {
+
+/// A position in a Fortran D source buffer (1-based, 0 = unknown).
+struct SourceLoc {
+  int line = 0;
+  int col = 0;
+
+  bool valid() const { return line > 0; }
+  std::string str() const;
+};
+
+enum class DiagLevel { Note, Warning, Error };
+
+/// One reported diagnostic.
+struct Diagnostic {
+  DiagLevel level;
+  SourceLoc loc;
+  std::string message;
+
+  std::string str() const;
+};
+
+/// Thrown when compilation cannot proceed (parse error, unsupported
+/// construct, inconsistent decomposition, ...).
+class CompileError : public std::runtime_error {
+public:
+  CompileError(SourceLoc loc, const std::string& msg);
+  SourceLoc loc() const { return loc_; }
+
+private:
+  SourceLoc loc_;
+};
+
+/// Collects diagnostics for a compilation unit. Errors are recorded and
+/// also thrown as CompileError by `error`; warnings/notes accumulate.
+class DiagnosticEngine {
+public:
+  [[noreturn]] void error(SourceLoc loc, const std::string& msg);
+  void warning(SourceLoc loc, const std::string& msg);
+  void note(SourceLoc loc, const std::string& msg);
+
+  const std::vector<Diagnostic>& all() const { return diags_; }
+  int warning_count() const { return warnings_; }
+  void clear();
+
+private:
+  std::vector<Diagnostic> diags_;
+  int warnings_ = 0;
+};
+
+}  // namespace fortd

@@ -1,0 +1,278 @@
+// Unit tests for the dynamic-decomposition optimizer passes and the
+// communication classifier, driven at the module level (constructed
+// inputs rather than whole programs).
+#include <gtest/gtest.h>
+
+#include "codegen/comm.hpp"
+#include "codegen/dyndecomp.hpp"
+#include "driver/compiler.hpp"
+
+namespace fortd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Communication classification
+// ---------------------------------------------------------------------------
+
+struct ClassifierFixture {
+  SymbolicEnv env;
+  DecompSpec block1d() {
+    DecompSpec s;
+    s.dists = {DistSpec{DistKind::Block, 0}};
+    return s;
+  }
+  DecompSpec coldist() {
+    DecompSpec s;
+    s.dists = {DistSpec{DistKind::None, 0}, DistSpec{DistKind::Cyclic, 0}};
+    return s;
+  }
+  ExprPtr ref1(const std::string& array, ExprPtr sub) {
+    std::vector<ExprPtr> subs;
+    subs.push_back(std::move(sub));
+    return Expr::make_array_ref(array, std::move(subs));
+  }
+  IterationSet constrain(const std::string& var, const std::string& array,
+                         int dim, int64_t off) {
+    OwnershipConstraint c;
+    c.var = var;
+    c.array = array;
+    c.dim = dim;
+    c.offset = off;
+    return IterationSet::constrained(std::move(c));
+  }
+};
+
+TEST(Classifier, SameVarZeroShiftIsLocal) {
+  ClassifierFixture fx;
+  ArrayDistribution ad("x", fx.block1d(), {{1, 100}}, 4);
+  auto ref = fx.ref1("x", Expr::make_var("i"));
+  bool rt = false;
+  auto ev = classify_reference(*ref, ad, fx.constrain("i", "x", 0, 0), ad,
+                               fx.env, &rt);
+  EXPECT_FALSE(rt);
+  EXPECT_FALSE(ev.has_value());
+}
+
+TEST(Classifier, PositiveShiftProducesShiftEvent) {
+  ClassifierFixture fx;
+  ArrayDistribution ad("x", fx.block1d(), {{1, 100}}, 4);
+  auto ref = fx.ref1(
+      "x", Expr::make_binary(BinOp::Add, Expr::make_var("i"), Expr::make_int(5)));
+  bool rt = false;
+  auto ev = classify_reference(*ref, ad, fx.constrain("i", "x", 0, 0), ad,
+                               fx.env, &rt);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->kind, CommEvent::Kind::Shift);
+  EXPECT_EQ(ev->shift, 5);
+}
+
+TEST(Classifier, ShiftWiderThanBlockFallsBackToRuntime) {
+  ClassifierFixture fx;
+  ArrayDistribution ad("x", fx.block1d(), {{1, 100}}, 4);  // block = 25
+  auto ref = fx.ref1("x", Expr::make_binary(BinOp::Add, Expr::make_var("i"),
+                                            Expr::make_int(30)));
+  bool rt = false;
+  auto ev = classify_reference(*ref, ad, fx.constrain("i", "x", 0, 0), ad,
+                               fx.env, &rt);
+  EXPECT_TRUE(rt);
+  EXPECT_FALSE(ev.has_value());
+}
+
+TEST(Classifier, LoopInvariantSubscriptBroadcasts) {
+  ClassifierFixture fx;
+  ArrayDistribution ad("a", fx.coldist(), {{1, 64}, {1, 64}}, 4);
+  // Reference a(i, k) while ownership is constrained on j: broadcast from
+  // the owner of column k.
+  std::vector<ExprPtr> subs;
+  subs.push_back(Expr::make_var("i"));
+  subs.push_back(Expr::make_var("k"));
+  auto ref = Expr::make_array_ref("a", std::move(subs));
+  bool rt = false;
+  auto ev = classify_reference(*ref, ad, fx.constrain("j", "a", 1, 0), ad,
+                               fx.env, &rt);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->kind, CommEvent::Kind::Bcast);
+  EXPECT_EQ(ev->root_index.str(), "0+k");
+}
+
+TEST(Classifier, CyclicShiftFallsBackToRuntime) {
+  ClassifierFixture fx;
+  DecompSpec cyc;
+  cyc.dists = {DistSpec{DistKind::Cyclic, 0}};
+  ArrayDistribution ad("x", cyc, {{1, 100}}, 4);
+  auto ref = fx.ref1(
+      "x", Expr::make_binary(BinOp::Add, Expr::make_var("i"), Expr::make_int(1)));
+  bool rt = false;
+  auto ev = classify_reference(*ref, ad, fx.constrain("i", "x", 0, 0), ad,
+                               fx.env, &rt);
+  EXPECT_TRUE(rt);
+  EXPECT_FALSE(ev.has_value());
+}
+
+TEST(Classifier, ReplicatedReferenceNeedsNothing) {
+  ClassifierFixture fx;
+  ArrayDistribution ad =
+      ArrayDistribution::replicated("w", {{1, 100}}, 4);
+  auto ref = fx.ref1("w", Expr::make_var("i"));
+  bool rt = false;
+  auto ev =
+      classify_reference(*ref, ad, IterationSet::universal(), std::nullopt,
+                         fx.env, &rt);
+  EXPECT_FALSE(rt);
+  EXPECT_FALSE(ev.has_value());
+}
+
+TEST(CommEventTest, SameMessageDedup) {
+  CommEvent a, b;
+  a.kind = b.kind = CommEvent::Kind::Shift;
+  a.array = b.array = "x";
+  a.dist_dim = b.dist_dim = 0;
+  a.shift = b.shift = 5;
+  a.section = b.section = {SymTriplet::constant(1, 10)};
+  EXPECT_TRUE(a.same_message(b));
+  b.shift = 4;
+  EXPECT_FALSE(a.same_message(b));
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic-decomposition optimizer on constructed programs
+// ---------------------------------------------------------------------------
+
+StmtPtr make_remap(const std::string& array, DistKind from, DistKind to) {
+  auto s = std::make_unique<Stmt>();
+  s->kind = StmtKind::Remap;
+  s->dist_target = array;
+  s->from_specs = {DistSpec{from, 0}};
+  s->dist_specs = {DistSpec{to, 0}};
+  return s;
+}
+
+StmtPtr make_use(const std::string& array) {
+  return Stmt::make_assign(
+      Expr::make_array_ref(array, [] {
+        std::vector<ExprPtr> subs;
+        subs.push_back(Expr::make_int(1));
+        return subs;
+      }()),
+      Expr::make_real(0.0));
+}
+
+SpmdProgram wrap(std::vector<StmtPtr> body) {
+  SpmdProgram spmd;
+  spmd.options.n_procs = 4;
+  auto proc = std::make_unique<Procedure>();
+  proc->name = "p";
+  proc->is_program = true;
+  VarDecl x;
+  x.name = "x";
+  x.dims.push_back({nullptr, Expr::make_int(16)});
+  proc->decls.push_back(std::move(x));
+  proc->body = std::move(body);
+  int id = 0;
+  walk_stmts(proc->body, [&](Stmt& s) { s.id = id++; });
+  proc->next_stmt_id = id;
+  spmd.ast.procedures.push_back(std::move(proc));
+  return spmd;
+}
+
+int remap_count(const SpmdProgram& spmd) {
+  int n = 0;
+  walk_stmts(spmd.ast.procedures[0]->body, [&](const Stmt& s) {
+    if (s.kind == StmtKind::Remap) ++n;
+  });
+  return n;
+}
+
+TEST(DynDecompPasses, DeadRemapEliminated) {
+  // remap -> remap with no use in between: the first is dead.
+  std::vector<StmtPtr> body;
+  body.push_back(make_remap("x", DistKind::Block, DistKind::Cyclic));
+  body.push_back(make_remap("x", DistKind::Cyclic, DistKind::Block));
+  body.push_back(make_use("x"));
+  SpmdProgram spmd = wrap(std::move(body));
+  optimize_dynamic_decomps(spmd, DynDecompOpt::Live);
+  EXPECT_EQ(remap_count(spmd), 1);
+  EXPECT_EQ(spmd.stats.remaps_eliminated_dead, 1);
+}
+
+TEST(DynDecompPasses, RedundantRemapCoalesced) {
+  // remap-to-cyclic; use; remap-to-cyclic again: the second is redundant.
+  std::vector<StmtPtr> body;
+  body.push_back(make_remap("x", DistKind::Block, DistKind::Cyclic));
+  body.push_back(make_use("x"));
+  body.push_back(make_remap("x", DistKind::Cyclic, DistKind::Cyclic));
+  body.push_back(make_use("x"));
+  SpmdProgram spmd = wrap(std::move(body));
+  optimize_dynamic_decomps(spmd, DynDecompOpt::Live);
+  EXPECT_EQ(remap_count(spmd), 1);
+  EXPECT_EQ(spmd.stats.remaps_coalesced, 1);
+}
+
+TEST(DynDecompPasses, LiveRemapKept) {
+  std::vector<StmtPtr> body;
+  body.push_back(make_remap("x", DistKind::Block, DistKind::Cyclic));
+  body.push_back(make_use("x"));
+  body.push_back(make_remap("x", DistKind::Cyclic, DistKind::Block));
+  body.push_back(make_use("x"));
+  SpmdProgram spmd = wrap(std::move(body));
+  optimize_dynamic_decomps(spmd, DynDecompOpt::Full);
+  EXPECT_EQ(remap_count(spmd), 2);
+}
+
+TEST(DynDecompPasses, InvariantRemapHoistedOutOfLoop) {
+  // do t: { remap(x -> cyclic); use(x) }  — the remap is the only one and
+  // nothing uses x before it: hoist before the loop.
+  std::vector<StmtPtr> loop_body;
+  loop_body.push_back(make_remap("x", DistKind::Block, DistKind::Cyclic));
+  loop_body.push_back(make_use("x"));
+  std::vector<StmtPtr> body;
+  body.push_back(Stmt::make_do("t", Expr::make_int(1), Expr::make_int(10),
+                               nullptr, std::move(loop_body)));
+  SpmdProgram spmd = wrap(std::move(body));
+  optimize_dynamic_decomps(spmd, DynDecompOpt::LiveInvariant);
+  // After hoisting the loop no longer contains a remap.
+  const Stmt* loop = nullptr;
+  walk_stmts(spmd.ast.procedures[0]->body, [&](const Stmt& s) {
+    if (s.kind == StmtKind::Do) loop = &s;
+  });
+  ASSERT_NE(loop, nullptr);
+  int in_loop = 0;
+  walk_stmts(loop->body, [&](const Stmt& s) {
+    if (s.kind == StmtKind::Remap) ++in_loop;
+  });
+  EXPECT_EQ(in_loop, 0);
+  EXPECT_GE(spmd.stats.remaps_hoisted, 1);
+}
+
+TEST(DynDecompPasses, NoneLevelLeavesEverything) {
+  std::vector<StmtPtr> body;
+  body.push_back(make_remap("x", DistKind::Block, DistKind::Cyclic));
+  body.push_back(make_remap("x", DistKind::Cyclic, DistKind::Block));
+  SpmdProgram spmd = wrap(std::move(body));
+  optimize_dynamic_decomps(spmd, DynDecompOpt::None);
+  EXPECT_EQ(remap_count(spmd), 2);
+}
+
+TEST(DynDecompPasses, ArrayKillConvertsToMark) {
+  // remap followed by a call that fully overwrites the array.
+  std::vector<StmtPtr> body;
+  body.push_back(make_remap("x", DistKind::Cyclic, DistKind::Block));
+  body.push_back(Stmt::make_call("killer", [] {
+    std::vector<ExprPtr> args;
+    args.push_back(Expr::make_var("x"));
+    return args;
+  }()));
+  SpmdProgram spmd = wrap(std::move(body));
+  std::map<std::string, ArrayKillSummary> kills;
+  kills["killer"].killed_formals.insert(0);
+  optimize_dynamic_decomps(spmd, DynDecompOpt::Full, kills);
+  int marks = 0;
+  walk_stmts(spmd.ast.procedures[0]->body, [&](const Stmt& s) {
+    if (s.kind == StmtKind::MarkDist) ++marks;
+  });
+  EXPECT_EQ(marks, 1);
+  EXPECT_EQ(remap_count(spmd), 0);
+}
+
+}  // namespace
+}  // namespace fortd

@@ -1,0 +1,299 @@
+// Lexer and parser tests.
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.hpp"
+#include "frontend/parser.hpp"
+
+namespace fortd {
+namespace {
+
+std::vector<Tok> kinds(const std::string& src) {
+  DiagnosticEngine diags;
+  Lexer lexer(src, diags);
+  std::vector<Tok> out;
+  for (const auto& t : lexer.tokenize()) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, BasicTokens) {
+  auto ks = kinds("x = 1 + 2.5");
+  ASSERT_EQ(ks.size(), 6u);
+  EXPECT_EQ(ks[0], Tok::Ident);
+  EXPECT_EQ(ks[1], Tok::Assign);
+  EXPECT_EQ(ks[2], Tok::IntLit);
+  EXPECT_EQ(ks[3], Tok::Plus);
+  EXPECT_EQ(ks[4], Tok::RealLit);
+  EXPECT_EQ(ks[5], Tok::Eof);
+}
+
+TEST(Lexer, KeywordsAreCaseInsensitive) {
+  auto ks = kinds("DO EnDdO Distribute ALIGN with");
+  EXPECT_EQ(ks[0], Tok::KwDo);
+  EXPECT_EQ(ks[1], Tok::KwEndDo);
+  EXPECT_EQ(ks[2], Tok::KwDistribute);
+  EXPECT_EQ(ks[3], Tok::KwAlign);
+  EXPECT_EQ(ks[4], Tok::KwWith);
+}
+
+TEST(Lexer, DotOperators) {
+  auto ks = kinds("a .eq. b .and. c .lt. d .or. .not. e");
+  std::vector<Tok> expect = {Tok::Ident, Tok::Eq,  Tok::Ident, Tok::And,
+                             Tok::Ident, Tok::Lt,  Tok::Ident, Tok::Or,
+                             Tok::Not,   Tok::Ident, Tok::Eof};
+  EXPECT_EQ(ks, expect);
+}
+
+TEST(Lexer, SymbolicRelationalOperators) {
+  auto ks = kinds("a <= b >= c == d /= e < f > g");
+  std::vector<Tok> expect = {Tok::Ident, Tok::Le, Tok::Ident, Tok::Ge,
+                             Tok::Ident, Tok::Eq, Tok::Ident, Tok::Ne,
+                             Tok::Ident, Tok::Lt, Tok::Ident, Tok::Gt,
+                             Tok::Ident, Tok::Eof};
+  EXPECT_EQ(ks, expect);
+}
+
+TEST(Lexer, CommentsAndContinuations) {
+  auto ks = kinds("a = 1 ! comment here\nb = a + &\n    2\n");
+  // a = 1 NL b = a + 2 NL EOF
+  std::vector<Tok> expect = {Tok::Ident, Tok::Assign, Tok::IntLit, Tok::Newline,
+                             Tok::Ident, Tok::Assign, Tok::Ident,  Tok::Plus,
+                             Tok::IntLit, Tok::Newline, Tok::Eof};
+  EXPECT_EQ(ks, expect);
+}
+
+TEST(Lexer, RealLiteralForms) {
+  DiagnosticEngine diags;
+  Lexer lexer("1.5 2e3 4.5e-2 .25", diags);
+  auto toks = lexer.tokenize();
+  ASSERT_GE(toks.size(), 4u);
+  EXPECT_DOUBLE_EQ(toks[0].real_val, 1.5);
+  EXPECT_DOUBLE_EQ(toks[1].real_val, 2000.0);
+  EXPECT_DOUBLE_EQ(toks[2].real_val, 0.045);
+  EXPECT_DOUBLE_EQ(toks[3].real_val, 0.25);
+}
+
+TEST(Lexer, IntDotOperatorDisambiguation) {
+  // "1.eq." must lex as IntLit 1 then .eq., not a real literal.
+  auto ks = kinds("if (1.eq.n) then");
+  EXPECT_EQ(ks[2], Tok::IntLit);
+  EXPECT_EQ(ks[3], Tok::Eq);
+}
+
+TEST(Lexer, DollarsInIdentifiers) {
+  DiagnosticEngine diags;
+  Lexer lexer("my$p ub$1", diags);
+  auto toks = lexer.tokenize();
+  EXPECT_EQ(toks[0].text, "my$p");
+  EXPECT_EQ(toks[1].text, "ub$1");
+}
+
+TEST(Lexer, UnknownCharacterThrows) {
+  DiagnosticEngine diags;
+  Lexer lexer("a # b", diags);
+  EXPECT_THROW(lexer.tokenize(), CompileError);
+}
+
+// ---------------------------------------------------------------------------
+
+const char* kSimple = R"(
+      program p1
+      real x(100)
+      integer i
+      distribute x(block)
+      do i = 1, 95
+        x(i) = f(x(i+5))
+      enddo
+      end
+)";
+
+TEST(Parser, SimpleProgramStructure) {
+  SourceProgram unit = parse_program(kSimple);
+  ASSERT_EQ(unit.procedures.size(), 1u);
+  const Procedure& p = *unit.procedures[0];
+  EXPECT_TRUE(p.is_program);
+  EXPECT_EQ(p.name, "p1");
+  ASSERT_EQ(p.decls.size(), 2u);
+  EXPECT_EQ(p.decls[0].name, "x");
+  ASSERT_EQ(p.body.size(), 2u);
+  EXPECT_EQ(p.body[0]->kind, StmtKind::Distribute);
+  EXPECT_EQ(p.body[1]->kind, StmtKind::Do);
+  ASSERT_EQ(p.body[1]->body.size(), 1u);
+  EXPECT_EQ(p.body[1]->body[0]->kind, StmtKind::Assign);
+}
+
+TEST(Parser, ArrayRefVsFuncCall) {
+  SourceProgram unit = parse_program(kSimple);
+  const Stmt& assign = *unit.procedures[0]->body[1]->body[0];
+  EXPECT_EQ(assign.lhs->kind, ExprKind::ArrayRef);  // x declared as array
+  EXPECT_EQ(assign.rhs->kind, ExprKind::FuncCall);  // f undeclared
+  EXPECT_EQ(assign.rhs->args[0]->kind, ExprKind::ArrayRef);
+}
+
+TEST(Parser, SubroutineFormalsAndCall) {
+  SourceProgram unit = parse_program(R"(
+      program p
+      real x(10)
+      call f1(x, 3)
+      end
+      subroutine f1(a, n)
+      real a(10)
+      integer n
+      a(n) = 1.0
+      end
+)");
+  ASSERT_EQ(unit.procedures.size(), 2u);
+  const Procedure& f1 = *unit.procedures[1];
+  EXPECT_FALSE(f1.is_program);
+  EXPECT_EQ(f1.formals, (std::vector<std::string>{"a", "n"}));
+  EXPECT_EQ(unit.procedures[0]->body[0]->kind, StmtKind::Call);
+  EXPECT_EQ(unit.procedures[0]->body[0]->callee, "f1");
+}
+
+TEST(Parser, AlignPermutation) {
+  SourceProgram unit = parse_program(R"(
+      program p
+      real x(10,10)
+      real y(10,10)
+      align y(i,j) with x(j,i)
+      end
+)");
+  const Stmt& align = *unit.procedures[0]->body[0];
+  EXPECT_EQ(align.kind, StmtKind::Align);
+  EXPECT_EQ(align.align_array, "y");
+  EXPECT_EQ(align.align_target, "x");
+  EXPECT_EQ(align.align_perm, (std::vector<int>{1, 0}));
+}
+
+TEST(Parser, DistributeSpecs) {
+  SourceProgram unit = parse_program(R"(
+      program p
+      real x(10,10)
+      distribute x(block, :)
+      distribute x(:, cyclic)
+      distribute x(block_cyclic(4), :)
+      end
+)");
+  const auto& body = unit.procedures[0]->body;
+  EXPECT_EQ(body[0]->dist_specs[0].kind, DistKind::Block);
+  EXPECT_EQ(body[0]->dist_specs[1].kind, DistKind::None);
+  EXPECT_EQ(body[1]->dist_specs[1].kind, DistKind::Cyclic);
+  EXPECT_EQ(body[2]->dist_specs[0].kind, DistKind::BlockCyclic);
+  EXPECT_EQ(body[2]->dist_specs[0].block_size, 4);
+}
+
+TEST(Parser, IfElseAndLogicalIf) {
+  SourceProgram unit = parse_program(R"(
+      program p
+      integer a, b
+      if (a .gt. 0) then
+        b = 1
+      else
+        b = 2
+      endif
+      if (a .lt. 0) b = 3
+      end
+)");
+  const auto& body = unit.procedures[0]->body;
+  ASSERT_EQ(body.size(), 2u);
+  EXPECT_EQ(body[0]->then_body.size(), 1u);
+  EXPECT_EQ(body[0]->else_body.size(), 1u);
+  EXPECT_EQ(body[1]->then_body.size(), 1u);
+  EXPECT_TRUE(body[1]->else_body.empty());
+}
+
+TEST(Parser, OperatorPrecedence) {
+  SourceProgram unit = parse_program(R"(
+      program p
+      integer a
+      a = 1 + 2 * 3
+      end
+)");
+  const Expr& rhs = *unit.procedures[0]->body[0]->rhs;
+  ASSERT_EQ(rhs.kind, ExprKind::Binary);
+  EXPECT_EQ(rhs.bin_op, BinOp::Add);
+  EXPECT_EQ(rhs.args[1]->bin_op, BinOp::Mul);
+}
+
+TEST(Parser, ParameterAndSymbolicBounds) {
+  SourceProgram unit = parse_program(R"(
+      program p
+      parameter (n = 10)
+      real x(n, 2*n)
+      x(1,1) = 0.0
+      end
+)");
+  EXPECT_EQ(unit.procedures[0]->params.size(), 1u);
+  EXPECT_EQ(unit.procedures[0]->decls[0].dims.size(), 2u);
+}
+
+TEST(Parser, CommonBlocks) {
+  SourceProgram unit = parse_program(R"(
+      program p
+      real x(10)
+      integer n
+      common /shared/ x, n
+      end
+)");
+  ASSERT_EQ(unit.procedures[0]->commons.size(), 1u);
+  EXPECT_EQ(unit.procedures[0]->commons[0].name, "shared");
+  EXPECT_EQ(unit.procedures[0]->commons[0].vars,
+            (std::vector<std::string>{"x", "n"}));
+}
+
+TEST(Parser, ErrorsOnMissingEnddo) {
+  EXPECT_THROW(parse_program("program p\ninteger i\ndo i = 1, 3\nend"),
+               CompileError);
+}
+
+TEST(Parser, ErrorsOnAssignToCall) {
+  EXPECT_THROW(parse_program("program p\nf(1) = 2\nend"), CompileError);
+}
+
+TEST(Parser, ErrorsOnRedeclaration) {
+  EXPECT_THROW(parse_program("program p\nreal x(5)\ninteger x\nend"),
+               CompileError);
+}
+
+TEST(Parser, LowerBoundDims) {
+  SourceProgram unit = parse_program(R"(
+      subroutine f(x, lo, hi)
+      real x(lo:hi)
+      x(lo) = 0.0
+      end
+)");
+  const VarDecl& d = unit.procedures[0]->decls[0];
+  ASSERT_EQ(d.dims.size(), 1u);
+  EXPECT_NE(d.dims[0].lb, nullptr);
+}
+
+TEST(Parser, StatementIdsAreUnique) {
+  SourceProgram unit = parse_program(kSimple);
+  std::set<int> ids;
+  int count = 0;
+  walk_stmts(unit.procedures[0]->body, [&](const Stmt& s) {
+    ids.insert(s.id);
+    ++count;
+  });
+  EXPECT_EQ(static_cast<int>(ids.size()), count);
+}
+
+TEST(Ast, CloneIsDeepAndEqual) {
+  SourceProgram unit = parse_program(kSimple);
+  auto clone = unit.procedures[0]->clone_as("copy");
+  EXPECT_EQ(clone->name, "copy");
+  EXPECT_EQ(clone->body.size(), unit.procedures[0]->body.size());
+  // Mutating the clone must not affect the original.
+  clone->body.clear();
+  EXPECT_EQ(unit.procedures[0]->body.size(), 2u);
+}
+
+TEST(Ast, StructuralEquality) {
+  auto a = Expr::make_binary(BinOp::Add, Expr::make_var("i"), Expr::make_int(5));
+  auto b = Expr::make_binary(BinOp::Add, Expr::make_var("i"), Expr::make_int(5));
+  auto c = Expr::make_binary(BinOp::Add, Expr::make_var("i"), Expr::make_int(6));
+  EXPECT_TRUE(a->structurally_equal(*b));
+  EXPECT_FALSE(a->structurally_equal(*c));
+}
+
+}  // namespace
+}  // namespace fortd
