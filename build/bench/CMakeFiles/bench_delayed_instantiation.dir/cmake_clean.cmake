@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_delayed_instantiation.dir/bench_delayed_instantiation.cpp.o"
+  "CMakeFiles/bench_delayed_instantiation.dir/bench_delayed_instantiation.cpp.o.d"
+  "bench_delayed_instantiation"
+  "bench_delayed_instantiation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_delayed_instantiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

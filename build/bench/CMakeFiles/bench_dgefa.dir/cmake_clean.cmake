@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dgefa.dir/bench_dgefa.cpp.o"
+  "CMakeFiles/bench_dgefa.dir/bench_dgefa.cpp.o.d"
+  "bench_dgefa"
+  "bench_dgefa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dgefa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dynamic_decomp.dir/bench_dynamic_decomp.cpp.o"
+  "CMakeFiles/bench_dynamic_decomp.dir/bench_dynamic_decomp.cpp.o.d"
+  "bench_dynamic_decomp"
+  "bench_dynamic_decomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic_decomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

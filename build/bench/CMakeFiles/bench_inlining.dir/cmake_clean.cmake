@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inlining.dir/bench_inlining.cpp.o"
+  "CMakeFiles/bench_inlining.dir/bench_inlining.cpp.o.d"
+  "bench_inlining"
+  "bench_inlining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inlining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

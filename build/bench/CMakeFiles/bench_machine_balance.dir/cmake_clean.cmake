@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_machine_balance.dir/bench_machine_balance.cpp.o"
+  "CMakeFiles/bench_machine_balance.dir/bench_machine_balance.cpp.o.d"
+  "bench_machine_balance"
+  "bench_machine_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_machine_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recompilation.dir/bench_recompilation.cpp.o"
+  "CMakeFiles/bench_recompilation.dir/bench_recompilation.cpp.o.d"
+  "bench_recompilation"
+  "bench_recompilation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recompilation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_runtime_resolution.dir/bench_runtime_resolution.cpp.o"
+  "CMakeFiles/bench_runtime_resolution.dir/bench_runtime_resolution.cpp.o.d"
+  "bench_runtime_resolution"
+  "bench_runtime_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_runtime_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

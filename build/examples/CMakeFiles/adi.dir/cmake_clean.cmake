@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adi.dir/adi.cpp.o"
+  "CMakeFiles/adi.dir/adi.cpp.o.d"
+  "adi"
+  "adi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dgefa.dir/dgefa.cpp.o"
+  "CMakeFiles/dgefa.dir/dgefa.cpp.o.d"
+  "dgefa"
+  "dgefa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dgefa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fortdc.dir/fortdc.cpp.o"
+  "CMakeFiles/fortdc.dir/fortdc.cpp.o.d"
+  "fortdc"
+  "fortdc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fortdc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redistribution.dir/redistribution.cpp.o"
+  "CMakeFiles/redistribution.dir/redistribution.cpp.o.d"
+  "redistribution"
+  "redistribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redistribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

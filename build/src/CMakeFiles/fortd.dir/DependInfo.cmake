@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cfg.cpp" "src/CMakeFiles/fortd.dir/analysis/cfg.cpp.o" "gcc" "src/CMakeFiles/fortd.dir/analysis/cfg.cpp.o.d"
+  "/root/repo/src/analysis/dataflow.cpp" "src/CMakeFiles/fortd.dir/analysis/dataflow.cpp.o" "gcc" "src/CMakeFiles/fortd.dir/analysis/dataflow.cpp.o.d"
+  "/root/repo/src/analysis/dependence.cpp" "src/CMakeFiles/fortd.dir/analysis/dependence.cpp.o" "gcc" "src/CMakeFiles/fortd.dir/analysis/dependence.cpp.o.d"
+  "/root/repo/src/analysis/symbolic.cpp" "src/CMakeFiles/fortd.dir/analysis/symbolic.cpp.o" "gcc" "src/CMakeFiles/fortd.dir/analysis/symbolic.cpp.o.d"
+  "/root/repo/src/codegen/codegen.cpp" "src/CMakeFiles/fortd.dir/codegen/codegen.cpp.o" "gcc" "src/CMakeFiles/fortd.dir/codegen/codegen.cpp.o.d"
+  "/root/repo/src/codegen/comm.cpp" "src/CMakeFiles/fortd.dir/codegen/comm.cpp.o" "gcc" "src/CMakeFiles/fortd.dir/codegen/comm.cpp.o.d"
+  "/root/repo/src/codegen/distribution.cpp" "src/CMakeFiles/fortd.dir/codegen/distribution.cpp.o" "gcc" "src/CMakeFiles/fortd.dir/codegen/distribution.cpp.o.d"
+  "/root/repo/src/codegen/dyndecomp.cpp" "src/CMakeFiles/fortd.dir/codegen/dyndecomp.cpp.o" "gcc" "src/CMakeFiles/fortd.dir/codegen/dyndecomp.cpp.o.d"
+  "/root/repo/src/codegen/partition.cpp" "src/CMakeFiles/fortd.dir/codegen/partition.cpp.o" "gcc" "src/CMakeFiles/fortd.dir/codegen/partition.cpp.o.d"
+  "/root/repo/src/codegen/runtime_resolution.cpp" "src/CMakeFiles/fortd.dir/codegen/runtime_resolution.cpp.o" "gcc" "src/CMakeFiles/fortd.dir/codegen/runtime_resolution.cpp.o.d"
+  "/root/repo/src/codegen/spmd_printer.cpp" "src/CMakeFiles/fortd.dir/codegen/spmd_printer.cpp.o" "gcc" "src/CMakeFiles/fortd.dir/codegen/spmd_printer.cpp.o.d"
+  "/root/repo/src/codegen/storage.cpp" "src/CMakeFiles/fortd.dir/codegen/storage.cpp.o" "gcc" "src/CMakeFiles/fortd.dir/codegen/storage.cpp.o.d"
+  "/root/repo/src/driver/compiler.cpp" "src/CMakeFiles/fortd.dir/driver/compiler.cpp.o" "gcc" "src/CMakeFiles/fortd.dir/driver/compiler.cpp.o.d"
+  "/root/repo/src/frontend/ast.cpp" "src/CMakeFiles/fortd.dir/frontend/ast.cpp.o" "gcc" "src/CMakeFiles/fortd.dir/frontend/ast.cpp.o.d"
+  "/root/repo/src/frontend/lexer.cpp" "src/CMakeFiles/fortd.dir/frontend/lexer.cpp.o" "gcc" "src/CMakeFiles/fortd.dir/frontend/lexer.cpp.o.d"
+  "/root/repo/src/frontend/parser.cpp" "src/CMakeFiles/fortd.dir/frontend/parser.cpp.o" "gcc" "src/CMakeFiles/fortd.dir/frontend/parser.cpp.o.d"
+  "/root/repo/src/ipa/call_graph.cpp" "src/CMakeFiles/fortd.dir/ipa/call_graph.cpp.o" "gcc" "src/CMakeFiles/fortd.dir/ipa/call_graph.cpp.o.d"
+  "/root/repo/src/ipa/cloning.cpp" "src/CMakeFiles/fortd.dir/ipa/cloning.cpp.o" "gcc" "src/CMakeFiles/fortd.dir/ipa/cloning.cpp.o.d"
+  "/root/repo/src/ipa/inlining.cpp" "src/CMakeFiles/fortd.dir/ipa/inlining.cpp.o" "gcc" "src/CMakeFiles/fortd.dir/ipa/inlining.cpp.o.d"
+  "/root/repo/src/ipa/overlap_prop.cpp" "src/CMakeFiles/fortd.dir/ipa/overlap_prop.cpp.o" "gcc" "src/CMakeFiles/fortd.dir/ipa/overlap_prop.cpp.o.d"
+  "/root/repo/src/ipa/reaching_decomps.cpp" "src/CMakeFiles/fortd.dir/ipa/reaching_decomps.cpp.o" "gcc" "src/CMakeFiles/fortd.dir/ipa/reaching_decomps.cpp.o.d"
+  "/root/repo/src/ipa/recompilation.cpp" "src/CMakeFiles/fortd.dir/ipa/recompilation.cpp.o" "gcc" "src/CMakeFiles/fortd.dir/ipa/recompilation.cpp.o.d"
+  "/root/repo/src/ipa/side_effects.cpp" "src/CMakeFiles/fortd.dir/ipa/side_effects.cpp.o" "gcc" "src/CMakeFiles/fortd.dir/ipa/side_effects.cpp.o.d"
+  "/root/repo/src/ipa/summaries.cpp" "src/CMakeFiles/fortd.dir/ipa/summaries.cpp.o" "gcc" "src/CMakeFiles/fortd.dir/ipa/summaries.cpp.o.d"
+  "/root/repo/src/ir/program.cpp" "src/CMakeFiles/fortd.dir/ir/program.cpp.o" "gcc" "src/CMakeFiles/fortd.dir/ir/program.cpp.o.d"
+  "/root/repo/src/ir/rsd.cpp" "src/CMakeFiles/fortd.dir/ir/rsd.cpp.o" "gcc" "src/CMakeFiles/fortd.dir/ir/rsd.cpp.o.d"
+  "/root/repo/src/ir/symbol_table.cpp" "src/CMakeFiles/fortd.dir/ir/symbol_table.cpp.o" "gcc" "src/CMakeFiles/fortd.dir/ir/symbol_table.cpp.o.d"
+  "/root/repo/src/machine/interpreter.cpp" "src/CMakeFiles/fortd.dir/machine/interpreter.cpp.o" "gcc" "src/CMakeFiles/fortd.dir/machine/interpreter.cpp.o.d"
+  "/root/repo/src/machine/network.cpp" "src/CMakeFiles/fortd.dir/machine/network.cpp.o" "gcc" "src/CMakeFiles/fortd.dir/machine/network.cpp.o.d"
+  "/root/repo/src/machine/simulator.cpp" "src/CMakeFiles/fortd.dir/machine/simulator.cpp.o" "gcc" "src/CMakeFiles/fortd.dir/machine/simulator.cpp.o.d"
+  "/root/repo/src/support/diagnostics.cpp" "src/CMakeFiles/fortd.dir/support/diagnostics.cpp.o" "gcc" "src/CMakeFiles/fortd.dir/support/diagnostics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

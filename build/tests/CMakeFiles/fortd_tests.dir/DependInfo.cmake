@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/fortd_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/fortd_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_codegen.cpp" "tests/CMakeFiles/fortd_tests.dir/test_codegen.cpp.o" "gcc" "tests/CMakeFiles/fortd_tests.dir/test_codegen.cpp.o.d"
+  "/root/repo/tests/test_dyndecomp_comm.cpp" "tests/CMakeFiles/fortd_tests.dir/test_dyndecomp_comm.cpp.o" "gcc" "tests/CMakeFiles/fortd_tests.dir/test_dyndecomp_comm.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/fortd_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/fortd_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_frontend.cpp" "tests/CMakeFiles/fortd_tests.dir/test_frontend.cpp.o" "gcc" "tests/CMakeFiles/fortd_tests.dir/test_frontend.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/fortd_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/fortd_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_ipa.cpp" "tests/CMakeFiles/fortd_tests.dir/test_ipa.cpp.o" "gcc" "tests/CMakeFiles/fortd_tests.dir/test_ipa.cpp.o.d"
+  "/root/repo/tests/test_machine.cpp" "tests/CMakeFiles/fortd_tests.dir/test_machine.cpp.o" "gcc" "tests/CMakeFiles/fortd_tests.dir/test_machine.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/fortd_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/fortd_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_rsd.cpp" "tests/CMakeFiles/fortd_tests.dir/test_rsd.cpp.o" "gcc" "tests/CMakeFiles/fortd_tests.dir/test_rsd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/fortd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fortd_tests.dir/test_analysis.cpp.o"
+  "CMakeFiles/fortd_tests.dir/test_analysis.cpp.o.d"
+  "CMakeFiles/fortd_tests.dir/test_codegen.cpp.o"
+  "CMakeFiles/fortd_tests.dir/test_codegen.cpp.o.d"
+  "CMakeFiles/fortd_tests.dir/test_dyndecomp_comm.cpp.o"
+  "CMakeFiles/fortd_tests.dir/test_dyndecomp_comm.cpp.o.d"
+  "CMakeFiles/fortd_tests.dir/test_extensions.cpp.o"
+  "CMakeFiles/fortd_tests.dir/test_extensions.cpp.o.d"
+  "CMakeFiles/fortd_tests.dir/test_frontend.cpp.o"
+  "CMakeFiles/fortd_tests.dir/test_frontend.cpp.o.d"
+  "CMakeFiles/fortd_tests.dir/test_integration.cpp.o"
+  "CMakeFiles/fortd_tests.dir/test_integration.cpp.o.d"
+  "CMakeFiles/fortd_tests.dir/test_ipa.cpp.o"
+  "CMakeFiles/fortd_tests.dir/test_ipa.cpp.o.d"
+  "CMakeFiles/fortd_tests.dir/test_machine.cpp.o"
+  "CMakeFiles/fortd_tests.dir/test_machine.cpp.o.d"
+  "CMakeFiles/fortd_tests.dir/test_properties.cpp.o"
+  "CMakeFiles/fortd_tests.dir/test_properties.cpp.o.d"
+  "CMakeFiles/fortd_tests.dir/test_rsd.cpp.o"
+  "CMakeFiles/fortd_tests.dir/test_rsd.cpp.o.d"
+  "fortd_tests"
+  "fortd_tests.pdb"
+  "fortd_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fortd_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
