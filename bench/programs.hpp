@@ -207,6 +207,40 @@ inline std::string call_chain(int depth, int64_t n) {
   return src;
 }
 
+/// A wide fan-out: the program calls `width` independent leaf subroutines
+/// once each, so the ACG has two wavefront levels (all leaves, then the
+/// program) and the leaves can be generated fully in parallel. Exercises
+/// the parallel-codegen scheduler and the procedure cache.
+/// `edited_leaf`, when in [1, width], perturbs that leaf's body
+/// (a different stencil coefficient) to model a one-procedure edit: the
+/// leaf's structural hash changes while its exported interface (same
+/// shift distance, same formals) stays identical.
+inline std::string fan_out(int width, int64_t n, int edited_leaf = 0) {
+  std::string N = std::to_string(n);
+  std::string src = R"(
+      program p
+      real x()" + N + R"()
+      integer i
+      distribute x(block)
+      do i = 1, )" + N + R"(
+        x(i) = i*1.0
+      enddo
+)";
+  for (int d = 1; d <= width; ++d)
+    src += "      call leaf" + std::to_string(d) + "(x)\n";
+  src += "      end\n";
+  for (int d = 1; d <= width; ++d) {
+    std::string coeff = d == edited_leaf ? "0.25" : "0.5";
+    std::string shift = std::to_string(1 + d % 3);
+    src += "\n      subroutine leaf" + std::to_string(d) + "(a)\n";
+    src += "      real a(" + N + ")\n      integer i\n";
+    src += "      do i = 1, " + N + " - 3\n";
+    src += "        a(i) = " + coeff + "*a(i+" + shift + ")\n";
+    src += "      enddo\n      end\n";
+  }
+  return src;
+}
+
 /// A hub procedure invoked with `variants` distinct decompositions —
 /// drives the cloning-growth study.
 inline std::string cloning_hub(int variants, int64_t n) {

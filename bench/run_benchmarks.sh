@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# Run the compile-time benchmark suite and emit machine-readable JSON so
+# the perf trajectory is tracked across PRs.
+#
+#   bench/run_benchmarks.sh [build-dir] [out-dir]
+#
+# Produces <out-dir>/BENCH_compile_time.json (google-benchmark JSON
+# format). Extend BENCHES to snapshot more suites.
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-.}"
+BENCHES="bench_compile_time"
+
+if [ ! -d "$BUILD_DIR" ]; then
+  echo "error: build directory '$BUILD_DIR' not found (run: cmake -B build -S . && cmake --build build -j)" >&2
+  exit 1
+fi
+
+for bench in $BENCHES; do
+  bin="$BUILD_DIR/bench/$bench"
+  if [ ! -x "$bin" ]; then
+    echo "error: benchmark binary '$bin' not built" >&2
+    exit 1
+  fi
+  out="$OUT_DIR/BENCH_${bench#bench_}.json"
+  echo "== $bench -> $out"
+  "$bin" --benchmark_format=json --benchmark_out="$out" \
+         --benchmark_out_format=json
+done

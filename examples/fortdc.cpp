@@ -4,9 +4,12 @@
 //
 //   fortdc [options] file.fd
 //     -p N          virtual processors (default 4)
+//     -j N          code-generation worker threads (default 1; output is
+//                   byte-identical for any value)
 //     -s STRAT      inter | intra | runtime  (default inter)
 //     -O LEVEL      dynamic-decomposition optimization: 0..3 (default 3)
 //     -run          simulate after compiling and report metrics
+//     -timings      report per-phase wall-clock timings
 //     -quiet        suppress the generated-code listing
 #include <cstdio>
 #include <cstring>
@@ -20,12 +23,15 @@ int main(int argc, char** argv) {
   using namespace fortd;
   CodegenOptions options;
   bool run = false;
+  bool timings = false;
   bool quiet = false;
   const char* path = nullptr;
 
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "-p") && i + 1 < argc) {
       options.n_procs = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "-j") && i + 1 < argc) {
+      options.jobs = std::atoi(argv[++i]);
     } else if (!std::strcmp(argv[i], "-s") && i + 1 < argc) {
       const char* s = argv[++i];
       options.strategy = !std::strcmp(s, "intra") ? Strategy::Intraprocedural
@@ -40,6 +46,8 @@ int main(int argc, char** argv) {
                                       : DynDecompOpt::Full;
     } else if (!std::strcmp(argv[i], "-run")) {
       run = true;
+    } else if (!std::strcmp(argv[i], "-timings")) {
+      timings = true;
     } else if (!std::strcmp(argv[i], "-quiet")) {
       quiet = true;
     } else if (argv[i][0] != '-') {
@@ -51,8 +59,8 @@ int main(int argc, char** argv) {
   }
   if (!path) {
     std::fprintf(stderr,
-                 "usage: fortdc [-p N] [-s inter|intra|runtime] [-O 0..3] "
-                 "[-run] [-quiet] file.fd\n");
+                 "usage: fortdc [-p N] [-j N] [-s inter|intra|runtime] "
+                 "[-O 0..3] [-run] [-timings] [-quiet] file.fd\n");
     return 2;
   }
 
@@ -78,6 +86,17 @@ int main(int argc, char** argv) {
                  st.guards_inserted, st.vectorized_messages,
                  st.delayed_comms_exported + st.delayed_comms_absorbed,
                  st.runtime_resolved_stmts);
+
+    if (timings) {
+      const CompilerStats& cs = result.stats;
+      std::fprintf(stderr,
+                   "fortdc: bind %.2fms, ipa %.2fms, overlap %.2fms, "
+                   "codegen %.2fms (jobs=%d, %d level(s), %d/%d "
+                   "generated), total %.2fms\n",
+                   cs.bind_ms, cs.ipa_ms, cs.overlap_ms, cs.codegen_ms,
+                   cs.jobs, cs.wavefront_levels, cs.generated,
+                   cs.procedures, cs.total_ms);
+    }
 
     if (run) {
       RunResult r = simulate(result.spmd);

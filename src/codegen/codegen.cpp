@@ -8,6 +8,8 @@
 #include "codegen/expr_build.hpp"
 #include "codegen/runtime_resolution.hpp"
 #include "codegen/storage.hpp"
+#include "driver/compilation_cache.hpp"
+#include "support/thread_pool.hpp"
 
 namespace fortd {
 
@@ -69,7 +71,7 @@ struct GenOut {
 
 class ProcGen {
 public:
-  ProcGen(CodeGenerator& cg, const Procedure& proc)
+  ProcGen(const CodeGenerator& cg, const Procedure& proc)
       : cg_(cg),
         proc_(proc),
         st_(cg.program_.symtab(proc.name)),
@@ -77,6 +79,11 @@ public:
         nprocs_(cg.options_.n_procs) {}
 
   std::unique_ptr<Procedure> run(ProcExports& exports);
+
+  /// This procedure's contribution to the program-wide counters. ProcGen
+  /// deliberately never writes shared CodeGenerator state: instances for
+  /// one wavefront level run concurrently.
+  const CompileStats& stats() const { return stats_; }
 
 private:
   // ---- shared helpers ----------------------------------------------------
@@ -159,11 +166,12 @@ private:
                              std::vector<StmtPtr> body, LoopCtx& lctx);
   DimDistribution constraint_dim(const OwnershipConstraint& c) const;
 
-  CodeGenerator& cg_;
+  const CodeGenerator& cg_;
   const Procedure& proc_;
   const SymbolTable& st_;
   SymbolicEnv env_;
   int nprocs_;
+  CompileStats stats_;
 
   std::map<const Stmt*, StmtPlan> plans_;
   std::map<const Stmt*, LoopPlan> loop_plans_;
@@ -833,7 +841,7 @@ ExprPtr ProcGen::owner_cond(const OwnershipConstraint& c) const {
 
 StmtPtr ProcGen::guarded(const OwnershipConstraint& c,
                          std::vector<StmtPtr> body) {
-  ++cg_.result_.stats.guards_inserted;
+  ++stats_.guards_inserted;
   return Stmt::make_if(owner_cond(c), std::move(body));
 }
 
@@ -850,7 +858,7 @@ void ProcGen::emit_scalar_bcasts(const OwnershipConstraint& c,
   for (const auto& s : scalars) {
     out.emit(Stmt::make_broadcast(s, {}, dd.owner_expr(form_to_expr(idx))),
              seq_);
-    ++cg_.result_.stats.scalar_broadcasts;
+    ++stats_.scalar_broadcasts;
     emitted_comm_ = true;
   }
 }
@@ -866,7 +874,7 @@ StmtPtr ProcGen::reduce_loop_bounds(const Stmt& loop,
                                     const OwnershipConstraint& c,
                                     std::vector<StmtPtr> body, LoopCtx& lctx) {
   using namespace build;
-  ++cg_.result_.stats.loops_bounds_reduced;
+  ++stats_.loops_bounds_reduced;
   DimDistribution dd = constraint_dim(c);
   ExprPtr lb = loop.lb->clone();
   ExprPtr ub = loop.ub->clone();
@@ -902,7 +910,7 @@ std::vector<StmtPtr> ProcGen::instantiate_event(const CommEvent& ev) {
   using namespace build;
   std::vector<StmtPtr> out;
   emitted_comm_ = true;
-  if (ev.hoisted_loops > 0) ++cg_.result_.stats.vectorized_messages;
+  if (ev.hoisted_loops > 0) ++stats_.vectorized_messages;
 
   if (ev.kind == CommEvent::Kind::ScalarBcast) {
     // Handled by emit_scalar_bcasts; not expected here.
@@ -1019,7 +1027,7 @@ void ProcGen::emit_runtime(const Stmt& s, const Stmt* ctx_stmt, GenOut& out) {
     }
     return false;
   };
-  emit_runtime_resolved_assign(s, st_, is_dist, out.stmts, cg_.result_.stats);
+  emit_runtime_resolved_assign(s, st_, is_dist, out.stmts, stats_);
   // Record the write for dependence checks at outer levels.
   if (s.lhs->kind == ExprKind::ArrayRef) {
     SymSection sec;
@@ -1174,7 +1182,7 @@ void ProcGen::gen_call(const Stmt& s, GenOut& out, LoopCtx& lctx) {
       remap->dist_specs = spec.dists;
       if (cur) remap->from_specs = cur->dists;
       out.emit(std::move(remap), seq_);
-      ++cg_.result_.stats.remaps_inserted;
+      ++stats_.remaps_inserted;
     }
   }
 
@@ -1215,7 +1223,7 @@ void ProcGen::gen_call(const Stmt& s, GenOut& out, LoopCtx& lctx) {
         else
           demand.first = std::max(demand.first, -ev.shift);
       }
-      ++cg_.result_.stats.delayed_comms_absorbed;
+      ++stats_.delayed_comms_absorbed;
       bool dup = false;
       for (const auto& f : out.floats)
         if (f.ev.same_message(ev)) dup = true;
@@ -1298,7 +1306,7 @@ void ProcGen::gen_call(const Stmt& s, GenOut& out, LoopCtx& lctx) {
       for (const auto& [bspec, bvar] : ex->decomp_before)
         if (bvar == var) remap->from_specs = bspec.dists;
       out.emit(std::move(remap), seq_);
-      ++cg_.result_.stats.remaps_inserted;
+      ++stats_.remaps_inserted;
     }
   }
   (void)lctx;
@@ -1469,7 +1477,7 @@ void ProcGen::gen_do(const Stmt& s, GenOut& out, LoopCtx& lctx) {
                                        Expr::make_var("red$" + scalar))),
                  seq_);
         emitted_comm_ = true;
-        ++cg_.result_.stats.scalar_broadcasts;
+        ++stats_.scalar_broadcasts;
       }
       break;
     }
@@ -1586,7 +1594,7 @@ void ProcGen::gen_distribute(const Stmt& s, GenOut& out, LoopCtx& lctx) {
   auto it = local_remaps_.find(&s);
   if (it == local_remaps_.end()) return;  // delayed to the caller
   for (const auto& r : it->second) {
-    if (r->kind == StmtKind::Remap) ++cg_.result_.stats.remaps_inserted;
+    if (r->kind == StmtKind::Remap) ++stats_.remaps_inserted;
     out.emit(r->clone(), seq_);
   }
   (void)lctx;
@@ -1749,7 +1757,7 @@ std::unique_ptr<Procedure> ProcGen::run(ProcExports& exports) {
   for (auto& f : top.floats) {
     if (event_would_export(f.ev)) {
       exports.pending_comms.push_back(f.ev);
-      ++cg_.result_.stats.delayed_comms_exported;
+      ++stats_.delayed_comms_exported;
     } else {
       insert_blocked(top, f, LoopCtx{});
     }
@@ -1760,7 +1768,7 @@ std::unique_ptr<Procedure> ProcGen::run(ProcExports& exports) {
   exports.iter_set = IterationSet::universal();
   if (export_constraint_ && !emitted_comm_) {
     exports.iter_set = IterationSet::constrained(*export_constraint_);
-    ++cg_.result_.stats.delayed_iter_sets_exported;
+    ++stats_.delayed_iter_sets_exported;
   } else if (export_constraint_ && emitted_comm_) {
     // Estimated export was invalidated by locally instantiated comm: the
     // statements were generated unguarded assuming the caller would guard.
@@ -1825,31 +1833,129 @@ std::unique_ptr<Procedure> ProcGen::run(ProcExports& exports) {
 // CodeGenerator
 // ===========================================================================
 
-CodeGenerator::CodeGenerator(BoundProgram& program, const IpaContext& ipa,
-                             const CodegenOptions& options)
-    : program_(program), ipa_(ipa), options_(options) {
-  overlaps_ = compute_overlap_estimates(program_, ipa_.acg, ipa_.summaries);
+namespace {
+
+/// One procedure's full contribution to the compiled program, produced
+/// either by ProcGen or by a cache hit.
+struct ProcOut {
+  std::unique_ptr<Procedure> compiled;
+  ProcExports exports;
+  std::vector<ArrayStorageInfo> storage;
+  CompileStats stats;
+  uint64_t digest = 0;
+  bool from_cache = false;
+};
+
+void accumulate(CompileStats& into, const CompileStats& d) {
+  into.vectorized_messages += d.vectorized_messages;
+  into.delayed_comms_exported += d.delayed_comms_exported;
+  into.delayed_comms_absorbed += d.delayed_comms_absorbed;
+  into.delayed_iter_sets_exported += d.delayed_iter_sets_exported;
+  into.loops_bounds_reduced += d.loops_bounds_reduced;
+  into.guards_inserted += d.guards_inserted;
+  into.scalar_broadcasts += d.scalar_broadcasts;
+  into.runtime_resolved_stmts += d.runtime_resolved_stmts;
+  into.remaps_inserted += d.remaps_inserted;
+  into.buffers_used += d.buffers_used;
+}
+
+}  // namespace
+
+CodeGenerator::CodeGenerator(const BoundProgram& program,
+                             const IpaContext& ipa,
+                             const CodegenOptions& options,
+                             CompilationCache* cache,
+                             const OverlapEstimates* overlaps)
+    : program_(program), ipa_(ipa), options_(options), cache_(cache) {
+  overlaps_ = overlaps ? *overlaps
+                       : compute_overlap_estimates(program_, ipa_.acg,
+                                                   ipa_.summaries);
 }
 
 SpmdProgram CodeGenerator::generate() {
   result_ = SpmdProgram{};
   result_.options = options_;
   result_.stats.clones_created = ipa_.clones_created;
+  exports_.clear();
+  last_generated_.clear();
 
-  for (const std::string& name : ipa_.acg.reverse_topological_order()) {
-    const Procedure* proc = program_.find(name);
-    if (!proc) continue;
-    ProcGen gen(*this, *proc);
-    ProcExports exports;
-    auto compiled = gen.run(exports);
-    compute_storage(*this, *proc, exports, result_);
-    exports_[name] = std::move(exports);
-    result_.ast.procedures.push_back(std::move(compiled));
+  const auto& procs = program_.ast.procedures;
+  std::vector<ProcOut> outs(procs.size());
+  const int jobs = std::max(1, options_.jobs);
+  std::unique_ptr<ThreadPool> pool;
+
+  // Wavefront schedule over the reverse topological order: all of a
+  // level's callees completed in earlier levels, so the level's
+  // procedures are independent and may be generated concurrently.
+  for (const std::vector<int>& level : ipa_.acg.wavefront_levels()) {
+    // Cache probe, serial: digests fold in callee exports, final since
+    // the previous level's barrier.
+    std::vector<int> pending;
+    for (int idx : level) {
+      const Procedure& proc = *procs[static_cast<size_t>(idx)];
+      ProcOut& out = outs[static_cast<size_t>(idx)];
+      if (cache_) {
+        out.digest = procedure_digest(proc, program_, ipa_, overlaps_,
+                                      options_, exports_);
+        if (auto hit = cache_->lookup(out.digest)) {
+          out.compiled = hit->compiled->clone_as(hit->compiled->name);
+          out.exports = hit->exports;
+          out.storage = hit->storage;
+          out.stats = hit->stats;
+          out.from_cache = true;
+          continue;
+        }
+      }
+      pending.push_back(idx);
+    }
+
+    auto compile_one = [&](size_t k) {
+      const int idx = pending[k];
+      const Procedure& proc = *procs[static_cast<size_t>(idx)];
+      ProcOut& out = outs[static_cast<size_t>(idx)];
+      ProcGen gen(*this, proc);
+      out.compiled = gen.run(out.exports);
+      out.stats = gen.stats();
+      out.storage = compute_storage(*this, proc, out.exports, out.stats);
+    };
+    if (jobs > 1 && pending.size() > 1) {
+      if (!pool) pool = std::make_unique<ThreadPool>(jobs - 1);
+      pool->parallel_for(pending.size(), compile_one);
+    } else {
+      for (size_t k = 0; k < pending.size(); ++k) compile_one(k);
+    }
+
+    // Level barrier: publish exports and cache entries in deterministic
+    // level order before any caller level starts.
+    for (int idx : level) {
+      ProcOut& out = outs[static_cast<size_t>(idx)];
+      const std::string& name = procs[static_cast<size_t>(idx)]->name;
+      exports_[name] = out.exports;
+      if (!out.from_cache) last_generated_.push_back(name);
+      if (cache_ && !out.from_cache) {
+        CachedProcedure entry;
+        entry.compiled = out.compiled->clone_as(out.compiled->name);
+        entry.exports = out.exports;
+        entry.storage = out.storage;
+        entry.stats = out.stats;
+        cache_->insert(out.digest, std::move(entry));
+      }
+    }
   }
 
-  // Procedures were emitted callees-first; restore source order (callers
-  // first) for readability.
-  std::reverse(result_.ast.procedures.begin(), result_.ast.procedures.end());
+  // Merge per-procedure results. Counters accumulate in reverse
+  // topological order (the serial emission order); the output AST is
+  // assembled directly in topological (source) order, which the serial
+  // walk used to reach with a post-hoc reverse.
+  for (int idx : ipa_.acg.reverse_topological_indices()) {
+    ProcOut& out = outs[static_cast<size_t>(idx)];
+    accumulate(result_.stats, out.stats);
+    result_.storage[procs[static_cast<size_t>(idx)]->name] =
+        std::move(out.storage);
+  }
+  for (int idx : ipa_.acg.topological_indices())
+    result_.ast.procedures.push_back(
+        std::move(outs[static_cast<size_t>(idx)].compiled));
 
   // Dynamic data decomposition optimization (Fig. 16/17). Array-kill
   // summaries: arrays a procedure fully overwrites before any use.
@@ -1884,7 +1990,7 @@ const ProcExports* CodeGenerator::exports_of(const std::string& proc) const {
   return it == exports_.end() ? nullptr : &it->second;
 }
 
-SpmdProgram generate_spmd(BoundProgram& program, const IpaContext& ipa,
+SpmdProgram generate_spmd(const BoundProgram& program, const IpaContext& ipa,
                           const CodegenOptions& options) {
   CodeGenerator cg(program, ipa, options);
   return cg.generate();

@@ -2,9 +2,19 @@
 // procedures in reverse topological order, exactly once each, delaying
 // instantiation of the computation partition, communication, and dynamic
 // data decomposition so callers can optimize across procedure boundaries.
+//
+// The reverse topological walk is scheduled as *wavefronts*: all
+// procedures whose callees are fully generated form one level and are
+// independent of each other, so a level's procedures can be generated
+// concurrently (options.jobs > 1) with byte-identical output — each
+// ProcGen touches only its own state, and per-level results are merged in
+// deterministic procedure order at a barrier. An optional content-hashed
+// CompilationCache short-circuits generation of procedures whose §8
+// recompilation-test inputs are unchanged since a previous compile.
 #pragma once
 
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 
@@ -16,6 +26,8 @@
 #include "ipa/overlap_prop.hpp"
 
 namespace fortd {
+
+class CompilationCache;
 
 /// Everything a compiled procedure exports to its (not yet compiled)
 /// callers — the concrete realization of "delayed instantiation".
@@ -47,16 +59,30 @@ struct ProcExports {
 
 class CodeGenerator {
 public:
-  CodeGenerator(BoundProgram& program, const IpaContext& ipa,
-                const CodegenOptions& options);
+  /// `cache`, when non-null, is consulted before generating each
+  /// procedure and filled with every procedure generated. `overlaps`,
+  /// when non-null, is copied instead of recomputed.
+  CodeGenerator(const BoundProgram& program, const IpaContext& ipa,
+                const CodegenOptions& options,
+                CompilationCache* cache = nullptr,
+                const OverlapEstimates* overlaps = nullptr);
 
-  /// Compile the whole program (one pass per procedure).
+  /// Compile the whole program (one pass per procedure), level by level
+  /// over the ACG wavefronts. Parallel schedules (options.jobs > 1)
+  /// produce output byte-identical to the serial walk.
   SpmdProgram generate();
 
   /// Exports of an already compiled procedure (test/bench introspection).
   const ProcExports* exports_of(const std::string& proc) const;
 
-  BoundProgram& program() { return program_; }
+  /// Names of the procedures that actually ran through ProcGen in the
+  /// last generate() — cache hits are excluded. Reverse topological
+  /// order.
+  const std::vector<std::string>& generated_procedures() const {
+    return last_generated_;
+  }
+
+  const BoundProgram& program() const { return program_; }
   const IpaContext& ipa() const { return ipa_; }
   const CodegenOptions& options() const { return options_; }
   const OverlapEstimates& overlaps() const { return overlaps_; }
@@ -64,16 +90,20 @@ public:
 private:
   friend class ProcGen;
 
-  BoundProgram& program_;
+  const BoundProgram& program_;
   const IpaContext& ipa_;
   CodegenOptions options_;
   OverlapEstimates overlaps_;
+  CompilationCache* cache_ = nullptr;
+  /// Exports of completed procedures. Mutated only at level barriers;
+  /// workers read entries of earlier levels concurrently.
   std::map<std::string, ProcExports> exports_;
+  std::vector<std::string> last_generated_;
   SpmdProgram result_;
 };
 
 /// Convenience wrapper: run code generation end to end.
-SpmdProgram generate_spmd(BoundProgram& program, const IpaContext& ipa,
+SpmdProgram generate_spmd(const BoundProgram& program, const IpaContext& ipa,
                           const CodegenOptions& options);
 
 }  // namespace fortd

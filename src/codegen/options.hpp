@@ -28,6 +28,10 @@ enum class DynDecompOpt {
 
 struct CodegenOptions {
   int n_procs = 4;
+  /// Worker threads for wavefront-parallel code generation (1 = serial).
+  /// Affects only the schedule: generated code is byte-identical for any
+  /// value, and the field is excluded from procedure cache digests.
+  int jobs = 1;
   Strategy strategy = Strategy::Interprocedural;
   DynDecompOpt dyn_decomp = DynDecompOpt::Full;
   /// Store nonlocal data in buffers instead of overlap regions when the

@@ -16,8 +16,10 @@ int64_t SpmdProgram::main_local_words() const {
   return words;
 }
 
-void compute_storage(CodeGenerator& cg, const Procedure& proc,
-                     const ProcExports& exports, SpmdProgram& result) {
+std::vector<ArrayStorageInfo> compute_storage(const CodeGenerator& cg,
+                                              const Procedure& proc,
+                                              const ProcExports& exports,
+                                              CompileStats& stats) {
   const SymbolTable& st = cg.program().symtab(proc.name);
   const OverlapEstimates& est = cg.overlaps();
   const int nprocs = cg.options().n_procs;
@@ -67,14 +69,14 @@ void compute_storage(CodeGenerator& cg, const Procedure& proc,
     if (cg.options().prefer_buffers ||
         info.overlap_hi > info.est_hi || info.overlap_lo > info.est_lo) {
       info.used_buffer = true;
-      ++result.stats.buffers_used;
+      ++stats.buffers_used;
     }
     info.parameterized = cg.options().parameterized_overlaps &&
                          sym->formal_index >= 0 &&
                          (info.overlap_lo > 0 || info.overlap_hi > 0);
     infos.push_back(std::move(info));
   }
-  result.storage[proc.name] = std::move(infos);
+  return infos;
 }
 
 }  // namespace fortd

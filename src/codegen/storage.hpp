@@ -5,6 +5,8 @@
 // sufficed — falling back to buffers when it did not.
 #pragma once
 
+#include <vector>
+
 #include "codegen/spmd.hpp"
 #include "ipa/cloning.hpp"
 
@@ -13,9 +15,13 @@ namespace fortd {
 class CodeGenerator;
 struct ProcExports;
 
-/// Populate `result.storage[proc]` from the compiled procedure's
-/// communication shape and the overlap estimates.
-void compute_storage(CodeGenerator& cg, const Procedure& proc,
-                     const ProcExports& exports, SpmdProgram& result);
+/// Storage layout for one procedure, from its compiled communication
+/// shape and the overlap estimates. Reads only shared analysis state, so
+/// it is safe to call from concurrent per-procedure workers; buffer
+/// fallbacks are counted into the caller-owned `stats`.
+std::vector<ArrayStorageInfo> compute_storage(const CodeGenerator& cg,
+                                              const Procedure& proc,
+                                              const ProcExports& exports,
+                                              CompileStats& stats);
 
 }  // namespace fortd

@@ -1,0 +1,137 @@
+#include "driver/compilation_cache.hpp"
+
+#include "ipa/recompilation.hpp"
+#include "ipa/summaries.hpp"
+
+namespace fortd {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void mix(uint64_t& h, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+void mix_str(uint64_t& h, const std::string& s) {
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  mix(h, s.size());
+}
+
+}  // namespace
+
+uint64_t hash_exports(const ProcExports& exports) {
+  uint64_t h = kFnvOffset;
+  mix_str(h, exports.iter_set.str());
+  mix(h, exports.pending_comms.size());
+  for (const auto& ev : exports.pending_comms) mix_str(h, ev.str());
+  for (const auto& [array, sections] : exports.sym_defs) {
+    mix_str(h, array);
+    for (const auto& sec : sections) mix_str(h, sym_section_str(sec));
+  }
+  for (const auto& v : exports.decomp_use) mix_str(h, v);
+  mix(h, exports.decomp_use.size());
+  for (const auto& v : exports.decomp_kill) mix_str(h, v);
+  mix(h, exports.decomp_kill.size());
+  for (const auto& [spec, var] : exports.decomp_before) {
+    mix_str(h, spec.str());
+    mix_str(h, var);
+  }
+  for (const auto& [spec, var] : exports.decomp_after) {
+    mix_str(h, spec.str());
+    mix_str(h, var);
+  }
+  for (const auto& v : exports.scalar_mods) mix_str(h, v);
+  mix(h, exports.contains_comm ? 1 : 0);
+  for (const auto& [array, demand] : exports.shift_demand) {
+    mix_str(h, array);
+    mix(h, static_cast<uint64_t>(demand.first));
+    mix(h, static_cast<uint64_t>(demand.second));
+  }
+  return h;
+}
+
+uint64_t hash_codegen_options(const CodegenOptions& options) {
+  uint64_t h = kFnvOffset;
+  mix(h, static_cast<uint64_t>(options.n_procs));
+  mix(h, static_cast<uint64_t>(options.strategy));
+  mix(h, static_cast<uint64_t>(options.dyn_decomp));
+  mix(h, options.prefer_buffers ? 1 : 0);
+  mix(h, options.parameterized_overlaps ? 1 : 0);
+  mix(h, options.message_vectorization ? 1 : 0);
+  // options.jobs deliberately excluded: the schedule must not change the
+  // generated code, so serial and parallel compiles share cache entries.
+  return h;
+}
+
+uint64_t procedure_digest(const Procedure& proc, const BoundProgram& program,
+                          const IpaContext& ipa,
+                          const OverlapEstimates& overlaps,
+                          const CodegenOptions& options,
+                          const std::map<std::string, ProcExports>& callee_exports) {
+  uint64_t h = kFnvOffset;
+  // Source identity: the same structural hash §8's recompilation record
+  // uses for proc_hashes.
+  auto sit = ipa.summaries.find(proc.name);
+  mix(h, sit != ipa.summaries.end() ? sit->second.hash
+                                    : hash_procedure(proc));
+  // Interprocedural inputs (Reaching, overlap estimates, callee interface
+  // summaries, run-time fallback) — shared with input_hashes.
+  mix(h, hash_codegen_inputs(proc.name, ipa, overlaps));
+  mix(h, hash_codegen_options(options));
+  // Callee exports: generation consumes the *compiled* interface of each
+  // callee (pending comms, iteration sets, decomp summary sets), which is
+  // finer-grained than the static interface summary. Call sites enumerate
+  // in deterministic site order.
+  for (const CallSiteInfo* site : ipa.acg.calls_from(proc.name)) {
+    mix_str(h, site->callee);
+    auto it = callee_exports.find(site->callee);
+    if (it != callee_exports.end()) mix(h, hash_exports(it->second));
+    // Formal names scope the exported symbolic sections; translation in
+    // the caller depends on them.
+    if (const Procedure* callee = program.find(site->callee)) {
+      for (const auto& f : callee->formals) mix_str(h, f);
+      mix(h, callee->formals.size());
+    }
+  }
+  return h;
+}
+
+std::shared_ptr<const CachedProcedure> CompilationCache::lookup(
+    uint64_t digest) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(digest);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void CompilationCache::insert(uint64_t digest, CachedProcedure entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[digest] =
+      std::make_shared<const CachedProcedure>(std::move(entry));
+}
+
+size_t CompilationCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void CompilationCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace fortd

@@ -1,0 +1,75 @@
+// Content-hashed procedure cache for interprocedural code generation.
+//
+// The paper's §8 recompilation tests decide, after an edit, which
+// procedures must be *recompiled*; this cache is the constructive
+// counterpart: generated SPMD procedures are keyed by a digest of every
+// input their generation consumed —
+//   * the structural hash of the procedure body (source identity),
+//   * hash_codegen_inputs: Reaching(P), overlap estimates, callee
+//     interface summaries, run-time fallback status (the same hash that
+//     feeds CompilationRecord.input_hashes), plus
+//   * the exports (delayed comms, iteration sets, decomposition summary
+//     sets, formal names) of every callee, available before a caller is
+//     scheduled because generation proceeds callees-first, and
+//   * the code-generation options.
+// A second compile() of a program in which k procedures changed therefore
+// regenerates only those k and the callers whose callee exports actually
+// changed — everything else is a hit and its cached SPMD AST is cloned
+// into the result.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "codegen/codegen.hpp"
+
+namespace fortd {
+
+/// Everything one procedure contributes to a compiled SpmdProgram.
+struct CachedProcedure {
+  std::shared_ptr<const Procedure> compiled;  // generated SPMD body
+  ProcExports exports;
+  std::vector<ArrayStorageInfo> storage;
+  CompileStats stats;  // this procedure's contribution to the counters
+};
+
+/// Digest of a ProcExports interface — what callers consume of a compiled
+/// callee beyond its static interface summary.
+uint64_t hash_exports(const ProcExports& exports);
+
+/// Digest of the option fields that change generated code shape.
+/// options.jobs is excluded — the schedule must not change the code.
+uint64_t hash_codegen_options(const CodegenOptions& options);
+
+/// The cache key for one procedure: structural source hash +
+/// hash_codegen_inputs (§8 recompilation-test inputs) + options + the
+/// exports and formal names of every callee. `callee_exports` must hold
+/// entries for all of the procedure's callees (guaranteed when levels are
+/// scheduled callees-first).
+uint64_t procedure_digest(const Procedure& proc, const BoundProgram& program,
+                          const IpaContext& ipa,
+                          const OverlapEstimates& overlaps,
+                          const CodegenOptions& options,
+                          const std::map<std::string, ProcExports>& callee_exports);
+
+class CompilationCache {
+public:
+  /// nullptr on miss; the entry stays owned by the cache.
+  std::shared_ptr<const CachedProcedure> lookup(uint64_t digest);
+  void insert(uint64_t digest, CachedProcedure entry);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t size() const;
+  void clear();
+
+private:
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::shared_ptr<const CachedProcedure>> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace fortd

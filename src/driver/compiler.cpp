@@ -1,8 +1,20 @@
 #include "driver/compiler.hpp"
 
+#include <chrono>
+
 #include "frontend/parser.hpp"
 
 namespace fortd {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
 
 Compiler::Compiler(CodegenOptions options, IpaOptions ipa_options)
     : options_(options), ipa_options_(ipa_options) {}
@@ -14,14 +26,44 @@ CompileResult Compiler::compile_source(std::string_view source) {
 }
 
 CompileResult Compiler::compile(SourceProgram ast) {
+  const auto t_total = std::chrono::steady_clock::now();
   CompileResult result;
+
+  auto t = std::chrono::steady_clock::now();
   result.program = bind_program(std::move(ast));
+  result.stats.bind_ms = ms_since(t);
+
+  t = std::chrono::steady_clock::now();
   result.ipa = run_ipa(result.program, ipa_options_);
+  result.stats.ipa_ms = ms_since(t);
+
+  t = std::chrono::steady_clock::now();
   result.overlaps = compute_overlap_estimates(result.program, result.ipa.acg,
                                               result.ipa.summaries);
-  result.spmd = generate_spmd(result.program, result.ipa, options_);
+  result.stats.overlap_ms = ms_since(t);
+
+  t = std::chrono::steady_clock::now();
+  const uint64_t hits0 = cache_.hits();
+  const uint64_t misses0 = cache_.misses();
+  CodeGenerator generator(result.program, result.ipa, options_, &cache_,
+                          &result.overlaps);
+  result.spmd = generator.generate();
+  result.regenerated = generator.generated_procedures();
+  result.stats.codegen_ms = ms_since(t);
+
   result.record =
       make_compilation_record(result.program, result.ipa, result.overlaps);
+
+  result.stats.total_ms = ms_since(t_total);
+  result.stats.procedures =
+      static_cast<int>(result.program.ast.procedures.size());
+  result.stats.generated = static_cast<int>(result.regenerated.size());
+  result.stats.cache_hits = static_cast<int>(cache_.hits() - hits0);
+  result.stats.cache_misses = static_cast<int>(cache_.misses() - misses0);
+  result.stats.wavefront_levels =
+      static_cast<int>(result.ipa.acg.wavefront_levels().size());
+  result.stats.jobs = options_.jobs < 1 ? 1 : options_.jobs;
+  stats_ = result.stats;
   return result;
 }
 

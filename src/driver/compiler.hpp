@@ -7,15 +7,39 @@
 // The result bundles the bound program (after interprocedural cloning),
 // the interprocedural solution, and the generated SPMD program that the
 // machine simulator executes and the pretty-printer renders.
+//
+// A Compiler instance owns a content-hashed CompilationCache that
+// persists across compile() calls: recompiling a program in which k
+// procedures changed re-runs code generation for only those k plus the
+// callers whose callee exports changed (the constructive form of §8's
+// recompilation tests). Set options.jobs > 1 for wavefront-parallel code
+// generation; output is byte-identical to the serial schedule.
 #pragma once
 
 #include <string_view>
+#include <vector>
 
 #include "codegen/codegen.hpp"
+#include "driver/compilation_cache.hpp"
 #include "ipa/recompilation.hpp"
 #include "machine/simulator.hpp"
 
 namespace fortd {
+
+/// Per-phase wall-clock timings and cache behaviour of one compile().
+struct CompilerStats {
+  double bind_ms = 0.0;
+  double ipa_ms = 0.0;
+  double overlap_ms = 0.0;
+  double codegen_ms = 0.0;
+  double total_ms = 0.0;
+  int procedures = 0;        // procedures in the (post-cloning) program
+  int generated = 0;         // ran through ProcGen this compile
+  int cache_hits = 0;        // procedures cloned from the cache
+  int cache_misses = 0;
+  int wavefront_levels = 0;  // depth of the parallel schedule
+  int jobs = 1;              // worker threads used
+};
 
 struct CompileResult {
   BoundProgram program;  // post-cloning source program
@@ -24,6 +48,11 @@ struct CompileResult {
   SpmdProgram spmd;
   /// Snapshot for recompilation analysis (§8).
   CompilationRecord record;
+  /// Phase timings + cache counters for this compile.
+  CompilerStats stats;
+  /// Procedures that actually ran through code generation (cache hits
+  /// excluded), in reverse topological order.
+  std::vector<std::string> regenerated;
 };
 
 class Compiler {
@@ -36,9 +65,18 @@ public:
 
   const CodegenOptions& options() const { return options_; }
 
+  /// The procedure cache shared by every compile() of this instance.
+  CompilationCache& cache() { return cache_; }
+  const CompilationCache& cache() const { return cache_; }
+
+  /// Stats of the most recent compile().
+  const CompilerStats& last_stats() const { return stats_; }
+
 private:
   CodegenOptions options_;
   IpaOptions ipa_options_;
+  CompilationCache cache_;
+  CompilerStats stats_;
 };
 
 /// Convenience: compile and simulate in one call.

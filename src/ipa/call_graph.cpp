@@ -88,6 +88,12 @@ AugmentedCallGraph AugmentedCallGraph::build(const BoundProgram& program) {
   if (acg.topo_.size() != program.ast.procedures.size())
     throw CompileError({}, "recursive call graph: the single-pass Fortran D "
                            "compilation strategy requires non-recursive programs");
+
+  for (size_t i = 0; i < program.ast.procedures.size(); ++i)
+    acg.index_of_[program.ast.procedures[i]->name] = static_cast<int>(i);
+  acg.topo_indices_.reserve(acg.topo_.size());
+  for (const auto& name : acg.topo_)
+    acg.topo_indices_.push_back(acg.index_of_.at(name));
   return acg;
 }
 
@@ -118,8 +124,41 @@ std::vector<std::string> AugmentedCallGraph::reverse_topological_order() const {
   return out;
 }
 
+int AugmentedCallGraph::procedure_index(const std::string& name) const {
+  auto it = index_of_.find(name);
+  return it == index_of_.end() ? -1 : it->second;
+}
+
+std::vector<int> AugmentedCallGraph::reverse_topological_indices() const {
+  std::vector<int> out(topo_indices_.rbegin(), topo_indices_.rend());
+  return out;
+}
+
+std::vector<std::vector<int>> AugmentedCallGraph::wavefront_levels() const {
+  // level(P) = 1 + max(level(callee)); leaves sit at level 0. Walking the
+  // reverse topological order guarantees every callee's level is final
+  // before its callers are placed.
+  std::map<std::string, int> level;
+  std::map<std::string, std::vector<std::string>> callees;
+  for (const auto& s : sites_) callees[s.caller].push_back(s.callee);
+  int max_level = -1;
+  for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+    int lvl = 0;
+    auto cit = callees.find(*it);
+    if (cit != callees.end())
+      for (const auto& c : cit->second)
+        lvl = std::max(lvl, level.at(c) + 1);
+    level[*it] = lvl;
+    max_level = std::max(max_level, lvl);
+  }
+  std::vector<std::vector<int>> out(static_cast<size_t>(max_level + 1));
+  for (auto it = topo_.rbegin(); it != topo_.rend(); ++it)
+    out[static_cast<size_t>(level.at(*it))].push_back(index_of_.at(*it));
+  return out;
+}
+
 bool AugmentedCallGraph::has_procedure(const std::string& name) const {
-  return std::find(topo_.begin(), topo_.end(), name) != topo_.end();
+  return index_of_.count(name) > 0;
 }
 
 }  // namespace fortd

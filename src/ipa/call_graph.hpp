@@ -55,11 +55,30 @@ public:
   /// interprocedural code generation.
   std::vector<std::string> reverse_topological_order() const;
 
+  /// Index of `name` in the program's procedure list (the node id used by
+  /// the index-based orders below), or -1 for unknown procedures.
+  int procedure_index(const std::string& name) const;
+  /// topological_order() as procedure indices — the hot-path form: code
+  /// generation indexes `program.ast.procedures` directly instead of
+  /// re-resolving names.
+  const std::vector<int>& topological_indices() const { return topo_indices_; }
+  std::vector<int> reverse_topological_indices() const;
+
+  /// Wavefront partition of the reverse topological order: level 0 holds
+  /// the leaves, and every procedure sits one level above its deepest
+  /// callee, so all of a level's callees are fully generated before the
+  /// level starts. Procedures within a level are mutually independent and
+  /// listed in reverse topological order (deterministic). Concatenating
+  /// the levels yields a valid reverse topological order.
+  std::vector<std::vector<int>> wavefront_levels() const;
+
   bool has_procedure(const std::string& name) const;
 
 private:
   std::vector<CallSiteInfo> sites_;
   std::vector<std::string> topo_;
+  std::vector<int> topo_indices_;
+  std::map<std::string, int> index_of_;
   std::map<const Stmt*, int> site_of_stmt_;
 };
 

@@ -55,6 +55,29 @@ uint64_t hash_interface(const std::string& proc, const IpaContext& ctx) {
 
 }  // namespace
 
+uint64_t hash_codegen_inputs(const std::string& proc, const IpaContext& ctx,
+                             const OverlapEstimates& overlaps) {
+  uint64_t h = 1469598103934665603ull;
+  // Reaching decompositions consumed by this procedure.
+  auto rit = ctx.reaching.reaching.find(proc);
+  if (rit != ctx.reaching.reaching.end()) mix(h, hash_reaching(rit->second));
+  // Overlap estimates consumed.
+  auto oit = overlaps.estimates.find(proc);
+  if (oit != overlaps.estimates.end())
+    for (const auto& [var, ov] : oit->second) {
+      mix_str(h, var);
+      mix_str(h, ov.str());
+    }
+  // Callee interface summaries consumed (bottom-up facts).
+  for (const CallSiteInfo* site : ctx.acg.calls_from(proc)) {
+    mix_str(h, site->callee);
+    mix(h, hash_interface(site->callee, ctx));
+  }
+  // Run-time fallback status changes code shape too.
+  mix(h, ctx.runtime_fallback.count(proc));
+  return h;
+}
+
 CompilationRecord make_compilation_record(const BoundProgram& program,
                                           const IpaContext& ctx,
                                           const OverlapEstimates& overlaps) {
@@ -64,26 +87,7 @@ CompilationRecord make_compilation_record(const BoundProgram& program,
     auto sit = ctx.summaries.find(name);
     rec.proc_hashes[name] =
         sit != ctx.summaries.end() ? sit->second.hash : hash_procedure(*proc);
-
-    uint64_t h = 1469598103934665603ull;
-    // Reaching decompositions consumed by this procedure.
-    auto rit = ctx.reaching.reaching.find(name);
-    if (rit != ctx.reaching.reaching.end()) mix(h, hash_reaching(rit->second));
-    // Overlap estimates consumed.
-    auto oit = overlaps.estimates.find(name);
-    if (oit != overlaps.estimates.end())
-      for (const auto& [var, ov] : oit->second) {
-        mix_str(h, var);
-        mix_str(h, ov.str());
-      }
-    // Callee interface summaries consumed (bottom-up facts).
-    for (const CallSiteInfo* site : ctx.acg.calls_from(name)) {
-      mix_str(h, site->callee);
-      mix(h, hash_interface(site->callee, ctx));
-    }
-    // Run-time fallback status changes code shape too.
-    mix(h, ctx.runtime_fallback.count(name));
-    rec.input_hashes[name] = h;
+    rec.input_hashes[name] = hash_codegen_inputs(name, ctx, overlaps);
   }
   return rec;
 }

@@ -27,6 +27,14 @@ struct CompilationRecord {
   std::map<std::string, uint64_t> input_hashes;  // interprocedural inputs
 };
 
+/// Hash of every interprocedural fact code generation consumes for
+/// `proc`: Reaching(P), overlap estimates, the interface summary of each
+/// callee, and run-time fallback status — the §8 recompilation-test
+/// inputs. Shared by CompilationRecord and the codegen procedure cache so
+/// both invalidate on exactly the same events.
+uint64_t hash_codegen_inputs(const std::string& proc, const IpaContext& ctx,
+                             const OverlapEstimates& overlaps);
+
 /// Snapshot the current program + interprocedural solution.
 CompilationRecord make_compilation_record(const BoundProgram& program,
                                           const IpaContext& ctx,

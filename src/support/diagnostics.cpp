@@ -1,5 +1,7 @@
 #include "support/diagnostics.hpp"
 
+#include <algorithm>
+
 namespace fortd {
 
 std::string SourceLoc::str() const {
@@ -17,21 +19,49 @@ std::string Diagnostic::str() const {
 CompileError::CompileError(SourceLoc loc, const std::string& msg)
     : std::runtime_error(loc.str() + ": error: " + msg), loc_(loc) {}
 
-void DiagnosticEngine::error(SourceLoc loc, const std::string& msg) {
-  diags_.push_back({DiagLevel::Error, loc, msg});
+void DiagnosticEngine::record(DiagLevel level, SourceLoc loc,
+                              const std::string& msg, int order_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  diags_.push_back({level, loc, msg, order_key});
+  if (level == DiagLevel::Warning) ++warnings_;
+}
+
+void DiagnosticEngine::error(SourceLoc loc, const std::string& msg,
+                             int order_key) {
+  record(DiagLevel::Error, loc, msg, order_key);
   throw CompileError(loc, msg);
 }
 
-void DiagnosticEngine::warning(SourceLoc loc, const std::string& msg) {
-  diags_.push_back({DiagLevel::Warning, loc, msg});
-  ++warnings_;
+void DiagnosticEngine::warning(SourceLoc loc, const std::string& msg,
+                               int order_key) {
+  record(DiagLevel::Warning, loc, msg, order_key);
 }
 
-void DiagnosticEngine::note(SourceLoc loc, const std::string& msg) {
-  diags_.push_back({DiagLevel::Note, loc, msg});
+void DiagnosticEngine::note(SourceLoc loc, const std::string& msg,
+                            int order_key) {
+  record(DiagLevel::Note, loc, msg, order_key);
+}
+
+std::vector<Diagnostic> DiagnosticEngine::ordered() const {
+  std::vector<Diagnostic> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = diags_;
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return a.order_key < b.order_key;
+                   });
+  return out;
+}
+
+int DiagnosticEngine::warning_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return warnings_;
 }
 
 void DiagnosticEngine::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   diags_.clear();
   warnings_ = 0;
 }

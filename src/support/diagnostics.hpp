@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -25,6 +26,11 @@ struct Diagnostic {
   DiagLevel level;
   SourceLoc loc;
   std::string message;
+  /// Ordering key for reports from concurrent compilation workers: the
+  /// procedure index of the reporting worker, or -1 for serial phases.
+  /// `ordered()` sorts by this key (stably), so parallel code generation
+  /// yields the same diagnostic order as a serial walk.
+  int order_key = -1;
 
   std::string str() const;
 };
@@ -42,17 +48,31 @@ private:
 
 /// Collects diagnostics for a compilation unit. Errors are recorded and
 /// also thrown as CompileError by `error`; warnings/notes accumulate.
+/// Reporting is thread-safe: code-generation workers may report
+/// concurrently, tagging each diagnostic with their procedure index so
+/// `ordered()` restores the deterministic serial order.
 class DiagnosticEngine {
 public:
-  [[noreturn]] void error(SourceLoc loc, const std::string& msg);
-  void warning(SourceLoc loc, const std::string& msg);
-  void note(SourceLoc loc, const std::string& msg);
+  [[noreturn]] void error(SourceLoc loc, const std::string& msg,
+                          int order_key = -1);
+  void warning(SourceLoc loc, const std::string& msg, int order_key = -1);
+  void note(SourceLoc loc, const std::string& msg, int order_key = -1);
 
+  /// Raw diagnostics in arrival order. Only meaningful once no worker is
+  /// reporting concurrently (arrival order is nondeterministic under
+  /// parallel code generation — prefer `ordered()`).
   const std::vector<Diagnostic>& all() const { return diags_; }
-  int warning_count() const { return warnings_; }
+  /// Diagnostics stably sorted by order_key: front-end reports (-1) first,
+  /// then per-procedure reports by procedure index.
+  std::vector<Diagnostic> ordered() const;
+  int warning_count() const;
   void clear();
 
 private:
+  void record(DiagLevel level, SourceLoc loc, const std::string& msg,
+              int order_key);
+
+  mutable std::mutex mu_;
   std::vector<Diagnostic> diags_;
   int warnings_ = 0;
 };

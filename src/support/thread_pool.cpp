@@ -1,0 +1,93 @@
+#include "support/thread_pool.hpp"
+
+namespace fortd {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads < 0) threads = 0;
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (fn_ != nullptr && generation_ != seen && next_ < total_);
+      });
+      if (stop_) return;
+      seen = generation_;
+    }
+    drain_batch();
+  }
+}
+
+void ThreadPool::drain_batch() {
+  for (;;) {
+    size_t i;
+    const std::function<void(size_t)>* fn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (fn_ == nullptr || next_ >= total_) return;
+      i = next_++;
+      fn = fn_;
+    }
+    std::exception_ptr err;
+    try {
+      (*fn)(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (err) errors_[i] = err;
+      if (++completed_ == total_) {
+        done_cv_.notify_all();
+        return;
+      }
+    }
+  }
+}
+
+void ThreadPool::parallel_for(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    // Inline: still capture-and-rethrow so behaviour matches the pool.
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    next_ = 0;
+    total_ = n;
+    completed_ = 0;
+    ++generation_;
+    errors_.assign(n, nullptr);
+  }
+  work_cv_.notify_all();
+  drain_batch();  // the caller works too
+  std::vector<std::exception_ptr> errors;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return completed_ == total_; });
+    fn_ = nullptr;
+    errors = std::move(errors_);
+    errors_.clear();
+  }
+  for (auto& e : errors)
+    if (e) std::rethrow_exception(e);
+}
+
+}  // namespace fortd

@@ -1,0 +1,55 @@
+// A small fixed-size worker pool for the compilation scheduler. One batch
+// runs at a time: parallel_for(n, fn) executes fn(0..n-1) across the
+// workers and blocks until every index completed. Exceptions thrown by fn
+// are captured per index and the lowest-index one is rethrown after the
+// batch drains, so failures surface in the same order a serial loop would
+// report them.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fortd {
+
+class ThreadPool {
+public:
+  /// Spawns `threads` workers (0 = run every batch inline on the caller).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Run fn(i) for every i in [0, n). The caller participates in the
+  /// batch, so a pool of k workers applies k+1 threads. Blocks until all
+  /// indices finished; rethrows the lowest-index captured exception.
+  void parallel_for(size_t n, const std::function<void(size_t)>& fn);
+
+private:
+  void worker_loop();
+  /// Claim and run indices of the current batch until it is exhausted.
+  void drain_batch();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for a batch
+  std::condition_variable done_cv_;   // parallel_for waits for completion
+  bool stop_ = false;
+
+  // Current batch (guarded by mu_).
+  const std::function<void(size_t)>* fn_ = nullptr;
+  size_t next_ = 0;
+  size_t total_ = 0;
+  size_t completed_ = 0;
+  uint64_t generation_ = 0;  // bumped per batch so workers don't rejoin
+  std::vector<std::exception_ptr> errors_;
+};
+
+}  // namespace fortd
