@@ -8,6 +8,7 @@
 
 #include "frontend/parser.hpp"
 #include "driver/compiler.hpp"
+#include "support/thread_pool.hpp"
 #include "programs.hpp"
 
 namespace {
@@ -71,6 +72,51 @@ void BM_ParallelCodegen(benchmark::State& state) {
   state.counters["procs"] = 33;
 }
 
+void BM_ParallelIpa(benchmark::State& state) {
+  // Wavefront-parallel interprocedural analysis: summaries are
+  // embarrassingly parallel, side effects / reaching run level-by-level
+  // over the ACG. shape 0 = 32-leaf fan-out (one wide level), shape 1 =
+  // dgefa (serial idamax chain feeding a wide daxpy level).
+  const int jobs = static_cast<int>(state.range(0));
+  const bool shaped = state.range(1) != 0;
+  std::string src = shaped ? fortd::bench::dgefa(64)
+                           : fortd::bench::fan_out(32, 512);
+  fortd::ThreadPool pool(jobs - 1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    fortd::BoundProgram bp = fortd::parse_and_bind(src);
+    state.ResumeTiming();
+    fortd::IpaContext ctx =
+        fortd::run_ipa(bp, {}, jobs > 1 ? &pool : nullptr);
+    { auto sink = ctx.summaries.size(); benchmark::DoNotOptimize(sink); }
+  }
+  state.counters["jobs"] = jobs;
+}
+
+void BM_IncrementalClone(benchmark::State& state) {
+  // Cloning fixed point over a hub with 4 conflicting decompositions plus
+  // 24 untouched leaves: the incremental rounds re-analyze only the new
+  // clones and the retargeted main program, carrying the leaves over.
+  const bool incremental = state.range(0) != 0;
+  std::string src = fortd::bench::cloning_fanout(24, 4, 64);
+  fortd::IpaOptions opts;
+  opts.incremental = incremental;
+  fortd::IpaStats stats;
+  for (auto _ : state) {
+    state.PauseTiming();
+    fortd::BoundProgram bp = fortd::parse_and_bind(src);
+    state.ResumeTiming();
+    fortd::IpaContext ctx = fortd::run_ipa(bp, opts);
+    stats = ctx.stats;
+    { auto sink = ctx.clones_created; benchmark::DoNotOptimize(sink); }
+  }
+  state.counters["rounds"] = stats.rounds;
+  state.counters["sum_computed"] = stats.summaries_computed;
+  state.counters["sum_reused"] = stats.summaries_reused;
+  state.counters["fx_reused"] = stats.effects_reused;
+  state.counters["rd_reused"] = stats.reaching_reused;
+}
+
 void BM_CachedRecompile(benchmark::State& state) {
   // Second compile() of a 32-leaf program with exactly one leaf body
   // edited: the procedure cache regenerates only the edited leaf (its
@@ -78,18 +124,21 @@ void BM_CachedRecompile(benchmark::State& state) {
   std::string base = fortd::bench::fan_out(32, 512);
   std::string edited = fortd::bench::fan_out(32, 512, /*edited_leaf=*/7);
   int regenerated = -1;
+  int summaries_computed = -1;
   for (auto _ : state) {
     state.PauseTiming();
     fortd::CodegenOptions opt;
     opt.n_procs = 8;
     fortd::Compiler compiler(opt);
-    compiler.compile_source(base);  // warm the cache (untimed)
+    compiler.compile_source(base);  // warm the caches (untimed)
     state.ResumeTiming();
     auto r = compiler.compile_source(edited);
     regenerated = static_cast<int>(r.regenerated.size());
+    summaries_computed = r.stats.summaries_computed;
     { auto sink = r.spmd.ast.procedures.size(); benchmark::DoNotOptimize(sink); }
   }
   state.counters["regenerated"] = regenerated;
+  state.counters["sum_computed"] = summaries_computed;
   state.counters["procs"] = 33;
 }
 
@@ -131,6 +180,11 @@ BENCHMARK(BM_InterproceduralPropagation)->Arg(4)->Arg(16)->Arg(64)->Unit(benchma
 BENCHMARK(BM_CodeGeneration)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ParallelCodegen)->ArgName("jobs")->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_ParallelIpa)->ArgNames({"jobs", "shape"})
+    ->Args({1, 0})->Args({2, 0})->Args({4, 0})->Args({1, 1})->Args({4, 1})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_IncrementalClone)->ArgName("incremental")->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CachedRecompile)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FullCompile)->Arg(4)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_VectorizationAblation)->Arg(0)->Arg(1)->Iterations(1)->Unit(benchmark::kMillisecond);

@@ -267,4 +267,43 @@ inline std::string cloning_hub(int variants, int64_t n) {
   return src;
 }
 
+/// `width` independent stencil leaves plus a hub invoked under `variants`
+/// distinct decompositions. The cloning fixed point needs an extra round
+/// for the hub's clones while the leaves never change, so incremental IPA
+/// re-analyzes only the clones and the retargeted main program — the
+/// leaves' summaries/effects/reaching are carried over.
+inline std::string cloning_fanout(int width, int variants, int64_t n) {
+  std::string N = std::to_string(n);
+  std::string src = "      program p\n";
+  src += "      real x(" + N + ")\n";
+  for (int v = 0; v < variants; ++v)
+    src += "      real a" + std::to_string(v) + "(" + N + "," + N + ")\n";
+  src += "      integer i\n";
+  src += "      distribute x(block)\n";
+  for (int v = 0; v < variants; ++v)
+    src += "      distribute a" + std::to_string(v) + "(block_cyclic(" +
+           std::to_string(v + 1) + "),:)\n";
+  src += "      do i = 1, " + N + "\n        x(i) = i*1.0\n      enddo\n";
+  for (int d = 1; d <= width; ++d)
+    src += "      call leaf" + std::to_string(d) + "(x)\n";
+  for (int v = 0; v < variants; ++v) {
+    src += "      do i = 1, " + N + "\n";
+    src += "        call hub(a" + std::to_string(v) + ", i)\n";
+    src += "      enddo\n";
+  }
+  src += "      end\n";
+  for (int d = 1; d <= width; ++d) {
+    std::string shift = std::to_string(1 + d % 3);
+    src += "\n      subroutine leaf" + std::to_string(d) + "(a)\n";
+    src += "      real a(" + N + ")\n      integer i\n";
+    src += "      do i = 1, " + N + " - 3\n";
+    src += "        a(i) = 0.5*a(i+" + shift + ")\n";
+    src += "      enddo\n      end\n";
+  }
+  src += "\n      subroutine hub(z, i)\n      real z(" + N + "," + N + ")\n";
+  src += "      integer i, k\n      do k = 1, " + N + " - 1\n";
+  src += "        z(k,i) = 0.5*z(k+1,i)\n      enddo\n      end\n";
+  return src;
+}
+
 }  // namespace fortd::bench

@@ -5,12 +5,17 @@
 #   bench/run_benchmarks.sh [build-dir] [out-dir]
 #
 # Produces <out-dir>/BENCH_compile_time.json (google-benchmark JSON
-# format). Extend BENCHES to snapshot more suites.
+# format), covering the full suite registered in bench_compile_time.cpp —
+# including BM_ParallelIpa and BM_IncrementalClone — so CI can diff the
+# IPA counters (sum_computed / sum_reused / regenerated) across PRs.
+# Extend BENCHES to snapshot more suites; set BENCHMARK_FILTER to run a
+# subset (google-benchmark --benchmark_filter syntax).
 set -eu
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-.}"
 BENCHES="bench_compile_time"
+FILTER="${BENCHMARK_FILTER:-}"
 
 if [ ! -d "$BUILD_DIR" ]; then
   echo "error: build directory '$BUILD_DIR' not found (run: cmake -B build -S . && cmake --build build -j)" >&2
@@ -25,6 +30,11 @@ for bench in $BENCHES; do
   fi
   out="$OUT_DIR/BENCH_${bench#bench_}.json"
   echo "== $bench -> $out"
-  "$bin" --benchmark_format=json --benchmark_out="$out" \
-         --benchmark_out_format=json
+  if [ -n "$FILTER" ]; then
+    "$bin" --benchmark_format=json --benchmark_out="$out" \
+           --benchmark_out_format=json --benchmark_filter="$FILTER"
+  else
+    "$bin" --benchmark_format=json --benchmark_out="$out" \
+           --benchmark_out_format=json
+  fi
 done

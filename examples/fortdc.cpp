@@ -96,6 +96,14 @@ int main(int argc, char** argv) {
                    cs.bind_ms, cs.ipa_ms, cs.overlap_ms, cs.codegen_ms,
                    cs.jobs, cs.wavefront_levels, cs.generated,
                    cs.procedures, cs.total_ms);
+      std::fprintf(stderr,
+                   "fortdc: ipa %d round(s) (%d incremental), summaries "
+                   "%d computed / %d cached / %d reused, effects %d "
+                   "reused, reaching %d reused\n",
+                   cs.ipa_rounds, cs.ipa_rounds_incremental,
+                   cs.summaries_computed, cs.summaries_cached,
+                   cs.summaries_reused, cs.effects_reused,
+                   cs.reaching_reused);
     }
 
     if (run) {

@@ -1865,8 +1865,10 @@ CodeGenerator::CodeGenerator(const BoundProgram& program,
                              const IpaContext& ipa,
                              const CodegenOptions& options,
                              CompilationCache* cache,
-                             const OverlapEstimates* overlaps)
-    : program_(program), ipa_(ipa), options_(options), cache_(cache) {
+                             const OverlapEstimates* overlaps,
+                             ThreadPool* pool)
+    : program_(program), ipa_(ipa), options_(options), cache_(cache),
+      pool_(pool) {
   overlaps_ = overlaps ? *overlaps
                        : compute_overlap_estimates(program_, ipa_.acg,
                                                    ipa_.summaries);
@@ -1882,7 +1884,8 @@ SpmdProgram CodeGenerator::generate() {
   const auto& procs = program_.ast.procedures;
   std::vector<ProcOut> outs(procs.size());
   const int jobs = std::max(1, options_.jobs);
-  std::unique_ptr<ThreadPool> pool;
+  ThreadPool* pool = pool_;           // borrowed (shared with IPA) ...
+  std::unique_ptr<ThreadPool> local;  // ... or transient when none given
 
   // Wavefront schedule over the reverse topological order: all of a
   // level's callees completed in earlier levels, so the level's
@@ -1919,7 +1922,10 @@ SpmdProgram CodeGenerator::generate() {
       out.storage = compute_storage(*this, proc, out.exports, out.stats);
     };
     if (jobs > 1 && pending.size() > 1) {
-      if (!pool) pool = std::make_unique<ThreadPool>(jobs - 1);
+      if (!pool) {
+        local = std::make_unique<ThreadPool>(jobs - 1);
+        pool = local.get();
+      }
       pool->parallel_for(pending.size(), compile_one);
     } else {
       for (size_t k = 0; k < pending.size(); ++k) compile_one(k);

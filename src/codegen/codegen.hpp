@@ -61,11 +61,14 @@ class CodeGenerator {
 public:
   /// `cache`, when non-null, is consulted before generating each
   /// procedure and filled with every procedure generated. `overlaps`,
-  /// when non-null, is copied instead of recomputed.
+  /// when non-null, is copied instead of recomputed. `pool`, when
+  /// non-null, is borrowed for parallel schedules (options.jobs > 1);
+  /// otherwise generate() creates a transient pool of its own.
   CodeGenerator(const BoundProgram& program, const IpaContext& ipa,
                 const CodegenOptions& options,
                 CompilationCache* cache = nullptr,
-                const OverlapEstimates* overlaps = nullptr);
+                const OverlapEstimates* overlaps = nullptr,
+                ThreadPool* pool = nullptr);
 
   /// Compile the whole program (one pass per procedure), level by level
   /// over the ACG wavefronts. Parallel schedules (options.jobs > 1)
@@ -95,6 +98,7 @@ private:
   CodegenOptions options_;
   OverlapEstimates overlaps_;
   CompilationCache* cache_ = nullptr;
+  ThreadPool* pool_ = nullptr;  // borrowed; may be null
   /// Exports of completed procedures. Mutated only at level barriers;
   /// workers read entries of earlier levels concurrently.
   std::map<std::string, ProcExports> exports_;

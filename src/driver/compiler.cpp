@@ -1,5 +1,6 @@
 #include "driver/compiler.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "frontend/parser.hpp"
@@ -19,6 +20,12 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
 Compiler::Compiler(CodegenOptions options, IpaOptions ipa_options)
     : options_(options), ipa_options_(ipa_options) {}
 
+ThreadPool* Compiler::pool() {
+  if (!pool_)
+    pool_ = std::make_unique<ThreadPool>(std::max(1, options_.jobs) - 1);
+  return pool_.get();
+}
+
 CompileResult Compiler::compile_source(std::string_view source) {
   DiagnosticEngine diags;
   Parser parser(source, diags);
@@ -34,7 +41,7 @@ CompileResult Compiler::compile(SourceProgram ast) {
   result.stats.bind_ms = ms_since(t);
 
   t = std::chrono::steady_clock::now();
-  result.ipa = run_ipa(result.program, ipa_options_);
+  result.ipa = run_ipa(result.program, ipa_options_, pool(), &summary_cache_);
   result.stats.ipa_ms = ms_since(t);
 
   t = std::chrono::steady_clock::now();
@@ -46,7 +53,7 @@ CompileResult Compiler::compile(SourceProgram ast) {
   const uint64_t hits0 = cache_.hits();
   const uint64_t misses0 = cache_.misses();
   CodeGenerator generator(result.program, result.ipa, options_, &cache_,
-                          &result.overlaps);
+                          &result.overlaps, pool());
   result.spmd = generator.generate();
   result.regenerated = generator.generated_procedures();
   result.stats.codegen_ms = ms_since(t);
@@ -63,6 +70,14 @@ CompileResult Compiler::compile(SourceProgram ast) {
   result.stats.wavefront_levels =
       static_cast<int>(result.ipa.acg.wavefront_levels().size());
   result.stats.jobs = options_.jobs < 1 ? 1 : options_.jobs;
+  const IpaStats& is = result.ipa.stats;
+  result.stats.ipa_rounds = is.rounds;
+  result.stats.ipa_rounds_incremental = is.rounds_incremental;
+  result.stats.summaries_computed = is.summaries_computed;
+  result.stats.summaries_cached = is.summaries_cached;
+  result.stats.summaries_reused = is.summaries_reused;
+  result.stats.effects_reused = is.effects_reused;
+  result.stats.reaching_reused = is.reaching_reused;
   stats_ = result.stats;
   return result;
 }
@@ -71,7 +86,10 @@ RunResult compile_and_run(std::string_view source, const CodegenOptions& options
                           CostModel cost_model) {
   Compiler compiler(options);
   CompileResult r = compiler.compile_source(source);
-  return simulate(r.spmd, cost_model);
+  // Reuse the compiler's pool for the simulated processors; Machine grows
+  // it to cover options.n_procs concurrent processor bodies.
+  Machine machine(cost_model, compiler.pool());
+  return machine.run(r.spmd);
 }
 
 }  // namespace fortd

@@ -16,13 +16,16 @@
 // generation; output is byte-identical to the serial schedule.
 #pragma once
 
+#include <memory>
 #include <string_view>
 #include <vector>
 
 #include "codegen/codegen.hpp"
 #include "driver/compilation_cache.hpp"
 #include "ipa/recompilation.hpp"
+#include "ipa/summary_cache.hpp"
 #include "machine/simulator.hpp"
+#include "support/thread_pool.hpp"
 
 namespace fortd {
 
@@ -39,6 +42,15 @@ struct CompilerStats {
   int cache_misses = 0;
   int wavefront_levels = 0;  // depth of the parallel schedule
   int jobs = 1;              // worker threads used
+
+  // IPA phase counters (see IpaStats).
+  int ipa_rounds = 0;              // cloning fixed-point iterations
+  int ipa_rounds_incremental = 0;  // rounds served by dirty-set recompute
+  int summaries_computed = 0;      // procedures that ran local analysis
+  int summaries_cached = 0;        // served by the IpaSummaryCache
+  int summaries_reused = 0;        // carried unchanged between rounds
+  int effects_reused = 0;
+  int reaching_reused = 0;
 };
 
 struct CompileResult {
@@ -69,6 +81,16 @@ public:
   CompilationCache& cache() { return cache_; }
   const CompilationCache& cache() const { return cache_; }
 
+  /// The per-procedure summary cache (the IPA analogue of cache()).
+  IpaSummaryCache& summary_cache() { return summary_cache_; }
+  const IpaSummaryCache& summary_cache() const { return summary_cache_; }
+
+  /// The worker pool shared by IPA, code generation, and (through
+  /// compile_and_run) the machine simulator. Created lazily with
+  /// options().jobs - 1 workers — with jobs == 1 every batch runs inline
+  /// on the caller, so the pool costs nothing.
+  ThreadPool* pool();
+
   /// Stats of the most recent compile().
   const CompilerStats& last_stats() const { return stats_; }
 
@@ -76,6 +98,8 @@ private:
   CodegenOptions options_;
   IpaOptions ipa_options_;
   CompilationCache cache_;
+  IpaSummaryCache summary_cache_;
+  std::unique_ptr<ThreadPool> pool_;
   CompilerStats stats_;
 };
 

@@ -66,6 +66,13 @@ AugmentedCallGraph AugmentedCallGraph::build(const BoundProgram& program) {
     visit(proc->body);
   }
 
+  // Per-caller / per-callee call-site indices: calls_to/calls_from are on
+  // the hot path of every interprocedural phase and must not scan sites_.
+  for (const auto& site : acg.sites_) {
+    acg.sites_from_[site.caller].push_back(site.site_id);
+    acg.sites_to_[site.callee].push_back(site.site_id);
+  }
+
   // Topological sort (Kahn) over the procedure call DAG.
   std::map<std::string, int> in_degree;
   std::map<std::string, std::vector<std::string>> succs;
@@ -77,10 +84,10 @@ AugmentedCallGraph AugmentedCallGraph::build(const BoundProgram& program) {
   std::vector<std::string> ready;
   for (const auto& proc : program.ast.procedures)
     if (in_degree[proc->name] == 0) ready.push_back(proc->name);
-  // Keep source order deterministic.
-  while (!ready.empty()) {
-    std::string p = ready.front();
-    ready.erase(ready.begin());
+  // Keep source order deterministic; the worklist is drained through a
+  // head index instead of erase(begin()) (which made Kahn quadratic).
+  for (size_t head = 0; head < ready.size(); ++head) {
+    std::string p = ready[head];
     acg.topo_.push_back(p);
     for (const auto& q : succs[p])
       if (--in_degree[q] == 0) ready.push_back(q);
@@ -100,16 +107,20 @@ AugmentedCallGraph AugmentedCallGraph::build(const BoundProgram& program) {
 std::vector<const CallSiteInfo*> AugmentedCallGraph::calls_to(
     const std::string& callee) const {
   std::vector<const CallSiteInfo*> out;
-  for (const auto& s : sites_)
-    if (s.callee == callee) out.push_back(&s);
+  auto it = sites_to_.find(callee);
+  if (it == sites_to_.end()) return out;
+  out.reserve(it->second.size());
+  for (int id : it->second) out.push_back(&sites_[static_cast<size_t>(id)]);
   return out;
 }
 
 std::vector<const CallSiteInfo*> AugmentedCallGraph::calls_from(
     const std::string& caller) const {
   std::vector<const CallSiteInfo*> out;
-  for (const auto& s : sites_)
-    if (s.caller == caller) out.push_back(&s);
+  auto it = sites_from_.find(caller);
+  if (it == sites_from_.end()) return out;
+  out.reserve(it->second.size());
+  for (int id : it->second) out.push_back(&sites_[static_cast<size_t>(id)]);
   return out;
 }
 
@@ -154,6 +165,28 @@ std::vector<std::vector<int>> AugmentedCallGraph::wavefront_levels() const {
   std::vector<std::vector<int>> out(static_cast<size_t>(max_level + 1));
   for (auto it = topo_.rbegin(); it != topo_.rend(); ++it)
     out[static_cast<size_t>(level.at(*it))].push_back(index_of_.at(*it));
+  return out;
+}
+
+std::vector<std::vector<int>> AugmentedCallGraph::top_down_levels() const {
+  // Dual of wavefront_levels(): level(P) = 1 + max(level(caller)); roots
+  // (procedures without callers — the main program) sit at level 0.
+  // Walking the forward topological order guarantees every caller's level
+  // is final before its callees are placed.
+  std::map<std::string, int> level;
+  int max_level = -1;
+  for (const auto& name : topo_) {
+    int lvl = 0;
+    auto sit = sites_to_.find(name);
+    if (sit != sites_to_.end())
+      for (int id : sit->second)
+        lvl = std::max(lvl, level.at(sites_[static_cast<size_t>(id)].caller) + 1);
+    level[name] = lvl;
+    max_level = std::max(max_level, lvl);
+  }
+  std::vector<std::vector<int>> out(static_cast<size_t>(max_level + 1));
+  for (const auto& name : topo_)
+    out[static_cast<size_t>(level.at(name))].push_back(index_of_.at(name));
   return out;
 }
 

@@ -72,10 +72,22 @@ public:
   /// the levels yields a valid reverse topological order.
   std::vector<std::vector<int>> wavefront_levels() const;
 
+  /// Dual partition for top-down phases (reaching-decomposition
+  /// propagation): level 0 holds the roots (procedures with no callers),
+  /// and every procedure sits one level below its deepest caller, so all
+  /// of a level's callers are fully processed before the level starts.
+  /// Procedures within a level are listed in topological order
+  /// (deterministic); concatenating the levels yields a valid topological
+  /// order.
+  std::vector<std::vector<int>> top_down_levels() const;
+
   bool has_procedure(const std::string& name) const;
 
 private:
   std::vector<CallSiteInfo> sites_;
+  // Per-caller / per-callee indices into sites_, in site-id (source) order.
+  std::map<std::string, std::vector<int>> sites_from_;
+  std::map<std::string, std::vector<int>> sites_to_;
   std::vector<std::string> topo_;
   std::vector<int> topo_indices_;
   std::map<std::string, int> index_of_;

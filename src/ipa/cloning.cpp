@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "ipa/summary_cache.hpp"
+#include "support/thread_pool.hpp"
+
 namespace fortd {
 
 namespace {
@@ -55,7 +58,7 @@ void retarget_call(BoundProgram& program, const std::string& caller,
 }  // namespace
 
 int apply_cloning_pass(BoundProgram& program, IpaContext& ctx,
-                       const IpaOptions& options) {
+                       const IpaOptions& options, CloneDelta* delta) {
   if (!options.enable_cloning) return 0;
   int clones = 0;
 
@@ -102,8 +105,14 @@ int apply_cloning_pass(BoundProgram& program, IpaContext& ctx,
       auto oit = ctx.clone_origin.find(name);
       if (oit != ctx.clone_origin.end()) origin = oit->second;
       ctx.clone_origin[clone_name] = origin;
-      for (const CallSiteInfo* site : partitions[order[i]])
+      for (const CallSiteInfo* site : partitions[order[i]]) {
         retarget_call(program, site->caller, site->stmt, clone_name);
+        if (delta) delta->retargeted_callers.insert(site->caller);
+      }
+      if (delta) {
+        delta->new_clones.push_back(clone_name);
+        delta->cloned_origins.insert(name);
+      }
       ++clones;
       // `proc` pointer may have been invalidated by add_procedure's
       // vector growth; refetch.
@@ -114,14 +123,78 @@ int apply_cloning_pass(BoundProgram& program, IpaContext& ctx,
   return clones;
 }
 
-IpaContext run_ipa(BoundProgram& program, const IpaOptions& options) {
+IpaContext run_ipa(BoundProgram& program, const IpaOptions& options,
+                   ThreadPool* pool, IpaSummaryCache* summary_cache) {
   IpaContext ctx;
+  CloneDelta delta;
+  bool have_delta = false;  // false on the first round: everything is new
   for (int round = 0; round < 64; ++round) {
+    ++ctx.stats.rounds;
     ctx.acg = AugmentedCallGraph::build(program);
-    ctx.summaries = compute_all_summaries(program);
-    ctx.effects = compute_side_effects(program, ctx.acg, ctx.summaries);
-    ctx.reaching = compute_reaching_decomps(program, ctx.acg, ctx.summaries);
-    if (apply_cloning_pass(program, ctx, options) == 0) break;
+    const int n = static_cast<int>(program.ast.procedures.size());
+    SummaryPhaseStats sum_stats;
+
+    if (!have_delta || !options.incremental) {
+      ctx.summaries =
+          compute_all_summaries(program, pool, summary_cache, &sum_stats);
+      std::set<std::string> all;
+      for (const auto& proc : program.ast.procedures) all.insert(proc->name);
+      ctx.effects = SideEffects{};
+      update_side_effects(program, ctx.acg, ctx.summaries, all, ctx.effects,
+                          pool);
+      ctx.reaching = ReachingDecomps{};
+      update_reaching_decomps(program, ctx.acg, ctx.summaries, all,
+                              ctx.reaching, pool);
+    } else {
+      ++ctx.stats.rounds_incremental;
+      // Summaries: only bodies of new clones and retargeted callers
+      // changed (retargeting rewrites `s.callee`, so their hashes and
+      // LocalReaching entries differ); everything else is carried over.
+      // Statement pointers stay valid across rounds — statements are
+      // individually heap-allocated and cloning only appends procedures.
+      std::set<std::string> dirty_sum = delta.retargeted_callers;
+      dirty_sum.insert(delta.new_clones.begin(), delta.new_clones.end());
+      std::vector<std::string> names;  // deterministic program order
+      for (const auto& proc : program.ast.procedures)
+        if (dirty_sum.count(proc->name)) names.push_back(proc->name);
+      compute_summaries_into(program, names, ctx.summaries, pool,
+                             summary_cache, &sum_stats);
+      ctx.stats.summaries_reused += n - static_cast<int>(names.size());
+
+      // Side effects flow bottom-up: close the dirty set upward (any
+      // caller of a dirty procedure is dirty).
+      std::set<std::string> dirty_fx = dirty_sum;
+      for (const std::string& nm : ctx.acg.reverse_topological_order()) {
+        if (dirty_fx.count(nm)) continue;
+        for (const CallSiteInfo* site : ctx.acg.calls_from(nm))
+          if (dirty_fx.count(site->callee)) {
+            dirty_fx.insert(nm);
+            break;
+          }
+      }
+      ctx.stats.effects_reused += n - static_cast<int>(dirty_fx.size());
+      update_side_effects(program, ctx.acg, ctx.summaries, dirty_fx,
+                          ctx.effects, pool);
+
+      // Reaching flows top-down: seed with the text-changed procedures
+      // plus originals that lost sites to a clone (the retargeted edge is
+      // *gone* from the new ACG, so the origin is not a callee of any
+      // recomputed caller and must be forced to re-pull its shrunken
+      // set); the propagation's change cutoff decides how far each edit
+      // travels from there.
+      std::set<std::string> dirty_rd = dirty_sum;
+      dirty_rd.insert(delta.cloned_origins.begin(),
+                      delta.cloned_origins.end());
+      ctx.stats.reaching_reused +=
+          n - update_reaching_decomps(program, ctx.acg, ctx.summaries,
+                                      dirty_rd, ctx.reaching, pool);
+    }
+    ctx.stats.summaries_computed += sum_stats.computed;
+    ctx.stats.summaries_cached += sum_stats.cached;
+
+    delta = CloneDelta{};
+    if (apply_cloning_pass(program, ctx, options, &delta) == 0) break;
+    have_delta = true;
   }
   return ctx;
 }

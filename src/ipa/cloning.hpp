@@ -22,6 +22,35 @@ struct IpaOptions {
   /// Growth threshold: cloning stops (falling back to run-time
   /// resolution) once the program would exceed this many procedures.
   int max_procedures = 256;
+  /// After a cloning pass, recompute summaries / side effects / reaching
+  /// decompositions only for the dirty set (new clones, retargeted
+  /// callers, and their closures along ACG edges) instead of re-running
+  /// all of IPA. Results are identical either way; set to false to force
+  /// full recomputation every round (tests compare the two).
+  bool incremental = true;
+};
+
+/// What one cloning pass changed — the seed of the incremental dirty sets.
+struct CloneDelta {
+  /// Clone names, in creation order.
+  std::vector<std::string> new_clones;
+  /// Procedures with at least one call site retargeted to a clone (their
+  /// bodies changed: `s.callee` was rewritten).
+  std::set<std::string> retargeted_callers;
+  /// Originals that lost call sites to their clones (their Reaching sets
+  /// may shrink).
+  std::set<std::string> cloned_origins;
+};
+
+/// Counters of the IPA phase (copied into CompilerStats by the driver).
+struct IpaStats {
+  int rounds = 0;              // cloning fixed-point iterations
+  int rounds_incremental = 0;  // rounds that used dirty-set recomputation
+  int summaries_computed = 0;  // ran compute_summary
+  int summaries_cached = 0;    // rehydrated from the IpaSummaryCache
+  int summaries_reused = 0;    // carried over unchanged between rounds
+  int effects_reused = 0;      // side-effect entries carried over
+  int reaching_reused = 0;     // reaching entries carried over
 };
 
 /// Everything the interprocedural propagation phase produces; the input
@@ -36,16 +65,26 @@ struct IpaContext {
   /// clone name -> original name.
   std::map<std::string, std::string> clone_origin;
   int clones_created = 0;
+  IpaStats stats;
 };
 
 /// One cloning pass; returns the number of clones created (the caller
 /// must re-run analysis when > 0). Populates `ctx.runtime_fallback` when
-/// the growth threshold is hit.
+/// the growth threshold is hit. `delta`, when non-null, receives the
+/// dirty-set seeds of this pass.
 int apply_cloning_pass(BoundProgram& program, IpaContext& ctx,
-                       const IpaOptions& options);
+                       const IpaOptions& options, CloneDelta* delta = nullptr);
+
+class ThreadPool;
+class IpaSummaryCache;
 
 /// Build the full interprocedural context: ACG + summaries + side effects
-/// + reaching decompositions, iterating cloning to a fixed point.
-IpaContext run_ipa(BoundProgram& program, const IpaOptions& options = {});
+/// + reaching decompositions, iterating cloning to a fixed point. With a
+/// `pool`, each phase runs wavefront-parallel over the ACG levels (output
+/// byte-identical to serial); with a `summary_cache`, unchanged
+/// procedures skip local analysis across run_ipa calls.
+IpaContext run_ipa(BoundProgram& program, const IpaOptions& options = {},
+                   ThreadPool* pool = nullptr,
+                   IpaSummaryCache* summary_cache = nullptr);
 
 }  // namespace fortd

@@ -1,5 +1,7 @@
 #include "ipa/reaching_decomps.hpp"
 
+#include "support/thread_pool.hpp"
+
 namespace fortd {
 
 std::set<DecompSpec> ReachingDecomps::specs_for(const std::string& proc,
@@ -40,55 +42,122 @@ std::set<DecompSpec> ReachingDecomps::specs_at(const std::string& proc,
   return vit->second;
 }
 
+std::map<std::string, std::set<DecompSpec>> pull_reaching(
+    const BoundProgram& program, const AugmentedCallGraph& acg,
+    const ReachingDecomps& rd, const std::string& name) {
+  std::map<std::string, std::set<DecompSpec>> target;
+  const Procedure* callee = program.find(name);
+  if (!callee) return target;
+  const SymbolTable& callee_st = program.symtab(name);
+
+  // Union over every call site targeting `name`, translating the resolved
+  // sets at the site (Fig. 6's Translate step). Site order is irrelevant:
+  // the result is a set union, canonical in std::map/std::set form, so the
+  // pull direction matches the push-style serial propagation exactly.
+  for (const CallSiteInfo* site : acg.calls_to(name)) {
+    auto pit = rd.at_stmt.find(site->caller);
+    if (pit == rd.at_stmt.end()) continue;
+    auto sit = pit->second.find(site->stmt);
+    if (sit == pit->second.end()) continue;
+    const auto& at_call = sit->second;
+
+    // Formals: positionally matched array actuals.
+    for (size_t f = 0; f < callee->formals.size() && f < site->actuals.size();
+         ++f) {
+      const Expr* actual = site->actuals[f];
+      if (actual->kind != ExprKind::VarRef) continue;
+      auto vit = at_call.find(actual->name);
+      if (vit == at_call.end()) continue;
+      for (const auto& spec : vit->second)
+        if (!spec.is_top) target[callee->formals[f]].insert(spec);
+    }
+    // Globals: copied by name when the callee (transitively) declares
+    // them; we copy whenever the name is an array in the caller and a
+    // global array in the callee.
+    for (const auto& [var, specs] : at_call) {
+      const Symbol* sym = callee_st.lookup(var);
+      if (!sym || !sym->is_global()) continue;
+      for (const auto& spec : specs)
+        if (!spec.is_top) target[var].insert(spec);
+    }
+  }
+  return target;
+}
+
+int update_reaching_decomps(const BoundProgram& program,
+                            const AugmentedCallGraph& acg,
+                            const std::map<std::string, ProcSummary>& summaries,
+                            const std::set<std::string>& dirty,
+                            ReachingDecomps& rd, ThreadPool* pool) {
+  (void)summaries;
+  // Top-down wavefronts (caller-before-callee levels): a level's callers
+  // were all published by earlier levels, so the level's pending procedures
+  // pull independently. Slots are published at the level barrier in level
+  // order — identical maps for every schedule.
+  const auto& procs = program.ast.procedures;
+  struct Slot {
+    std::map<std::string, std::set<DecompSpec>> reaching;
+    std::map<const Stmt*, std::map<std::string, std::set<DecompSpec>>> at_stmt;
+    bool reused = false;  // pulled set equals the stored entry; no publish
+  };
+  std::set<std::string> recomputed;
+  for (const std::vector<int>& level : acg.top_down_levels()) {
+    // Pending: seed-dirty procedures, plus callees of anything recomputed
+    // at an earlier level (their pulled input may have changed).
+    std::vector<int> pending;
+    for (int idx : level) {
+      const std::string& name = procs[static_cast<size_t>(idx)]->name;
+      bool candidate = dirty.count(name) > 0;
+      if (!candidate)
+        for (const CallSiteInfo* site : acg.calls_to(name))
+          if (recomputed.count(site->caller)) {
+            candidate = true;
+            break;
+          }
+      if (candidate) pending.push_back(idx);
+    }
+    if (pending.empty()) continue;
+    std::vector<Slot> slots(pending.size());
+    auto one = [&](size_t k) {
+      const Procedure& proc = *procs[static_cast<size_t>(pending[k])];
+      slots[k].reaching = pull_reaching(program, acg, rd, proc.name);
+      // Change cutoff: text unchanged + identical pulled input ⇒ the
+      // stored Reaching/at_stmt entries are still the fixed point.
+      if (!dirty.count(proc.name)) {
+        auto it = rd.reaching.find(proc.name);
+        if (it != rd.reaching.end() && it->second == slots[k].reaching) {
+          slots[k].reused = true;
+          return;
+        }
+      }
+      // Resolve LocalReaching point-wise with ⊤ expanded (the "replace
+      // <top,X> with <D,X> from Reaching(P)" step of Fig. 6).
+      slots[k].at_stmt =
+          compute_local_reaching(program, proc, slots[k].reaching);
+    };
+    if (pool && pending.size() > 1) {
+      pool->parallel_for(pending.size(), one);
+    } else {
+      for (size_t k = 0; k < pending.size(); ++k) one(k);
+    }
+    for (size_t k = 0; k < pending.size(); ++k) {
+      if (slots[k].reused) continue;
+      const std::string& name = procs[static_cast<size_t>(pending[k])]->name;
+      rd.reaching[name] = std::move(slots[k].reaching);
+      rd.at_stmt[name] = std::move(slots[k].at_stmt);
+      recomputed.insert(name);
+    }
+  }
+  return static_cast<int>(recomputed.size());
+}
+
 ReachingDecomps compute_reaching_decomps(
     const BoundProgram& program, const AugmentedCallGraph& acg,
-    const std::map<std::string, ProcSummary>& summaries) {
+    const std::map<std::string, ProcSummary>& summaries, ThreadPool* pool) {
   ReachingDecomps rd;
-
-  // Top-down over the call graph: callers are fully resolved before any of
-  // their callees are visited.
-  for (const std::string& name : acg.topological_order()) {
-    const Procedure* proc = program.find(name);
-    const std::map<std::string, std::set<DecompSpec>>& inherited =
-        rd.reaching[name];  // empty for the main program
-
-    // Resolve LocalReaching point-wise with ⊤ expanded (the "replace
-    // <top,X> with <D,X> from Reaching(P)" step of Fig. 6).
-    rd.at_stmt[name] = compute_local_reaching(program, *proc, inherited);
-
-    // Translate the resolved sets at each call site into the callee.
-    for (const CallSiteInfo* site : acg.calls_from(name)) {
-      const Procedure* callee = program.find(site->callee);
-      if (!callee) continue;
-      auto sit = rd.at_stmt[name].find(site->stmt);
-      if (sit == rd.at_stmt[name].end()) continue;
-      const auto& at_call = sit->second;
-
-      auto& target = rd.reaching[site->callee];
-      // Formals: positionally matched array actuals.
-      for (size_t f = 0; f < callee->formals.size() && f < site->actuals.size();
-           ++f) {
-        const Expr* actual = site->actuals[f];
-        if (actual->kind != ExprKind::VarRef) continue;
-        auto vit = at_call.find(actual->name);
-        if (vit == at_call.end()) continue;
-        for (const auto& spec : vit->second)
-          if (!spec.is_top) target[callee->formals[f]].insert(spec);
-      }
-      // Globals: copied by name when the callee (transitively) declares
-      // them; we copy whenever the name is an array in the caller and a
-      // global array in the callee.
-      const SymbolTable& callee_st = program.symtab(site->callee);
-      for (const auto& [var, specs] : at_call) {
-        const Symbol* sym = callee_st.lookup(var);
-        if (!sym || !sym->is_global()) continue;
-        for (const auto& spec : specs)
-          if (!spec.is_top) target[var].insert(spec);
-      }
-    }
-
-    (void)summaries;
-  }
+  std::set<std::string> all;
+  for (const auto& proc : program.ast.procedures) all.insert(proc->name);
+  update_reaching_decomps(program, acg, summaries, all, rd, pool);
   return rd;
 }
 

@@ -46,8 +46,35 @@ struct ReachingDecomps {
                                 const std::string& var) const;
 };
 
+class ThreadPool;
+
+/// Reaching(P) pulled from the already-resolved `at_stmt` entries of P's
+/// callers: the union over every call site targeting P of the translated
+/// (formal- and global-matched) specs at that site. Pure read of `rd`.
+std::map<std::string, std::set<DecompSpec>> pull_reaching(
+    const BoundProgram& program, const AugmentedCallGraph& acg,
+    const ReachingDecomps& rd, const std::string& callee);
+
+/// Recompute Reaching and at_stmt top-down over the caller-before-callee
+/// wavefront levels (a level's pending procedures run concurrently on
+/// `pool` when given), reusing everything else already in `rd`.
+///
+/// `dirty` seeds the procedures whose *text* changed (they are always
+/// recomputed). Caller changes propagate with a change cutoff: a callee of
+/// a recomputed caller is re-pulled, and only recomputed when the pulled
+/// Reaching set differs from its stored entry — Reaching and at_stmt are
+/// pure functions of (pulled input, procedure text), so an equal pull with
+/// unchanged text proves the stored solution still holds. Returns the
+/// number of procedures actually recomputed.
+int update_reaching_decomps(const BoundProgram& program,
+                            const AugmentedCallGraph& acg,
+                            const std::map<std::string, ProcSummary>& summaries,
+                            const std::set<std::string>& dirty,
+                            ReachingDecomps& rd, ThreadPool* pool = nullptr);
+
 ReachingDecomps compute_reaching_decomps(
     const BoundProgram& program, const AugmentedCallGraph& acg,
-    const std::map<std::string, ProcSummary>& summaries);
+    const std::map<std::string, ProcSummary>& summaries,
+    ThreadPool* pool = nullptr);
 
 }  // namespace fortd

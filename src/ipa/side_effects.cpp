@@ -1,5 +1,7 @@
 #include "ipa/side_effects.hpp"
 
+#include "support/thread_pool.hpp"
+
 namespace fortd {
 
 std::set<std::string> SideEffects::appear(const std::string& proc,
@@ -37,55 +39,113 @@ std::optional<std::string> translate_to_caller(const std::string& callee_var,
   return callee_var;
 }
 
+ProcEffects compute_proc_effects(
+    const BoundProgram& program, const AugmentedCallGraph& acg,
+    const std::map<std::string, ProcSummary>& summaries, const SideEffects& fx,
+    const std::string& name) {
+  const ProcSummary& sum = summaries.at(name);
+  ProcEffects out;
+  out.mod = sum.mod;
+  out.ref = sum.ref;
+  out.defs = sum.defs;
+  out.uses = sum.uses;
+
+  // Callee lookups are const (find, not operator[]): in the wavefront
+  // schedule several procedures of one level read `fx` concurrently.
+  auto names_of = [](const std::map<std::string, std::set<std::string>>& m,
+                     const std::string& k) -> const std::set<std::string>* {
+    auto it = m.find(k);
+    return it == m.end() ? nullptr : &it->second;
+  };
+  auto sections_of =
+      [](const std::map<std::string, std::map<std::string, RsdList>>& m,
+         const std::string& k) -> const std::map<std::string, RsdList>* {
+    auto it = m.find(k);
+    return it == m.end() ? nullptr : &it->second;
+  };
+
+  for (const CallSiteInfo* site : acg.calls_from(name)) {
+    const Procedure* callee = program.find(site->callee);
+    if (!callee) continue;
+    auto add_names = [&](const std::set<std::string>* src,
+                         std::set<std::string>& dst) {
+      if (!src) return;
+      for (const auto& v : *src) {
+        auto t = translate_to_caller(v, *callee, *site);
+        if (t) dst.insert(*t);
+      }
+    };
+    add_names(names_of(fx.gmod, site->callee), out.mod);
+    add_names(names_of(fx.gref, site->callee), out.ref);
+
+    auto add_sections = [&](const std::map<std::string, RsdList>* src,
+                            std::map<std::string, RsdList>& dst) {
+      if (!src) return;
+      for (const auto& [v, list] : *src) {
+        auto t = translate_to_caller(v, *callee, *site);
+        if (!t) continue;
+        // Only propagate sections to a variable of matching rank; a
+        // reshaped actual falls back to the whole declared section.
+        const Symbol* sym = program.symtab(name).lookup(*t);
+        if (!sym || !sym->is_array()) continue;
+        for (const Rsd& r : list.sections()) {
+          if (r.rank() == sym->rank())
+            dst[*t].add_coalescing(r);
+          else
+            dst[*t].add_coalescing(sym->full_section());
+        }
+      }
+    };
+    add_sections(sections_of(fx.gdefs, site->callee), out.defs);
+    add_sections(sections_of(fx.guses, site->callee), out.uses);
+  }
+  return out;
+}
+
+void update_side_effects(const BoundProgram& program,
+                         const AugmentedCallGraph& acg,
+                         const std::map<std::string, ProcSummary>& summaries,
+                         const std::set<std::string>& dirty, SideEffects& fx,
+                         ThreadPool* pool) {
+  // Bottom-up wavefronts: a level's callees were all published by earlier
+  // levels, so the level's dirty procedures are independent. Results go
+  // into slots and are published at the level barrier in level order, so
+  // any schedule (including jobs=1) produces identical maps.
+  const auto& procs = program.ast.procedures;
+  for (const std::vector<int>& level : acg.wavefront_levels()) {
+    std::vector<int> pending;
+    for (int idx : level)
+      if (dirty.count(procs[static_cast<size_t>(idx)]->name))
+        pending.push_back(idx);
+    if (pending.empty()) continue;
+    std::vector<ProcEffects> slots(pending.size());
+    auto one = [&](size_t k) {
+      slots[k] = compute_proc_effects(
+          program, acg, summaries, fx,
+          procs[static_cast<size_t>(pending[k])]->name);
+    };
+    if (pool && pending.size() > 1) {
+      pool->parallel_for(pending.size(), one);
+    } else {
+      for (size_t k = 0; k < pending.size(); ++k) one(k);
+    }
+    for (size_t k = 0; k < pending.size(); ++k) {
+      const std::string& name = procs[static_cast<size_t>(pending[k])]->name;
+      fx.gmod[name] = std::move(slots[k].mod);
+      fx.gref[name] = std::move(slots[k].ref);
+      fx.gdefs[name] = std::move(slots[k].defs);
+      fx.guses[name] = std::move(slots[k].uses);
+    }
+  }
+}
+
 SideEffects compute_side_effects(
     const BoundProgram& program, const AugmentedCallGraph& acg,
-    const std::map<std::string, ProcSummary>& summaries) {
+    const std::map<std::string, ProcSummary>& summaries, ThreadPool* pool) {
   SideEffects fx;
-  for (const std::string& name : acg.reverse_topological_order()) {
-    const ProcSummary& sum = summaries.at(name);
-    std::set<std::string> mod = sum.mod;
-    std::set<std::string> ref = sum.ref;
-    std::map<std::string, RsdList> defs = sum.defs;
-    std::map<std::string, RsdList> uses = sum.uses;
-
-    for (const CallSiteInfo* site : acg.calls_from(name)) {
-      const Procedure* callee = program.find(site->callee);
-      if (!callee) continue;
-      auto add_names = [&](const std::set<std::string>& src,
-                           std::set<std::string>& dst) {
-        for (const auto& v : src) {
-          auto t = translate_to_caller(v, *callee, *site);
-          if (t) dst.insert(*t);
-        }
-      };
-      add_names(fx.gmod[site->callee], mod);
-      add_names(fx.gref[site->callee], ref);
-
-      auto add_sections = [&](const std::map<std::string, RsdList>& src,
-                              std::map<std::string, RsdList>& dst) {
-        for (const auto& [v, list] : src) {
-          auto t = translate_to_caller(v, *callee, *site);
-          if (!t) continue;
-          // Only propagate sections to a variable of matching rank; a
-          // reshaped actual falls back to the whole declared section.
-          const Symbol* sym = program.symtab(name).lookup(*t);
-          if (!sym || !sym->is_array()) continue;
-          for (const Rsd& r : list.sections()) {
-            if (r.rank() == sym->rank())
-              dst[*t].add_coalescing(r);
-            else
-              dst[*t].add_coalescing(sym->full_section());
-          }
-        }
-      };
-      add_sections(fx.gdefs[site->callee], defs);
-      add_sections(fx.guses[site->callee], uses);
-    }
-    fx.gmod[name] = std::move(mod);
-    fx.gref[name] = std::move(ref);
-    fx.gdefs[name] = std::move(defs);
-    fx.guses[name] = std::move(uses);
-  }
+  std::set<std::string> all;
+  for (const auto& proc : program.ast.procedures) all.insert(proc->name);
+  update_side_effects(program, acg, summaries, all, fx, pool);
   return fx;
 }
 

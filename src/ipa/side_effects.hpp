@@ -38,8 +38,35 @@ std::optional<std::string> translate_to_caller(const std::string& callee_var,
                                                const Procedure& callee,
                                                const CallSiteInfo& site);
 
+class ThreadPool;
+
+/// One procedure's transitive effects, computed from its summary plus the
+/// already-published entries of its callees in `fx` (missing callee
+/// entries contribute nothing).
+struct ProcEffects {
+  std::set<std::string> mod;
+  std::set<std::string> ref;
+  std::map<std::string, RsdList> defs;
+  std::map<std::string, RsdList> uses;
+};
+ProcEffects compute_proc_effects(const BoundProgram& program,
+                                 const AugmentedCallGraph& acg,
+                                 const std::map<std::string, ProcSummary>& summaries,
+                                 const SideEffects& fx, const std::string& name);
+
+/// Recompute the entries of every procedure in `dirty` bottom-up over the
+/// ACG wavefront levels (procedures of a level run concurrently on `pool`
+/// when given), reusing all other entries already in `fx`. `dirty` must be
+/// closed upward: a procedure whose callee is dirty must itself be dirty.
+void update_side_effects(const BoundProgram& program,
+                         const AugmentedCallGraph& acg,
+                         const std::map<std::string, ProcSummary>& summaries,
+                         const std::set<std::string>& dirty, SideEffects& fx,
+                         ThreadPool* pool = nullptr);
+
 SideEffects compute_side_effects(const BoundProgram& program,
                                  const AugmentedCallGraph& acg,
-                                 const std::map<std::string, ProcSummary>& summaries);
+                                 const std::map<std::string, ProcSummary>& summaries,
+                                 ThreadPool* pool = nullptr);
 
 }  // namespace fortd

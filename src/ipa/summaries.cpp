@@ -4,6 +4,8 @@
 #include <functional>
 
 #include "analysis/dataflow.hpp"
+#include "ipa/summary_cache.hpp"
+#include "support/thread_pool.hpp"
 
 namespace fortd {
 
@@ -504,12 +506,57 @@ ProcSummary compute_summary(const BoundProgram& program, const std::string& name
   return sum;
 }
 
+void compute_summaries_into(const BoundProgram& program,
+                            const std::vector<std::string>& names,
+                            std::map<std::string, ProcSummary>& out,
+                            ThreadPool* pool, IpaSummaryCache* cache,
+                            SummaryPhaseStats* stats) {
+  std::vector<ProcSummary> slots(names.size());
+  std::vector<char> from_cache(names.size(), 0);
+  auto one = [&](size_t i) {
+    const Procedure* proc = program.find(names[i]);
+    if (!proc)
+      throw CompileError({}, "compute_summaries: unknown procedure " + names[i]);
+    if (cache) {
+      uint64_t h = hash_procedure(*proc);
+      if (auto hit = cache->lookup(h, *proc)) {
+        slots[i] = std::move(*hit);
+        from_cache[i] = 1;
+        return;
+      }
+      slots[i] = compute_summary(program, names[i]);
+      cache->insert(h, *proc, slots[i]);
+      return;
+    }
+    slots[i] = compute_summary(program, names[i]);
+  };
+  if (pool) {
+    pool->parallel_for(names.size(), one);
+  } else {
+    for (size_t i = 0; i < names.size(); ++i) one(i);
+  }
+  // Merge in deterministic name order; results are per-procedure pure, so
+  // the map content is identical for every schedule.
+  for (size_t i = 0; i < names.size(); ++i) {
+    out[names[i]] = std::move(slots[i]);
+    if (stats) ++(from_cache[i] ? stats->cached : stats->computed);
+  }
+}
+
+std::map<std::string, ProcSummary> compute_all_summaries(
+    const BoundProgram& program, ThreadPool* pool, IpaSummaryCache* cache,
+    SummaryPhaseStats* stats) {
+  std::vector<std::string> names;
+  names.reserve(program.ast.procedures.size());
+  for (const auto& proc : program.ast.procedures) names.push_back(proc->name);
+  std::map<std::string, ProcSummary> out;
+  compute_summaries_into(program, names, out, pool, cache, stats);
+  return out;
+}
+
 std::map<std::string, ProcSummary> compute_all_summaries(
     const BoundProgram& program) {
-  std::map<std::string, ProcSummary> out;
-  for (const auto& proc : program.ast.procedures)
-    out[proc->name] = compute_summary(program, proc->name);
-  return out;
+  return compute_all_summaries(program, nullptr, nullptr, nullptr);
 }
 
 }  // namespace fortd

@@ -86,7 +86,31 @@ compute_local_reaching(const BoundProgram& program, const Procedure& proc,
 /// Full local analysis of one procedure.
 ProcSummary compute_summary(const BoundProgram& program, const std::string& proc);
 
+class ThreadPool;
+class IpaSummaryCache;
+
+/// Counters filled by the summary phase (see IpaStats / CompilerStats).
+struct SummaryPhaseStats {
+  int computed = 0;  // ran compute_summary
+  int cached = 0;    // rehydrated from the IpaSummaryCache
+};
+
+/// Compute (or fetch from `cache`) summaries for `names` and store them
+/// into `out`, overwriting existing entries. compute_summary is a pure
+/// function of the procedure text, so the batch is embarrassingly
+/// parallel on `pool`; results are independent of schedule. All of
+/// `pool`, `cache`, and `stats` may be null.
+void compute_summaries_into(const BoundProgram& program,
+                            const std::vector<std::string>& names,
+                            std::map<std::string, ProcSummary>& out,
+                            ThreadPool* pool = nullptr,
+                            IpaSummaryCache* cache = nullptr,
+                            SummaryPhaseStats* stats = nullptr);
+
 /// Summaries for every procedure.
+std::map<std::string, ProcSummary> compute_all_summaries(
+    const BoundProgram& program, ThreadPool* pool,
+    IpaSummaryCache* cache = nullptr, SummaryPhaseStats* stats = nullptr);
 std::map<std::string, ProcSummary> compute_all_summaries(const BoundProgram& program);
 
 /// Structural hash of a procedure body (order-sensitive, name-sensitive).

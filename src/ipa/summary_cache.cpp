@@ -1,0 +1,96 @@
+#include "ipa/summary_cache.hpp"
+
+namespace fortd {
+
+namespace {
+
+std::vector<const Stmt*> preorder_stmts(const Procedure& proc) {
+  std::vector<const Stmt*> out;
+  walk_stmts(proc.body, [&](const Stmt& s) { out.push_back(&s); });
+  return out;
+}
+
+}  // namespace
+
+std::optional<ProcSummary> IpaSummaryCache::lookup(uint64_t hash,
+                                                   const Procedure& proc) {
+  Entry entry;  // copied out under the lock: insert() may overwrite slots
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(hash);
+    if (it == entries_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    entry = it->second;
+  }
+  // Rehydrate Stmt pointers against the current AST. The hash covers the
+  // whole procedure structure, so the pre-order shape must match; the
+  // count check guards against hash collisions.
+  std::vector<const Stmt*> order = preorder_stmts(proc);
+  if (order.size() != entry.stmt_count) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++misses_;
+    return std::nullopt;
+  }
+  ProcSummary out = std::move(entry.summary);
+  for (size_t i = 0; i < entry.distribute_idx.size(); ++i)
+    out.distribute_stmts[i] = order[entry.distribute_idx[i]];
+  for (size_t i = 0; i < entry.call_idx.size(); ++i)
+    out.local_reaching[i].call_stmt = order[entry.call_idx[i]];
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++hits_;
+  }
+  return out;
+}
+
+void IpaSummaryCache::insert(uint64_t hash, const Procedure& proc,
+                             const ProcSummary& summary) {
+  std::map<const Stmt*, size_t> index_of;
+  size_t count = 0;
+  walk_stmts(proc.body, [&](const Stmt& s) { index_of[&s] = count++; });
+
+  Entry entry;
+  entry.stmt_count = count;
+  entry.summary = summary;
+  for (size_t i = 0; i < summary.distribute_stmts.size(); ++i) {
+    auto it = index_of.find(summary.distribute_stmts[i]);
+    if (it == index_of.end()) return;  // foreign pointer: refuse to cache
+    entry.distribute_idx.push_back(it->second);
+    entry.summary.distribute_stmts[i] = nullptr;
+  }
+  for (size_t i = 0; i < summary.local_reaching.size(); ++i) {
+    auto it = index_of.find(summary.local_reaching[i].call_stmt);
+    if (it == index_of.end()) return;
+    entry.call_idx.push_back(it->second);
+    entry.summary.local_reaching[i].call_stmt = nullptr;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[hash] = std::move(entry);
+}
+
+uint64_t IpaSummaryCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t IpaSummaryCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+size_t IpaSummaryCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void IpaSummaryCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace fortd

@@ -1,0 +1,52 @@
+// A content-addressed cache of per-procedure summaries, the IPA analogue
+// of the codegen CompilationCache: §8's observation is that local analysis
+// is a pure function of the procedure text, so its result can be keyed by
+// the structural hash (`hash_procedure`) and reused across compile()
+// calls whenever the procedure is unchanged.
+//
+// ProcSummary holds `const Stmt*` pointers into the AST it was computed
+// from (distribute_stmts, local_reaching[].call_stmt), which dangle for
+// any later AST. Entries therefore store those pointers as *pre-order
+// statement indices* (the deterministic walk_stmts order) and lookup()
+// rehydrates them against the current procedure body; a statement-count
+// mismatch rejects the entry.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+
+#include "ipa/summaries.hpp"
+
+namespace fortd {
+
+class IpaSummaryCache {
+public:
+  /// Return the cached summary for `hash`, rehydrated against `proc`'s
+  /// statements, or nullopt on miss. Thread-safe.
+  std::optional<ProcSummary> lookup(uint64_t hash, const Procedure& proc);
+
+  /// Store `summary` (computed from `proc`) under `hash`. Thread-safe.
+  void insert(uint64_t hash, const Procedure& proc, const ProcSummary& summary);
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+  size_t size() const;
+  void clear();
+
+private:
+  struct Entry {
+    ProcSummary summary;  // Stmt pointers nulled; see indices below
+    std::vector<size_t> distribute_idx;
+    std::vector<size_t> call_idx;  // one per local_reaching entry
+    size_t stmt_count = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<uint64_t, Entry> entries_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace fortd

@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <thread>
 
+#include "support/thread_pool.hpp"
+
 namespace fortd {
 
-Machine::Machine(CostModel cost_model) : cost_(cost_model) {}
+Machine::Machine(CostModel cost_model, ThreadPool* pool)
+    : cost_(cost_model), pool_(pool) {}
 
 double Machine::barrier_max_clock(double my_clock) {
   std::unique_lock<std::mutex> lock(bar_mu_);
@@ -40,21 +43,32 @@ RunResult Machine::run(const SpmdProgram& program) {
   for (int p = 0; p < n_procs_; ++p)
     contexts_->push_back(std::make_unique<ProcessorContext>(*this, program, p));
 
-  std::vector<std::thread> threads;
-  std::vector<std::exception_ptr> errors(static_cast<size_t>(n_procs_));
-  threads.reserve(static_cast<size_t>(n_procs_));
-  for (int p = 0; p < n_procs_; ++p) {
-    threads.emplace_back([this, p, &errors] {
-      try {
-        (*contexts_)[static_cast<size_t>(p)]->run();
-      } catch (...) {
-        errors[static_cast<size_t>(p)] = std::current_exception();
-      }
+  if (pool_) {
+    // Processor bodies block on each other, so the batch deadlocks unless
+    // its concurrency (workers + the caller) covers every processor.
+    pool_->ensure_workers(n_procs_ - 1);
+    // parallel_for rethrows the lowest-index exception — the same
+    // first-error-in-processor-order the thread path reports.
+    pool_->parallel_for(static_cast<size_t>(n_procs_), [this](size_t p) {
+      (*contexts_)[p]->run();
     });
+  } else {
+    std::vector<std::thread> threads;
+    std::vector<std::exception_ptr> errors(static_cast<size_t>(n_procs_));
+    threads.reserve(static_cast<size_t>(n_procs_));
+    for (int p = 0; p < n_procs_; ++p) {
+      threads.emplace_back([this, p, &errors] {
+        try {
+          (*contexts_)[static_cast<size_t>(p)]->run();
+        } catch (...) {
+          errors[static_cast<size_t>(p)] = std::current_exception();
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (const auto& err : errors)
+      if (err) std::rethrow_exception(err);
   }
-  for (auto& t : threads) t.join();
-  for (const auto& err : errors)
-    if (err) std::rethrow_exception(err);
 
   RunResult result;
   result.n_procs = n_procs_;

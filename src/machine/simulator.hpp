@@ -40,9 +40,16 @@ struct RunResult {
   int n_procs = 0;
 };
 
+class ThreadPool;
+
 class Machine {
 public:
-  Machine(CostModel cost_model = CostModel::ipsc860());
+  /// `pool`, when non-null, runs the per-processor interpreter bodies on
+  /// the given worker pool instead of spawning fresh std::threads per
+  /// run(). Processor bodies block on each other (barriers, receives), so
+  /// run() grows the pool until workers + caller covers n_procs.
+  Machine(CostModel cost_model = CostModel::ipsc860(),
+          ThreadPool* pool = nullptr);
 
   /// Run the SPMD program on options.n_procs virtual processors.
   RunResult run(const SpmdProgram& program);
@@ -62,6 +69,7 @@ public:
 
 private:
   CostModel cost_;
+  ThreadPool* pool_ = nullptr;  // borrowed; may be null
   std::unique_ptr<Network> network_;
   std::shared_ptr<std::vector<std::unique_ptr<ProcessorContext>>> contexts_;
   int n_procs_ = 0;

@@ -9,6 +9,11 @@ ThreadPool::ThreadPool(int threads) {
     workers_.emplace_back([this] { worker_loop(); });
 }
 
+void ThreadPool::ensure_workers(int threads) {
+  while (static_cast<int>(workers_.size()) < threads)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mu_);

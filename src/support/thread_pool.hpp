@@ -27,6 +27,13 @@ public:
 
   int size() const { return static_cast<int>(workers_.size()); }
 
+  /// Grow the pool to at least `threads` workers (never shrinks). The
+  /// machine simulator needs this: processor bodies block on each other
+  /// (barriers, receives), so they deadlock unless the batch concurrency
+  /// (workers + caller) covers every processor. Must not be called
+  /// concurrently with parallel_for.
+  void ensure_workers(int threads);
+
   /// Run fn(i) for every i in [0, n). The caller participates in the
   /// batch, so a pool of k workers applies k+1 threads. Blocks until all
   /// indices finished; rethrows the lowest-index captured exception.
