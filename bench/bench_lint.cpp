@@ -1,0 +1,80 @@
+// Lint-pass and SPMD-verifier throughput: the -analyze phases reuse the
+// products every compile already builds, so they should stay a small
+// fraction of the end-to-end compile time even as the program grows.
+#include <benchmark/benchmark.h>
+
+#include "analysis/lint/lint.hpp"
+#include "analysis/lint/spmd_verifier.hpp"
+#include "driver/compiler.hpp"
+#include "programs.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+void BM_LintPass(benchmark::State& state) {
+  std::string src =
+      fortd::bench::call_chain(static_cast<int>(state.range(0)), 256);
+  fortd::BoundProgram bp = fortd::parse_and_bind(src);
+  fortd::IpaContext ctx = fortd::run_ipa(bp);
+  fortd::OverlapEstimates overlaps =
+      fortd::compute_overlap_estimates(bp, ctx.acg, ctx.summaries);
+  fortd::CodegenOptions opt;
+  opt.n_procs = 8;
+  fortd::LintDriver linter;
+  fortd::LintContext lint_ctx{bp, ctx, overlaps, opt};
+  for (auto _ : state) {
+    fortd::LintReport report = linter.run(lint_ctx);
+    { auto sink = report.diags.size(); benchmark::DoNotOptimize(sink); }
+  }
+  state.counters["procs"] =
+      static_cast<double>(bp.ast.procedures.size());
+}
+
+void BM_LintPassParallel(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  std::string src = fortd::bench::fan_out(32, 256);
+  fortd::BoundProgram bp = fortd::parse_and_bind(src);
+  fortd::IpaContext ctx = fortd::run_ipa(bp);
+  fortd::OverlapEstimates overlaps =
+      fortd::compute_overlap_estimates(bp, ctx.acg, ctx.summaries);
+  fortd::CodegenOptions opt;
+  opt.n_procs = 8;
+  fortd::LintDriver linter;
+  fortd::LintContext lint_ctx{bp, ctx, overlaps, opt};
+  fortd::ThreadPool pool(jobs - 1);
+  for (auto _ : state) {
+    fortd::LintReport report = linter.run(lint_ctx, &pool);
+    { auto sink = report.diags.size(); benchmark::DoNotOptimize(sink); }
+  }
+  state.counters["jobs"] = jobs;
+}
+
+void BM_SpmdVerifier(benchmark::State& state) {
+  std::string src =
+      fortd::bench::call_chain(static_cast<int>(state.range(0)), 256);
+  fortd::CodegenOptions opt;
+  opt.n_procs = 8;
+  fortd::Compiler compiler(opt);
+  fortd::CompileResult r = compiler.compile_source(src);
+  for (auto _ : state) {
+    fortd::SpmdVerifyReport report = fortd::verify_spmd(r.spmd);
+    { auto sink = report.matched; benchmark::DoNotOptimize(sink); }
+  }
+  state.counters["sends"] = 0;
+  {
+    fortd::SpmdVerifyReport report = fortd::verify_spmd(r.spmd);
+    state.counters["sends"] = report.sends;
+    state.counters["unmatched"] = report.unmatched;
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_LintPass)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LintPassParallel)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SpmdVerifier)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

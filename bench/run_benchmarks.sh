@@ -1,25 +1,42 @@
 #!/usr/bin/env sh
-# Run the compile-time benchmark suite and emit machine-readable JSON so
-# the perf trajectory is tracked across PRs.
+# Run the benchmark suite and emit machine-readable JSON so the perf
+# trajectory is tracked across PRs.
 #
 #   bench/run_benchmarks.sh [build-dir] [out-dir]
 #
-# Produces <out-dir>/BENCH_compile_time.json (google-benchmark JSON
-# format), covering the full suite registered in bench_compile_time.cpp —
-# including BM_ParallelIpa and BM_IncrementalClone — so CI can diff the
-# IPA counters (sum_computed / sum_reused / regenerated) across PRs.
-# Extend BENCHES to snapshot more suites; set BENCHMARK_FILTER to run a
-# subset (google-benchmark --benchmark_filter syntax).
+# Produces one <out-dir>/BENCH_<name>.json (google-benchmark JSON format)
+# per benchmark binary found in <build-dir>/bench — the full suite by
+# default, so CI can diff compile time, IPA counters, cloning, overlap,
+# lint, and machine-balance numbers across PRs.
+#
+# Environment:
+#   BENCH_SUITE       space-separated binary names to run instead of the
+#                     full suite (e.g. "bench_compile_time bench_lint")
+#   BENCHMARK_FILTER  forwarded as --benchmark_filter to every binary
+#                     (google-benchmark regex syntax)
 set -eu
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-.}"
-BENCHES="bench_compile_time"
 FILTER="${BENCHMARK_FILTER:-}"
 
 if [ ! -d "$BUILD_DIR" ]; then
   echo "error: build directory '$BUILD_DIR' not found (run: cmake -B build -S . && cmake --build build -j)" >&2
   exit 1
+fi
+
+if [ -n "${BENCH_SUITE:-}" ]; then
+  BENCHES="$BENCH_SUITE"
+else
+  BENCHES=""
+  for bin in "$BUILD_DIR"/bench/bench_*; do
+    [ -x "$bin" ] || continue
+    BENCHES="$BENCHES ${bin##*/}"
+  done
+  if [ -z "$BENCHES" ]; then
+    echo "error: no benchmark binaries under '$BUILD_DIR/bench'" >&2
+    exit 1
+  fi
 fi
 
 for bench in $BENCHES; do

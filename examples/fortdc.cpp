@@ -9,8 +9,15 @@
 //     -s STRAT      inter | intra | runtime  (default inter)
 //     -O LEVEL      dynamic-decomposition optimization: 0..3 (default 3)
 //     -run          simulate after compiling and report metrics
+//     -analyze      run the interprocedural lint checkers and the SPMD
+//                   communication verifier; print findings to stderr
+//     -Werror       with -analyze: exit 3 when any finding is reported
+//     -lint-json    with -analyze: print lint findings as JSON to stdout
 //     -timings      report per-phase wall-clock timings
 //     -quiet        suppress the generated-code listing
+//
+// Exit codes: 0 success, 1 compile/simulation error, 2 usage,
+// 3 lint/verifier findings promoted by -Werror.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -22,9 +29,12 @@
 int main(int argc, char** argv) {
   using namespace fortd;
   CodegenOptions options;
+  LintOptions lint_options;
   bool run = false;
   bool timings = false;
   bool quiet = false;
+  bool werror = false;
+  bool lint_json = false;
   const char* path = nullptr;
 
   for (int i = 1; i < argc; ++i) {
@@ -46,6 +56,13 @@ int main(int argc, char** argv) {
                                       : DynDecompOpt::Full;
     } else if (!std::strcmp(argv[i], "-run")) {
       run = true;
+    } else if (!std::strcmp(argv[i], "-analyze")) {
+      lint_options.analyze = true;
+      lint_options.verify_spmd = true;
+    } else if (!std::strcmp(argv[i], "-Werror")) {
+      werror = true;
+    } else if (!std::strcmp(argv[i], "-lint-json")) {
+      lint_json = true;
     } else if (!std::strcmp(argv[i], "-timings")) {
       timings = true;
     } else if (!std::strcmp(argv[i], "-quiet")) {
@@ -60,7 +77,8 @@ int main(int argc, char** argv) {
   if (!path) {
     std::fprintf(stderr,
                  "usage: fortdc [-p N] [-j N] [-s inter|intra|runtime] "
-                 "[-O 0..3] [-run] [-timings] [-quiet] file.fd\n");
+                 "[-O 0..3] [-run] [-analyze] [-Werror] [-lint-json] "
+                 "[-timings] [-quiet] file.fd\n");
     return 2;
   }
 
@@ -72,10 +90,23 @@ int main(int argc, char** argv) {
   std::ostringstream buf;
   buf << in.rdbuf();
 
+  int findings = 0;
+  Compiler compiler(options, {}, lint_options);
   try {
-    Compiler compiler(options);
     CompileResult result = compiler.compile_source(buf.str());
     if (!quiet) std::fputs(print_spmd(result.spmd).c_str(), stdout);
+
+    if (lint_options.analyze) {
+      if (lint_json) std::fputs(result.lint.json().c_str(), stdout);
+      std::fputs(result.lint.text().c_str(), stderr);
+      std::fputs(result.verify.text().c_str(), stderr);
+      std::fprintf(stderr,
+                   "fortdc: analyze: %d warning(s), %d note(s); spmd: %s\n",
+                   result.lint.warnings, result.lint.notes,
+                   result.verify.summary().c_str());
+      findings = result.lint.warnings +
+                 static_cast<int>(result.verify.diags.size());
+    }
 
     const CompileStats& st = result.spmd.stats;
     std::fprintf(stderr,
@@ -104,6 +135,12 @@ int main(int argc, char** argv) {
                    cs.summaries_computed, cs.summaries_cached,
                    cs.summaries_reused, cs.effects_reused,
                    cs.reaching_reused);
+      if (lint_options.analyze)
+        std::fprintf(stderr,
+                     "fortdc: lint %.2fms (%d warning(s), %d note(s)), "
+                     "verify %.2fms (%d unmatched)\n",
+                     cs.lint_ms, cs.lint_warnings, cs.lint_notes,
+                     cs.verify_ms, cs.verify_unmatched);
     }
 
     if (run) {
@@ -117,11 +154,23 @@ int main(int argc, char** argv) {
                    static_cast<long long>(r.remaps_executed));
     }
   } catch (const CompileError& e) {
+    // The lint phase runs before code generation, so its report survives a
+    // codegen failure and usually explains it (e.g. a distribution
+    // conflict the call-mismatch checker names precisely).
+    if (lint_options.analyze && !compiler.last_lint_report().empty()) {
+      if (lint_json) std::fputs(compiler.last_lint_report().json().c_str(),
+                                stdout);
+      std::fputs(compiler.last_lint_report().text().c_str(), stderr);
+    }
     std::fprintf(stderr, "fortdc: %s\n", e.what());
     return 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fortdc: simulation error: %s\n", e.what());
     return 1;
+  }
+  if (werror && findings > 0) {
+    std::fprintf(stderr, "fortdc: -Werror: %d finding(s)\n", findings);
+    return 3;
   }
   return 0;
 }

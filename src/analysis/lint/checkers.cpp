@@ -1,0 +1,439 @@
+// The built-in lint checkers. Each one is a pure consumer of the
+// interprocedural products (reaching decompositions, side effects, overlap
+// estimates) — see analysis/lint/lint.hpp for the registry contract.
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "analysis/lint/lint.hpp"
+#include "ir/symbol_table.hpp"
+
+namespace fortd {
+
+namespace {
+
+std::string specs_str(const std::set<DecompSpec>& specs) {
+  std::string out;
+  for (const auto& spec : specs) {
+    if (!out.empty()) out += ", ";
+    out += spec.str();
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// fortd-call-mismatch — conflicting decompositions across a call boundary
+// ---------------------------------------------------------------------------
+//
+// After the cloning fixed point every procedure body should see a unique
+// decomposition per variable (§5.2). A conflict that survives means either
+// (a) a single call site is reached by several decompositions (control-flow
+// merge in the caller — cloning partitions *sites*, so it cannot help), or
+// (b) the procedure hit the growth threshold and fell back to run-time
+// resolution. Both silently change the generated communication; this
+// checker names them at the call site that injects the conflict.
+class CallMismatchChecker final : public Checker {
+public:
+  const char* id() const override { return "fortd-call-mismatch"; }
+  const char* description() const override {
+    return "conflicting decompositions reach a procedure across call sites";
+  }
+
+  void check(const LintContext& ctx, const std::string& proc,
+             LintSink& sink) const override {
+    const ReachingDecomps& rd = ctx.ipa.reaching;
+    for (const CallSiteInfo* site : ctx.ipa.acg.calls_from(proc)) {
+      const Procedure* callee = ctx.program.find(site->callee);
+      if (!callee) continue;
+      auto rit = rd.reaching.find(site->callee);
+      if (rit == rd.reaching.end()) continue;
+      for (const auto& [var, specs] : rit->second) {
+        std::set<DecompSpec> concrete;
+        for (const auto& s : specs)
+          if (!s.is_top) concrete.insert(s);
+        if (concrete.size() < 2) continue;
+
+        // Conflict in the callee: find what this site contributes.
+        int formal = callee->formal_index(var);
+        std::string caller_var = var;  // globals keep their name
+        if (formal >= 0) {
+          if (formal >= static_cast<int>(site->actuals.size())) continue;
+          const Expr* actual = site->actuals[static_cast<size_t>(formal)];
+          if (actual->kind != ExprKind::VarRef) continue;
+          caller_var = actual->name;
+        }
+        std::set<DecompSpec> at_site;
+        for (const auto& s :
+             rd.specs_at(proc, site->stmt, caller_var))
+          if (!s.is_top) at_site.insert(s);
+        if (at_site.empty()) continue;
+
+        SourceLoc loc = site->stmt ? site->stmt->loc : SourceLoc{};
+        std::string binding =
+            formal >= 0 ? "array '" + caller_var + "' bound to formal '" +
+                              var + "' of '" + site->callee + "'"
+                        : "common array '" + var + "' in '" + site->callee + "'";
+        sink.warning(loc, "call to '" + site->callee + "' in '" + proc +
+                              "': " + binding + " reaches with " +
+                              specs_str(at_site) + " but '" + site->callee +
+                              "' is entered under conflicting decompositions {" +
+                              specs_str(concrete) + "}");
+        if (at_site.size() > 1) {
+          sink.note(loc,
+                    "the conflict merges inside this call site (control-flow "
+                    "paths disagree on the decomposition of '" + caller_var +
+                    "'); cloning cannot separate one site — add an explicit "
+                    "DISTRIBUTE before the call");
+        } else if (ctx.ipa.runtime_fallback.count(site->callee)) {
+          sink.note(loc, "'" + site->callee +
+                             "' hit the cloning growth threshold and fell "
+                             "back to run-time resolution; raising "
+                             "IpaOptions.max_procedures would let the clone '" +
+                             site->callee + "$2' bind this site to " +
+                             specs_str(at_site));
+        } else {
+          sink.note(loc, "a clone of '" + site->callee + "' (e.g. '" +
+                             site->callee + "$2') specialized to " +
+                             specs_str(at_site) +
+                             " would resolve the mismatch for this site");
+        }
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// fortd-overlap-bounds — overlap demand vs. declared array bounds
+// ---------------------------------------------------------------------------
+//
+// Fig. 13 merges constant subscript offsets bottom-up so every procedure
+// declares the same overlap extents. When the merged demand exceeds the
+// local BLOCK extent, overlap storage cannot hold the nonlocal data: the
+// generated nearest-neighbor shift is wrong (or silently degrades to
+// buffers), so surface it statically.
+class OverlapBoundsChecker final : public Checker {
+public:
+  const char* id() const override { return "fortd-overlap-bounds"; }
+  const char* description() const override {
+    return "interprocedural overlap demand exceeds the local block extent";
+  }
+
+  void check(const LintContext& ctx, const std::string& proc,
+             LintSink& sink) const override {
+    auto pit = ctx.overlaps.estimates.find(proc);
+    if (pit == ctx.overlaps.estimates.end()) return;
+    const SymbolTable& st = ctx.program.symtab(proc);
+    const Procedure* p = ctx.program.find(proc);
+    for (const auto& [array, off] : pit->second) {
+      const Symbol* sym = st.lookup(array);
+      if (!sym || !sym->is_array() || !sym->dims_const) continue;
+      auto spec = ctx.ipa.reaching.unique_spec(proc, array);
+      if (!spec || spec->is_top) continue;
+      for (int d = 0; d < sym->rank(); ++d) {
+        if (d >= static_cast<int>(spec->dists.size())) break;
+        if (spec->dists[static_cast<size_t>(d)].kind != DistKind::Block)
+          continue;
+        int64_t pos = d < static_cast<int>(off.pos.size())
+                          ? off.pos[static_cast<size_t>(d)] : 0;
+        int64_t neg = d < static_cast<int>(off.neg.size())
+                          ? off.neg[static_cast<size_t>(d)] : 0;
+        int64_t demand = std::max(pos, neg);
+        if (demand <= 0) continue;
+        int64_t extent = sym->extent(d);
+        int64_t block =
+            (extent + ctx.options.n_procs - 1) / ctx.options.n_procs;
+        if (demand <= block) continue;
+        SourceLoc loc = p && !p->body.empty() ? p->body.front()->loc
+                                              : SourceLoc{};
+        if (const VarDecl* decl = p ? p->find_decl(array) : nullptr)
+          loc = decl->loc;
+        sink.warning(
+            loc, "overlap demand +" + std::to_string(pos) + "/-" +
+                     std::to_string(neg) + " on dimension " +
+                     std::to_string(d + 1) + " of '" + array + "' in '" +
+                     proc + "' exceeds the local BLOCK extent (" +
+                     std::to_string(block) + " of " + std::to_string(extent) +
+                     " elements at P=" + std::to_string(ctx.options.n_procs) +
+                     "): nearest-neighbor overlap storage cannot hold it");
+        sink.note(loc, "the shift reaches past the adjacent processor's "
+                       "block; reduce the stencil offset, enlarge '" + array +
+                       "', or distribute over fewer processors");
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// fortd-loop-sequential — owner-computes mapping degenerates to one owner
+// ---------------------------------------------------------------------------
+//
+// A partitioned loop only runs in parallel when its owner-computes
+// constraint varies with some enclosing loop variable (§5.3). When the
+// distributed-dimension subscript of every written distributed array is
+// loop-invariant, each execution of the loop writes elements owned by a
+// single processor — the "parallel" loop is serial plus guards.
+class LoopSequentialChecker final : public Checker {
+public:
+  const char* id() const override { return "fortd-loop-sequential"; }
+  const char* description() const override {
+    return "partitioned loop executes on a single processor";
+  }
+
+  void check(const LintContext& ctx, const std::string& proc,
+             LintSink& sink) const override {
+    const Procedure* p = ctx.program.find(proc);
+    if (!p) return;
+    const SymbolTable& st = ctx.program.symtab(proc);
+
+    struct Finding {
+      const Stmt* loop;
+      const Stmt* assign;
+      std::string array;
+      DecompSpec spec;
+      int dim;
+    };
+    std::vector<Finding> findings;
+    std::set<const Stmt*> reported_loops;
+    std::vector<const Stmt*> loops;
+
+    auto scan = [&](auto&& self, const std::vector<StmtPtr>& stmts) -> void {
+      for (const StmtPtr& s : stmts) {
+        switch (s->kind) {
+          case StmtKind::Do:
+            loops.push_back(s.get());
+            self(self, s->body);
+            loops.pop_back();
+            break;
+          case StmtKind::If:
+            self(self, s->then_body);
+            self(self, s->else_body);
+            break;
+          case StmtKind::Assign: {
+            if (loops.empty()) break;
+            const Expr& lhs = *s->lhs;
+            if (lhs.kind != ExprKind::ArrayRef) break;
+            const Symbol* sym = st.lookup(lhs.name);
+            if (!sym || !sym->is_array()) break;
+            auto specs = ctx.ipa.reaching.specs_at(proc, s.get(), lhs.name);
+            if (specs.size() != 1 || specs.begin()->is_top) break;
+            const DecompSpec spec = *specs.begin();
+            int dd = spec.single_distributed_dim();
+            if (dd < 0 || dd >= static_cast<int>(lhs.args.size())) break;
+            // Does the distributed-dimension subscript vary with any
+            // enclosing loop?
+            bool varies = false;
+            walk_expr(*lhs.args[static_cast<size_t>(dd)],
+                      [&](const Expr& e) {
+                        if (e.kind != ExprKind::VarRef) return;
+                        for (const Stmt* l : loops)
+                          if (l->loop_var == e.name) varies = true;
+                      });
+            if (varies) break;
+            // Pipelined, not sequential: a formal subscript that some
+            // caller binds to an enclosing loop index (Fig. 5's range
+            // annotation) places successive invocations on successive
+            // owners — dgefa's column operations are the canonical case.
+            bool pipelined = false;
+            walk_expr(*lhs.args[static_cast<size_t>(dd)],
+                      [&](const Expr& e) {
+                        if (e.kind != ExprKind::VarRef) return;
+                        int fi = p->formal_index(e.name);
+                        if (fi < 0) return;
+                        for (const CallSiteInfo* cs :
+                             ctx.ipa.acg.calls_to(proc)) {
+                          if (fi >= static_cast<int>(cs->actuals.size()))
+                            continue;
+                          const Expr* a = cs->actuals[static_cast<size_t>(fi)];
+                          if (a->kind != ExprKind::VarRef) continue;
+                          for (const AcgLoop& l : cs->enclosing_loops)
+                            if (l.var == a->name) pipelined = true;
+                        }
+                      });
+            if (pipelined) break;
+            const Stmt* innermost = loops.back();
+            if (reported_loops.insert(innermost).second)
+              findings.push_back({innermost, s.get(), lhs.name, spec, dd});
+            break;
+          }
+          default:
+            break;
+        }
+      }
+    };
+    scan(scan, p->body);
+
+    for (const Finding& f : findings) {
+      sink.warning(
+          f.loop->loc,
+          "loop over '" + f.loop->loop_var + "' in '" + proc +
+              "' writes '" + f.array + "' (distributed " + f.spec.str() +
+              ") with a loop-invariant subscript in distributed dimension " +
+              std::to_string(f.dim + 1) +
+              ": every iteration is owned by one processor, so the loop "
+              "sequentializes under owner-computes");
+      sink.note(f.assign->loc,
+                "make the subscript of dimension " + std::to_string(f.dim + 1) +
+                    " vary with the loop, or distribute a dimension the loop "
+                    "actually sweeps");
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// fortd-dead-decomp — DISTRIBUTE/ALIGN killed or unused before any use
+// ---------------------------------------------------------------------------
+//
+// The live-decomposition idea of Fig. 16 re-applied as a lint: a
+// DISTRIBUTE whose decomposition is overwritten (or falls off the end of
+// the procedure) before any affected array is referenced never influences
+// code generation — it is dead source text, usually a sign the programmer
+// distributed the wrong target.
+class DeadDecompChecker final : public Checker {
+public:
+  const char* id() const override { return "fortd-dead-decomp"; }
+  const char* description() const override {
+    return "DISTRIBUTE/ALIGN statement is dead before any use";
+  }
+
+  void check(const LintContext& ctx, const std::string& proc,
+             LintSink& sink) const override {
+    const Procedure* p = ctx.program.find(proc);
+    if (!p) return;
+    const SymbolTable& st = ctx.program.symtab(proc);
+    auto sit = ctx.ipa.summaries.find(proc);
+    if (sit == ctx.ipa.summaries.end()) return;
+    const auto& align = sit->second.align;
+
+    // Frames of the walk: (statement list, index of the enclosing stmt in
+    // it) from outermost to the list holding the DISTRIBUTE.
+    struct Frame {
+      const std::vector<StmtPtr>* list;
+      size_t index;
+      bool is_loop_body;  // list is the body of a Do
+      const Stmt* loop;   // the Do statement when is_loop_body
+    };
+
+    auto uses = [&](const Stmt& s, const std::set<std::string>& arrays,
+                    auto&& self) -> bool {
+      bool used = false;
+      for_each_expr(s, [&](const Expr& e) {
+        if ((e.kind == ExprKind::VarRef || e.kind == ExprKind::ArrayRef) &&
+            arrays.count(e.name))
+          used = true;
+      });
+      if (used) return true;
+      // A call may touch COMMON arrays without naming them.
+      if (s.kind == StmtKind::Call) {
+        for (const std::string& a : arrays) {
+          const Symbol* sym = st.lookup(a);
+          if (sym && sym->is_global()) return true;
+        }
+      }
+      for (const auto* body : {&s.then_body, &s.else_body, &s.body})
+        for (const StmtPtr& inner : *body)
+          if (self(*inner, arrays, self)) return true;
+      return false;
+    };
+
+    // Scan list[from..] for a use or a same-level kill of `arrays`.
+    enum class Scan { Use, Kill, Fallthrough };
+    const Stmt* kill_stmt = nullptr;
+    auto scan_list = [&](const std::vector<StmtPtr>& list, size_t from,
+                         const std::set<std::string>& arrays) -> Scan {
+      for (size_t i = from; i < list.size(); ++i) {
+        const Stmt& s = *list[i];
+        if (s.kind == StmtKind::Distribute) {
+          auto killed = affected_arrays(s, *p, st, align);
+          bool covers_all = !arrays.empty();
+          for (const std::string& a : arrays)
+            if (!std::count(killed.begin(), killed.end(), a))
+              covers_all = false;
+          if (covers_all) {
+            kill_stmt = &s;
+            return Scan::Kill;
+          }
+        }
+        if (uses(s, arrays, uses)) return Scan::Use;
+      }
+      return Scan::Fallthrough;
+    };
+
+    auto report = [&](const Stmt& d, const std::set<std::string>& arrays) {
+      std::string names;
+      for (const std::string& a : arrays) {
+        if (!names.empty()) names += ", ";
+        names += "'" + a + "'";
+      }
+      if (kill_stmt) {
+        sink.warning(d.loc, "DISTRIBUTE '" + d.dist_target + "' in '" + proc +
+                                "' is killed by the DISTRIBUTE at line " +
+                                std::to_string(kill_stmt->loc.line) +
+                                " before any use of " + names);
+      } else {
+        sink.warning(d.loc, "DISTRIBUTE '" + d.dist_target + "' in '" + proc +
+                                "' is never used: no reference to " + names +
+                                " follows it");
+      }
+      sink.note(d.loc, "delete the statement or move it ahead of the uses "
+                       "it was meant to cover");
+    };
+
+    std::vector<Frame> frames;
+    auto walk = [&](auto&& self, const std::vector<StmtPtr>& list,
+                    bool is_loop_body, const Stmt* loop) -> void {
+      for (size_t i = 0; i < list.size(); ++i) {
+        const Stmt& s = *list[i];
+        frames.push_back({&list, i, is_loop_body, loop});
+        if (s.kind == StmtKind::Distribute) {
+          auto arrays_vec = affected_arrays(s, *p, st, align);
+          if (arrays_vec.empty()) {
+            sink.warning(s.loc, "DISTRIBUTE '" + s.dist_target + "' in '" +
+                                    proc + "' has no effect: no array is "
+                                    "aligned with decomposition '" +
+                                    s.dist_target + "'");
+            sink.note(s.loc, "add an ALIGN statement or distribute the "
+                             "array directly");
+          } else {
+            std::set<std::string> arrays(arrays_vec.begin(), arrays_vec.end());
+            kill_stmt = nullptr;
+            Scan r = Scan::Fallthrough;
+            // Forward through the current list, then outward through the
+            // enclosing frames.
+            for (auto f = frames.rbegin(); f != frames.rend(); ++f) {
+              r = scan_list(*f->list, f->index + 1, arrays);
+              if (r != Scan::Fallthrough) break;
+              // Wrap-around: a DISTRIBUTE inside a loop body reaches the
+              // next iteration's leading statements.
+              if (f->is_loop_body && f->loop &&
+                  uses(*f->loop, arrays, uses)) {
+                r = Scan::Use;
+                break;
+              }
+            }
+            if (r != Scan::Use) report(s, arrays);
+          }
+        }
+        if (s.kind == StmtKind::Do) self(self, s.body, true, &s);
+        if (s.kind == StmtKind::If) {
+          self(self, s.then_body, false, nullptr);
+          self(self, s.else_body, false, nullptr);
+        }
+        frames.pop_back();
+      }
+    };
+    walk(walk, p->body, false, nullptr);
+  }
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Checker>> make_default_checkers() {
+  std::vector<std::unique_ptr<Checker>> out;
+  out.push_back(std::make_unique<CallMismatchChecker>());
+  out.push_back(std::make_unique<OverlapBoundsChecker>());
+  out.push_back(std::make_unique<LoopSequentialChecker>());
+  out.push_back(std::make_unique<DeadDecompChecker>());
+  return out;
+}
+
+}  // namespace fortd

@@ -1,0 +1,502 @@
+#include "analysis/lint/spmd_verifier.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <optional>
+#include <tuple>
+#include <unordered_map>
+
+#include "codegen/spmd_printer.hpp"
+#include "ir/symbol_table.hpp"
+#include "support/thread_pool.hpp"
+
+namespace fortd {
+
+namespace {
+
+using Env = std::unordered_map<std::string, int64_t>;
+
+/// True when the expression references the processor identity (directly
+/// via my$p or indirectly via an owner$ ownership intrinsic).
+bool mentions_processor(const Expr& e) {
+  bool found = false;
+  walk_expr(e, [&](const Expr& x) {
+    if (x.kind == ExprKind::VarRef && x.name == "my$p") found = true;
+    if (x.kind == ExprKind::FuncCall && x.name.rfind("owner$", 0) == 0)
+      found = true;
+  });
+  return found;
+}
+
+bool mentions_myp(const Expr& e) {
+  bool found = false;
+  walk_expr(e, [&](const Expr& x) {
+    if (x.kind == ExprKind::VarRef && x.name == "my$p") found = true;
+  });
+  return found;
+}
+
+/// Boolean evaluation of generated guard expressions over `env`.
+/// Short-circuits .and./.or. so edge-processor guards close even when the
+/// other operand is run-time data.
+std::optional<bool> eval_bool(const Expr& e, const Env& env) {
+  if (e.kind == ExprKind::Unary && e.un_op == UnOp::Not) {
+    auto v = eval_bool(*e.args[0], env);
+    if (!v) return std::nullopt;
+    return !*v;
+  }
+  if (e.kind != ExprKind::Binary) return std::nullopt;
+  switch (e.bin_op) {
+    case BinOp::And: {
+      auto l = eval_bool(*e.args[0], env);
+      auto r = eval_bool(*e.args[1], env);
+      if (l && !*l) return false;
+      if (r && !*r) return false;
+      if (l && r) return true;
+      return std::nullopt;
+    }
+    case BinOp::Or: {
+      auto l = eval_bool(*e.args[0], env);
+      auto r = eval_bool(*e.args[1], env);
+      if (l && *l) return true;
+      if (r && *r) return true;
+      if (l && r) return false;
+      return std::nullopt;
+    }
+    case BinOp::Eq:
+    case BinOp::Ne:
+    case BinOp::Lt:
+    case BinOp::Le:
+    case BinOp::Gt:
+    case BinOp::Ge: {
+      auto l = try_eval_int(*e.args[0], env);
+      auto r = try_eval_int(*e.args[1], env);
+      if (!l || !r) return std::nullopt;
+      switch (e.bin_op) {
+        case BinOp::Eq: return *l == *r;
+        case BinOp::Ne: return *l != *r;
+        case BinOp::Lt: return *l < *r;
+        case BinOp::Le: return *l <= *r;
+        case BinOp::Gt: return *l > *r;
+        default: return *l >= *r;
+      }
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+/// Elements a message section covers under `env`; nullopt when a bound
+/// involves run-time values. A known-empty dimension empties the whole
+/// section regardless of the unknown ones (the machine skips it).
+std::optional<int64_t> section_size(const std::vector<SectionExpr>& sec,
+                                    const Env& env) {
+  int64_t total = 1;
+  bool unknown = false;
+  for (const SectionExpr& t : sec) {
+    auto lb = try_eval_int(*t.lb, env);
+    auto ub = try_eval_int(*t.ub, env);
+    int64_t step = 1;
+    if (t.step) {
+      auto s = try_eval_int(*t.step, env);
+      if (!s || *s <= 0) return std::nullopt;
+      step = *s;
+    }
+    if (!lb || !ub) {
+      unknown = true;
+      continue;
+    }
+    int64_t n = *ub < *lb ? 0 : (*ub - *lb) / step + 1;
+    if (n == 0) return 0;
+    total *= n;
+  }
+  if (unknown) return std::nullopt;
+  return total;
+}
+
+std::string section_str(const std::vector<SectionExpr>& sec) {
+  std::string s = "(";
+  for (size_t i = 0; i < sec.size(); ++i) {
+    if (i) s += ",";
+    s += print_expr(*sec[i].lb) + ":" + print_expr(*sec[i].ub);
+    if (sec[i].step) s += ":" + print_expr(*sec[i].step);
+  }
+  return s + ")";
+}
+
+struct GuardTerm {
+  const Expr* cond;
+  bool negated;
+};
+
+/// One concrete per-processor message instance. `size` is -1 when the
+/// section extent is not compile-time constant.
+struct Inst {
+  int self;
+  int peer;
+  int64_t size;
+  bool matched = false;
+};
+
+/// One send/recv statement together with the scope-local guards over it.
+struct MsgOp {
+  const Stmt* stmt = nullptr;
+  std::vector<GuardTerm> guards;
+  /// Guards/peer do not close over my$p + constants; matched structurally.
+  bool symbolic = false;
+  std::vector<Inst> insts;  // concrete ops only (empty sections dropped)
+  bool sym_matched = false; // symbolic ops only
+};
+
+struct Counters {
+  int sends = 0, recvs = 0, collectives = 0, matched = 0, unmatched = 0;
+};
+
+class Verifier {
+public:
+  Verifier(const SpmdProgram& spmd, DiagnosticEngine& diags)
+      : spmd_(spmd), diags_(diags),
+        P_(spmd.options.n_procs < 1 ? 1 : spmd.options.n_procs) {
+    for (const auto& p : spmd_.ast.procedures) procs_[p->name] = p.get();
+    // Resolve the transitive has-communication bit serially, before the
+    // per-procedure walks fan out: comm_ is read-only afterwards.
+    for (const auto& p : spmd_.ast.procedures) comm_of(p->name);
+  }
+
+  Counters verify_procedure(const Procedure& proc, int order_key) const {
+    Counters counters;
+    Env base;
+    for (const ParamConst& pc : proc.params)
+      if (auto v = try_eval_int(*pc.value, base)) base[pc.name] = *v;
+    Ctx ctx{proc.name, order_key, &counters, base};
+    verify_scope(proc.body, ctx, false);
+    return counters;
+  }
+
+private:
+  struct Ctx {
+    std::string proc;
+    int order_key;
+    Counters* counters;
+    Env base_env;  // PARAMETER constants of the procedure
+  };
+
+  /// Transitive "contains message statements" over the SPMD call graph.
+  bool comm_of(const std::string& name) {
+    auto it = comm_.find(name);
+    if (it != comm_.end()) return it->second;
+    comm_[name] = false;  // cycle guard (source programs are acyclic)
+    auto pit = procs_.find(name);
+    bool has = false;
+    if (pit != procs_.end()) {
+      walk_stmts(pit->second->body, [&](const Stmt& s) {
+        switch (s.kind) {
+          case StmtKind::Send:
+          case StmtKind::Recv:
+          case StmtKind::Broadcast:
+          case StmtKind::AllReduce:
+          case StmtKind::Remap:
+          case StmtKind::MarkDist:
+            has = true;
+            break;
+          case StmtKind::Call:
+            if (comm_of(s.callee)) has = true;
+            break;
+          default:
+            break;
+        }
+      });
+    }
+    comm_[name] = has;
+    return has;
+  }
+
+  static bool guards_mention_processor(const std::vector<GuardTerm>& guards) {
+    for (const GuardTerm& g : guards)
+      if (mentions_processor(*g.cond)) return true;
+    return false;
+  }
+
+  void diag(const Ctx& ctx, SourceLoc loc, const std::string& msg,
+            const std::string& id) const {
+    diags_.report(DiagLevel::Warning, loc, "in '" + ctx.proc + "': " + msg,
+                  id, ctx.order_key);
+  }
+
+  /// Collect the message operations of one scope (a procedure or loop
+  /// body), looking through If nesting; loop bodies recurse as scopes of
+  /// their own. Collectives and calls are checked inline.
+  void collect(const std::vector<StmtPtr>& stmts, Ctx& ctx, bool pdep,
+               std::vector<GuardTerm>& guards, std::vector<MsgOp>& sends,
+               std::vector<MsgOp>& recvs) const {
+    for (const StmtPtr& sp : stmts) {
+      const Stmt& s = *sp;
+      switch (s.kind) {
+        case StmtKind::Send:
+          ++ctx.counters->sends;
+          sends.push_back({&s, guards});
+          break;
+        case StmtKind::Recv:
+          ++ctx.counters->recvs;
+          recvs.push_back({&s, guards});
+          break;
+        case StmtKind::Broadcast:
+        case StmtKind::AllReduce:
+        case StmtKind::Remap:
+        case StmtKind::MarkDist: {
+          ++ctx.counters->collectives;
+          if (pdep || guards_mention_processor(guards))
+            diag(ctx, s.loc,
+                 "collective reached under a processor-dependent guard: "
+                 "processors disagree on executing it (deadlock)",
+                 "fortd-spmd-guarded-collective");
+          if (s.kind == StmtKind::Broadcast && s.peer) {
+            if (mentions_myp(*s.peer)) {
+              diag(ctx, s.loc,
+                   "broadcast root '" + print_expr(*s.peer) +
+                       "' differs per processor",
+                   "fortd-spmd-peer-range");
+            } else if (auto root = try_eval_int(*s.peer, ctx.base_env)) {
+              if (*root < 0 || *root >= P_)
+                diag(ctx, s.loc,
+                     "broadcast root " + std::to_string(*root) +
+                         " is outside 0.." + std::to_string(P_ - 1),
+                     "fortd-spmd-peer-range");
+            }
+          }
+          break;
+        }
+        case StmtKind::Call:
+          if ((pdep || guards_mention_processor(guards)) &&
+              comm_.count(s.callee) && comm_.at(s.callee))
+            diag(ctx, s.loc,
+                 "'" + s.callee +
+                     "' contains communication but is called under a "
+                     "processor-dependent guard: processors that skip the "
+                     "call deadlock their peers",
+                 "fortd-spmd-guarded-call");
+          break;
+        case StmtKind::If: {
+          guards.push_back({s.cond.get(), false});
+          collect(s.then_body, ctx, pdep, guards, sends, recvs);
+          guards.back().negated = true;
+          collect(s.else_body, ctx, pdep, guards, sends, recvs);
+          guards.pop_back();
+          break;
+        }
+        case StmtKind::Do:
+          verify_scope(s.body, ctx,
+                       pdep || guards_mention_processor(guards));
+          break;
+        default:
+          break;
+      }
+    }
+  }
+
+  /// Evaluate an op's concrete per-processor instances. Returns false
+  /// (symbolic) when some processor's guard or peer does not close over
+  /// my$p and the procedure's constants.
+  bool concretize(MsgOp& op, const Ctx& ctx) const {
+    std::vector<Inst> insts;
+    for (int p = 0; p < P_; ++p) {
+      Env env = ctx.base_env;
+      env["my$p"] = p;
+      bool active = true;
+      for (const GuardTerm& g : op.guards) {
+        auto v = eval_bool(*g.cond, env);
+        if (!v) return false;
+        if (*v == g.negated) {
+          active = false;
+          break;
+        }
+      }
+      if (!active) continue;
+      auto peer = try_eval_int(*op.stmt->peer, env);
+      if (!peer) return false;
+      auto size = section_size(op.stmt->msg_section, env);
+      if (size && *size == 0) continue;  // machine skips empty sections
+      insts.push_back({p, static_cast<int>(*peer), size ? *size : -1});
+    }
+    op.insts = std::move(insts);
+    return true;
+  }
+
+  void verify_scope(const std::vector<StmtPtr>& stmts, Ctx& ctx,
+                    bool pdep) const {
+    std::vector<MsgOp> sends, recvs;
+    std::vector<GuardTerm> guards;
+    collect(stmts, ctx, pdep, guards, sends, recvs);
+    if (sends.empty() && recvs.empty()) return;
+
+    for (MsgOp& op : sends) op.symbolic = !concretize(op, ctx);
+    for (MsgOp& op : recvs) op.symbolic = !concretize(op, ctx);
+
+    // --- concrete matching: multiset over (src, dst, array) -------------
+    std::map<std::tuple<int, int, std::string>, std::deque<Inst*>> pending;
+    for (MsgOp& op : recvs)
+      for (Inst& inst : op.insts)
+        pending[{inst.peer, inst.self, op.stmt->msg_array}].push_back(&inst);
+    for (MsgOp& op : sends) {
+      for (Inst& inst : op.insts) {
+        if (inst.peer < 0 || inst.peer >= P_) {
+          diag(ctx, op.stmt->loc,
+               "send of '" + op.stmt->msg_array + "' from processor " +
+                   std::to_string(inst.self) + " targets processor " +
+                   std::to_string(inst.peer) + ", outside 0.." +
+                   std::to_string(P_ - 1),
+               "fortd-spmd-peer-range");
+          inst.matched = true;  // already reported; not an unmatched count
+          continue;
+        }
+        auto it = pending.find({inst.self, inst.peer, op.stmt->msg_array});
+        if (it == pending.end() || it->second.empty()) continue;
+        Inst* rinst = it->second.front();
+        it->second.pop_front();
+        inst.matched = true;
+        rinst->matched = true;
+        ++ctx.counters->matched;
+        if (inst.size >= 0 && rinst->size >= 0 && inst.size != rinst->size)
+          diag(ctx, op.stmt->loc,
+               "send of '" + op.stmt->msg_array + "' (" +
+                   std::to_string(inst.size) + " elements, " +
+                   std::to_string(inst.self) + "->" +
+                   std::to_string(inst.peer) +
+                   ") does not match the recv section (" +
+                   std::to_string(rinst->size) + " elements)",
+               "fortd-spmd-size-mismatch");
+      }
+    }
+
+    // --- symbolic matching: array + printed section, then array only ----
+    auto pair_symbolic = [&](bool with_section) {
+      for (MsgOp& s : sends) {
+        if (!s.symbolic || s.sym_matched) continue;
+        for (MsgOp& r : recvs) {
+          if (!r.symbolic || r.sym_matched) continue;
+          if (s.stmt->msg_array != r.stmt->msg_array) continue;
+          if (with_section && section_str(s.stmt->msg_section) !=
+                                  section_str(r.stmt->msg_section))
+            continue;
+          s.sym_matched = true;
+          r.sym_matched = true;
+          ++ctx.counters->matched;
+          break;
+        }
+      }
+    };
+    pair_symbolic(true);
+    pair_symbolic(false);
+
+    // --- cross-kind reconciliation --------------------------------------
+    // A concrete leftover may face a symbolic partner (e.g. a
+    // data-dependent guard closed on one side only): absorb leftover
+    // concrete instances into an unmatched symbolic op of the opposite
+    // kind on the same array, and vice versa, rather than reporting both
+    // halves of one event as unmatched.
+    auto absorb = [&](std::vector<MsgOp>& concrete_side,
+                      std::vector<MsgOp>& symbolic_side) {
+      for (MsgOp& c : concrete_side) {
+        if (c.symbolic) continue;
+        bool leftover = std::any_of(c.insts.begin(), c.insts.end(),
+                                    [](const Inst& i) { return !i.matched; });
+        if (!leftover) continue;
+        for (MsgOp& s : symbolic_side) {
+          if (!s.symbolic || s.sym_matched) continue;
+          if (c.stmt->msg_array != s.stmt->msg_array) continue;
+          for (Inst& inst : c.insts) inst.matched = true;
+          s.sym_matched = true;
+          ++ctx.counters->matched;
+          break;
+        }
+      }
+    };
+    absorb(sends, recvs);
+    absorb(recvs, sends);
+
+    // --- report ----------------------------------------------------------
+    auto report = [&](std::vector<MsgOp>& ops, bool is_send) {
+      for (MsgOp& op : ops) {
+        std::string pairs;
+        int n = 0;
+        if (op.symbolic) {
+          if (op.sym_matched) continue;
+          n = 1;
+        } else {
+          for (const Inst& inst : op.insts) {
+            if (inst.matched) continue;
+            ++n;
+            if (!pairs.empty()) pairs += ", ";
+            pairs += is_send ? std::to_string(inst.self) + "->" +
+                                   std::to_string(inst.peer)
+                             : std::to_string(inst.peer) + "->" +
+                                   std::to_string(inst.self);
+          }
+          if (n == 0) continue;
+        }
+        ctx.counters->unmatched += n;
+        diag(ctx, op.stmt->loc,
+             std::string(is_send ? "send" : "recv") + " of '" +
+                 op.stmt->msg_array + "' " +
+                 section_str(op.stmt->msg_section) + " has no matching " +
+                 (is_send ? "recv" : "send") + " in its scope" +
+                 (pairs.empty() ? "" : " (processor pairs " + pairs + ")"),
+             is_send ? "fortd-spmd-unmatched-send"
+                     : "fortd-spmd-unmatched-recv");
+      }
+    };
+    report(sends, true);
+    report(recvs, false);
+  }
+
+  const SpmdProgram& spmd_;
+  DiagnosticEngine& diags_;
+  int P_;
+  std::map<std::string, const Procedure*> procs_;
+  std::map<std::string, bool> comm_;
+};
+
+}  // namespace
+
+std::string SpmdVerifyReport::text() const {
+  std::string out;
+  for (const Diagnostic& d : diags) out += d.str() + "\n";
+  return out;
+}
+
+std::string SpmdVerifyReport::summary() const {
+  return std::to_string(sends) + " send(s), " + std::to_string(recvs) +
+         " recv(s), " + std::to_string(collectives) + " collective(s), " +
+         std::to_string(matched) + " matched, " + std::to_string(unmatched) +
+         " unmatched";
+}
+
+SpmdVerifyReport verify_spmd(const SpmdProgram& spmd, ThreadPool* pool) {
+  DiagnosticEngine diags;
+  Verifier verifier(spmd, diags);
+  const size_t n = spmd.ast.procedures.size();
+  std::vector<Counters> counters(n);
+  auto run_one = [&](size_t i) {
+    counters[i] = verifier.verify_procedure(*spmd.ast.procedures[i],
+                                            static_cast<int>(i));
+  };
+  if (pool && pool->size() > 0) {
+    pool->parallel_for(n, run_one);
+  } else {
+    for (size_t i = 0; i < n; ++i) run_one(i);
+  }
+
+  SpmdVerifyReport report;
+  report.diags = diags.ordered();
+  for (const Counters& c : counters) {
+    report.sends += c.sends;
+    report.recvs += c.recvs;
+    report.collectives += c.collectives;
+    report.matched += c.matched;
+    report.unmatched += c.unmatched;
+  }
+  return report;
+}
+
+}  // namespace fortd

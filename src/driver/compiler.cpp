@@ -17,8 +17,10 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
 
 }  // namespace
 
-Compiler::Compiler(CodegenOptions options, IpaOptions ipa_options)
-    : options_(options), ipa_options_(ipa_options) {}
+Compiler::Compiler(CodegenOptions options, IpaOptions ipa_options,
+                   LintOptions lint_options)
+    : options_(options), ipa_options_(ipa_options),
+      lint_options_(std::move(lint_options)) {}
 
 ThreadPool* Compiler::pool() {
   if (!pool_)
@@ -49,6 +51,21 @@ CompileResult Compiler::compile(SourceProgram ast) {
                                               result.ipa.summaries);
   result.stats.overlap_ms = ms_since(t);
 
+  last_lint_ = LintReport{};
+  if (lint_options_.analyze) {
+    t = std::chrono::steady_clock::now();
+    LintDriver linter(lint_options_);
+    LintContext lint_ctx{result.program, result.ipa, result.overlaps,
+                         options_};
+    result.lint = linter.run(lint_ctx, pool());
+    last_lint_ = result.lint;
+    result.stats.lint_ms = ms_since(t);
+    result.stats.lint_warnings = result.lint.warnings;
+    result.stats.lint_notes = result.lint.notes;
+    // Keep the partially-filled stats visible if codegen throws below.
+    stats_ = result.stats;
+  }
+
   t = std::chrono::steady_clock::now();
   const uint64_t hits0 = cache_.hits();
   const uint64_t misses0 = cache_.misses();
@@ -57,6 +74,13 @@ CompileResult Compiler::compile(SourceProgram ast) {
   result.spmd = generator.generate();
   result.regenerated = generator.generated_procedures();
   result.stats.codegen_ms = ms_since(t);
+
+  if (lint_options_.verify_spmd) {
+    t = std::chrono::steady_clock::now();
+    result.verify = verify_spmd(result.spmd, pool());
+    result.stats.verify_ms = ms_since(t);
+    result.stats.verify_unmatched = result.verify.unmatched;
+  }
 
   result.record =
       make_compilation_record(result.program, result.ipa, result.overlaps);

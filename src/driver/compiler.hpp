@@ -20,6 +20,8 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/lint/lint.hpp"
+#include "analysis/lint/spmd_verifier.hpp"
 #include "codegen/codegen.hpp"
 #include "driver/compilation_cache.hpp"
 #include "ipa/recompilation.hpp"
@@ -51,6 +53,13 @@ struct CompilerStats {
   int summaries_reused = 0;        // carried unchanged between rounds
   int effects_reused = 0;
   int reaching_reused = 0;
+
+  // Lint / verification phase (zero unless LintOptions enables them).
+  double lint_ms = 0.0;
+  double verify_ms = 0.0;
+  int lint_warnings = 0;
+  int lint_notes = 0;
+  int verify_unmatched = 0;  // SPMD messages with no partner
 };
 
 struct CompileResult {
@@ -65,11 +74,17 @@ struct CompileResult {
   /// Procedures that actually ran through code generation (cache hits
   /// excluded), in reverse topological order.
   std::vector<std::string> regenerated;
+  /// Lint findings (empty unless LintOptions::analyze).
+  LintReport lint;
+  /// SPMD communication verification (empty unless
+  /// LintOptions::verify_spmd).
+  SpmdVerifyReport verify;
 };
 
 class Compiler {
 public:
-  explicit Compiler(CodegenOptions options = {}, IpaOptions ipa_options = {});
+  explicit Compiler(CodegenOptions options = {}, IpaOptions ipa_options = {},
+                    LintOptions lint_options = {});
 
   /// Parse, bind, analyze, and generate SPMD code. Throws CompileError.
   CompileResult compile_source(std::string_view source);
@@ -94,9 +109,16 @@ public:
   /// Stats of the most recent compile().
   const CompilerStats& last_stats() const { return stats_; }
 
+  /// Lint report of the most recent compile(). Populated before code
+  /// generation runs, so it survives (and helps explain) a CompileError
+  /// thrown by codegen — fortdc -analyze prints it in both cases.
+  const LintReport& last_lint_report() const { return last_lint_; }
+
 private:
   CodegenOptions options_;
   IpaOptions ipa_options_;
+  LintOptions lint_options_;
+  LintReport last_lint_;
   CompilationCache cache_;
   IpaSummaryCache summary_cache_;
   std::unique_ptr<ThreadPool> pool_;

@@ -13,17 +13,26 @@ std::string Diagnostic::str() const {
   const char* lvl = level == DiagLevel::Error     ? "error"
                     : level == DiagLevel::Warning ? "warning"
                                                   : "note";
-  return loc.str() + ": " + lvl + ": " + message;
+  std::string s = loc.str() + ": " + lvl + ": " + message;
+  if (!id.empty()) s += " [" + id + "]";
+  return s;
 }
 
 CompileError::CompileError(SourceLoc loc, const std::string& msg)
     : std::runtime_error(loc.str() + ": error: " + msg), loc_(loc) {}
 
 void DiagnosticEngine::record(DiagLevel level, SourceLoc loc,
-                              const std::string& msg, int order_key) {
+                              const std::string& msg, int order_key,
+                              const std::string& id) {
   std::lock_guard<std::mutex> lock(mu_);
-  diags_.push_back({level, loc, msg, order_key});
+  diags_.push_back({level, loc, msg, order_key, id});
   if (level == DiagLevel::Warning) ++warnings_;
+}
+
+void DiagnosticEngine::report(DiagLevel level, SourceLoc loc,
+                              const std::string& msg, const std::string& id,
+                              int order_key) {
+  record(level, loc, msg, order_key, id);
 }
 
 void DiagnosticEngine::error(SourceLoc loc, const std::string& msg,

@@ -31,6 +31,10 @@ struct Diagnostic {
   /// `ordered()` sorts by this key (stably), so parallel code generation
   /// yields the same diagnostic order as a serial walk.
   int order_key = -1;
+  /// Stable diagnostic id (e.g. "fortd-call-mismatch") for lint/verifier
+  /// reports; empty for plain front-end diagnostics. Rendered clang-tidy
+  /// style as a trailing "[id]" and used by tests to assert on findings.
+  std::string id;
 
   std::string str() const;
 };
@@ -58,6 +62,11 @@ public:
   void warning(SourceLoc loc, const std::string& msg, int order_key = -1);
   void note(SourceLoc loc, const std::string& msg, int order_key = -1);
 
+  /// Non-throwing report with an explicit severity and diagnostic id —
+  /// the entry point used by lint checkers and the SPMD verifier.
+  void report(DiagLevel level, SourceLoc loc, const std::string& msg,
+              const std::string& id, int order_key = -1);
+
   /// Raw diagnostics in arrival order. Only meaningful once no worker is
   /// reporting concurrently (arrival order is nondeterministic under
   /// parallel code generation — prefer `ordered()`).
@@ -70,7 +79,7 @@ public:
 
 private:
   void record(DiagLevel level, SourceLoc loc, const std::string& msg,
-              int order_key);
+              int order_key, const std::string& id = {});
 
   mutable std::mutex mu_;
   std::vector<Diagnostic> diags_;

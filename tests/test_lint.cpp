@@ -1,0 +1,516 @@
+// Interprocedural lint and SPMD verification tests: the negative-fixture
+// corpus under tests/lint/ (each file triggers exactly one checker, by
+// id), deterministic diagnostic ordering across worker counts, and the
+// SpmdVerifier over the example programs and mutated SPMD output.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+#include "analysis/lint/spmd_verifier.hpp"
+#include "driver/compiler.hpp"
+
+#ifndef FORTD_LINT_FIXTURE_DIR
+#define FORTD_LINT_FIXTURE_DIR "tests/lint"
+#endif
+
+namespace fortd {
+namespace {
+
+std::string load_fixture(const std::string& name) {
+  std::string path = std::string(FORTD_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+CompileResult compile_analyzed(const std::string& source, int jobs = 1,
+                               int n_procs = 4) {
+  CodegenOptions options;
+  options.n_procs = n_procs;
+  options.jobs = jobs;
+  LintOptions lint;
+  lint.analyze = true;
+  lint.verify_spmd = true;
+  Compiler compiler(options, {}, lint);
+  return compiler.compile_source(source);
+}
+
+const char* kAllCheckerIds[] = {
+    "fortd-call-mismatch",
+    "fortd-overlap-bounds",
+    "fortd-loop-sequential",
+    "fortd-dead-decomp",
+};
+
+/// The fixture must report warnings only under `expected` and stay silent
+/// under every other checker id.
+void expect_exactly(const LintReport& report, const std::string& expected) {
+  for (const char* id : kAllCheckerIds) {
+    if (id == expected) {
+      EXPECT_GE(report.count(id), 1) << "expected findings under " << id;
+    } else {
+      EXPECT_EQ(report.count(id), 0) << "unexpected findings under " << id
+                                     << ":\n" << report.text();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Negative fixtures: one checker each
+// ---------------------------------------------------------------------------
+
+TEST(LintFixtures, CallMismatch) {
+  CompileResult r = compile_analyzed(load_fixture("call_mismatch.fd"));
+  expect_exactly(r.lint, "fortd-call-mismatch");
+}
+
+TEST(LintFixtures, OverlapBounds) {
+  CompileResult r = compile_analyzed(load_fixture("overlap_bounds.fd"));
+  expect_exactly(r.lint, "fortd-overlap-bounds");
+}
+
+TEST(LintFixtures, LoopSequential) {
+  CompileResult r = compile_analyzed(load_fixture("loop_sequential.fd"));
+  expect_exactly(r.lint, "fortd-loop-sequential");
+}
+
+TEST(LintFixtures, DeadDecomp) {
+  CompileResult r = compile_analyzed(load_fixture("dead_decomp.fd"));
+  expect_exactly(r.lint, "fortd-dead-decomp");
+}
+
+TEST(LintFixtures, CleanProgramIsSilent) {
+  CompileResult r = compile_analyzed(load_fixture("clean.fd"));
+  EXPECT_TRUE(r.lint.empty()) << r.lint.text();
+  EXPECT_TRUE(r.verify.clean()) << r.verify.text();
+}
+
+TEST(LintFixtures, StatsCarryLintCounts) {
+  CompileResult r = compile_analyzed(load_fixture("dead_decomp.fd"));
+  EXPECT_EQ(r.stats.lint_warnings, r.lint.warnings);
+  EXPECT_EQ(r.stats.lint_notes, r.lint.notes);
+  EXPECT_GE(r.lint.warnings, 1);
+  EXPECT_EQ(r.stats.verify_unmatched, r.verify.unmatched);
+}
+
+TEST(LintFixtures, DisabledCheckerIsSkipped) {
+  CodegenOptions options;
+  LintOptions lint;
+  lint.analyze = true;
+  lint.disabled.insert("fortd-dead-decomp");
+  Compiler compiler(options, {}, lint);
+  CompileResult r = compiler.compile_source(load_fixture("dead_decomp.fd"));
+  EXPECT_EQ(r.lint.count("fortd-dead-decomp"), 0) << r.lint.text();
+}
+
+TEST(LintFixtures, JsonCarriesIdAndLocation) {
+  CompileResult r = compile_analyzed(load_fixture("dead_decomp.fd"));
+  const std::string json = r.lint.json();
+  EXPECT_NE(json.find("\"id\": \"fortd-dead-decomp\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"line\": "), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic ordering across worker counts
+// ---------------------------------------------------------------------------
+
+// Several procedures, several findings, so a racy schedule would have
+// many chances to reorder the report.
+const char* kManyFindings = R"(
+      program manyf
+      real a(64)
+      real u(64)
+      integer i, n
+      distribute a(block)
+      distribute a(cyclic)
+      distribute u(block)
+      do i = 1, 64
+        a(5) = a(5) + 1.0
+      enddo
+      do i = 1, 44
+        a(i) = u(i+20)
+      enddo
+      call s1(a)
+      call s2(u)
+      end
+
+      subroutine s1(x)
+      real x(64)
+      integer i
+      do i = 1, 64
+        x(7) = x(7) + 2.0
+      enddo
+      end
+
+      subroutine s2(x)
+      real x(64)
+      integer i
+      do i = 1, 64
+        x(9) = x(9) + 3.0
+      enddo
+      end
+)";
+
+TEST(LintDeterminism, SerialAndParallelReportsAreByteIdentical) {
+  CompileResult serial = compile_analyzed(kManyFindings, /*jobs=*/1);
+  CompileResult parallel = compile_analyzed(kManyFindings, /*jobs=*/4);
+  ASSERT_FALSE(serial.lint.empty());
+  EXPECT_EQ(serial.lint.text(), parallel.lint.text());
+  EXPECT_EQ(serial.lint.json(), parallel.lint.json());
+  EXPECT_EQ(serial.verify.text(), parallel.verify.text());
+  EXPECT_EQ(serial.verify.summary(), parallel.verify.summary());
+}
+
+// ---------------------------------------------------------------------------
+// SpmdVerifier: clean on the example programs
+// ---------------------------------------------------------------------------
+
+const char* kJacobi = R"(
+      program jacobi
+      real u(256)
+      real unew(256)
+      integer i, t
+      distribute u(block)
+      distribute unew(block)
+      do i = 1, 256
+        u(i) = modp(i*13, 97) * 1.0
+      enddo
+      do t = 1, 20
+        do i = 2, 255
+          unew(i) = 0.5 * (u(i-1) + u(i+1))
+        enddo
+        do i = 2, 255
+          u(i) = unew(i)
+        enddo
+      enddo
+      end
+)";
+
+const char* kAdi = R"(
+      program adi
+      real u(48,48)
+      integer i, j, t
+      distribute u(block,:)
+      do i = 1, 48
+        do j = 1, 48
+          u(i,j) = modp(i*3 + j*5, 11) + 1
+        enddo
+      enddo
+      do t = 1, 4
+        call rowsweep(u)
+        distribute u(:,block)
+        call colsweep(u)
+        distribute u(block,:)
+      enddo
+      end
+
+      subroutine rowsweep(u)
+      real u(48,48)
+      integer i, j
+      do i = 1, 48
+        do j = 2, 48
+          u(i,j) = u(i,j) + 0.5*u(i,j-1)
+        enddo
+      enddo
+      end
+
+      subroutine colsweep(u)
+      real u(48,48)
+      integer i, j
+      do j = 1, 48
+        do i = 2, 48
+          u(i,j) = u(i,j) + 0.5*u(i-1,j)
+        enddo
+      enddo
+      end
+)";
+
+const char* kStencil2d = R"(
+      program p1
+      real x(100,100)
+      real y(100,100)
+      integer i, j
+      align y(i,j) with x(j,i)
+      distribute x(block,:)
+      do i = 1, 100
+        do j = 1, 100
+          x(i,j) = i + 0.01*j
+          y(i,j) = j + 0.01*i
+        enddo
+      enddo
+      do i = 1, 100
+        call f1(x, i)
+      enddo
+      do j = 1, 100
+        call f1(y, j)
+      enddo
+      end
+
+      subroutine f1(z, i)
+      real z(100,100)
+      integer i, k
+      do k = 1, 95
+        z(k,i) = f(z(k+5,i))
+      enddo
+      end
+)";
+
+const char* kRedistribution = R"(
+      program p1
+      real x(100)
+      integer k, i
+      distribute x(block)
+      do i = 1, 100
+        x(i) = i * 1.0
+      enddo
+      do k = 1, 10
+        call f1(x)
+        call f1(x)
+      enddo
+      call f2(x)
+      end
+
+      subroutine f1(x)
+      real x(100)
+      integer i
+      distribute x(cyclic)
+      do i = 1, 100
+        x(i) = x(i) + 1.0
+      enddo
+      end
+
+      subroutine f2(x)
+      real x(100)
+      integer i
+      do i = 1, 100
+        x(i) = 2.0 * i
+      enddo
+      end
+)";
+
+const char* kDgefa = R"(
+      program main
+      parameter (n = 16)
+      real a(n,n)
+      real ipvt(n)
+      integer i, j, k, ip
+      distribute a(:,cyclic)
+      do j = 1, n
+        do i = 1, n
+          a(i,j) = modp(i*7 + j*3, 13) + 1
+        enddo
+        a(j,j) = a(j,j) + n*13
+      enddo
+      do k = 1, n-1
+        call idamax(a, k, n, ip)
+        ipvt(k) = ip
+        if (ip .ne. k) then
+          call dswap(a, k, ip, n)
+        endif
+        call dscal(a, k, n)
+        do j = k+1, n
+          call daxpy(a, k, j, n)
+        enddo
+      enddo
+      end
+
+      subroutine idamax(a, k, n, ip)
+      parameter (nmax = 16)
+      real a(nmax,nmax)
+      integer k, n, ip, i
+      real tmax
+      tmax = 0.0
+      ip = k
+      do i = k, n
+        if (abs(a(i,k)) .gt. tmax) then
+          tmax = abs(a(i,k))
+          ip = i
+        endif
+      enddo
+      end
+
+      subroutine dswap(a, k, ip, n)
+      parameter (nmax = 16)
+      real a(nmax,nmax)
+      integer k, ip, n, j
+      real t1
+      do j = 1, n
+        t1 = a(k,j)
+        a(k,j) = a(ip,j)
+        a(ip,j) = t1
+      enddo
+      end
+
+      subroutine dscal(a, k, n)
+      parameter (nmax = 16)
+      real a(nmax,nmax)
+      integer k, n, i
+      do i = k+1, n
+        a(i,k) = a(i,k) / a(k,k)
+      enddo
+      end
+
+      subroutine daxpy(a, k, j, n)
+      parameter (nmax = 16)
+      real a(nmax,nmax)
+      integer k, j, n, i
+      do i = k+1, n
+        a(i,j) = a(i,j) - a(i,k) * a(k,j)
+      enddo
+      end
+)";
+
+struct Example {
+  const char* name;
+  const char* source;
+};
+
+const Example kExamples[] = {
+    {"jacobi", kJacobi},         {"adi", kAdi},
+    {"stencil2d", kStencil2d},   {"redistribution", kRedistribution},
+    {"dgefa", kDgefa},
+};
+
+TEST(SpmdVerifier, CleanOnEveryExample) {
+  for (const Example& ex : kExamples) {
+    CompileResult r = compile_analyzed(ex.source);
+    EXPECT_TRUE(r.verify.clean())
+        << ex.name << " verifier findings:\n" << r.verify.text();
+  }
+}
+
+TEST(SpmdVerifier, CleanOnEveryExampleUnderEveryStrategy) {
+  const Strategy strategies[] = {Strategy::Interprocedural,
+                                 Strategy::Intraprocedural,
+                                 Strategy::RuntimeResolution};
+  for (const Example& ex : kExamples) {
+    for (Strategy strat : strategies) {
+      CodegenOptions options;
+      options.n_procs = 4;
+      options.strategy = strat;
+      LintOptions lint;
+      lint.verify_spmd = true;
+      Compiler compiler(options, {}, lint);
+      CompileResult r = compiler.compile_source(ex.source);
+      EXPECT_TRUE(r.verify.clean())
+          << ex.name << " (strategy " << static_cast<int>(strat)
+          << ") verifier findings:\n" << r.verify.text();
+    }
+  }
+}
+
+TEST(SpmdVerifier, CleanAtOtherProcessorCounts) {
+  for (int p : {2, 8}) {
+    CompileResult r = compile_analyzed(kJacobi, /*jobs=*/1, /*n_procs=*/p);
+    EXPECT_TRUE(r.verify.clean())
+        << "jacobi at P=" << p << ":\n" << r.verify.text();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SpmdVerifier: mutated programs must be flagged
+// ---------------------------------------------------------------------------
+
+/// Remove the first statement of `kind` anywhere in the program;
+/// returns true when one was removed.
+bool remove_first(SpmdProgram& spmd, StmtKind kind) {
+  for (auto& proc : spmd.ast.procedures) {
+    std::function<bool(std::vector<StmtPtr>&)> prune =
+        [&](std::vector<StmtPtr>& stmts) -> bool {
+      for (size_t i = 0; i < stmts.size(); ++i) {
+        if (stmts[i]->kind == kind) {
+          stmts.erase(stmts.begin() + static_cast<long>(i));
+          return true;
+        }
+        if (prune(stmts[i]->then_body) || prune(stmts[i]->else_body) ||
+            prune(stmts[i]->body))
+          return true;
+      }
+      return false;
+    };
+    if (prune(proc->body)) return true;
+  }
+  return false;
+}
+
+TEST(SpmdVerifier, RemovedRecvLeavesUnmatchedSend) {
+  CompileResult r = compile_analyzed(kJacobi);
+  ASSERT_TRUE(r.verify.clean());
+  ASSERT_TRUE(remove_first(r.spmd, StmtKind::Recv));
+  SpmdVerifyReport v = verify_spmd(r.spmd);
+  EXPECT_GT(v.unmatched, 0);
+  int unmatched_sends = 0;
+  for (const Diagnostic& d : v.diags)
+    if (d.id == "fortd-spmd-unmatched-send") ++unmatched_sends;
+  EXPECT_GE(unmatched_sends, 1) << v.text();
+  EXPECT_FALSE(v.clean());
+}
+
+TEST(SpmdVerifier, RemovedSendLeavesUnmatchedRecv) {
+  CompileResult r = compile_analyzed(kJacobi);
+  ASSERT_TRUE(remove_first(r.spmd, StmtKind::Send));
+  SpmdVerifyReport v = verify_spmd(r.spmd);
+  EXPECT_GT(v.unmatched, 0);
+  int unmatched_recvs = 0;
+  for (const Diagnostic& d : v.diags)
+    if (d.id == "fortd-spmd-unmatched-recv") ++unmatched_recvs;
+  EXPECT_GE(unmatched_recvs, 1) << v.text();
+}
+
+TEST(SpmdVerifier, GuardedCollectiveIsFlagged) {
+  CompileResult r = compile_analyzed(kRedistribution);
+  // Wrap the first collective in a processor-dependent guard.
+  bool wrapped = false;
+  for (auto& proc : r.spmd.ast.procedures) {
+    for (auto& sp : proc->body) {
+      if (sp->kind == StmtKind::Remap || sp->kind == StmtKind::MarkDist ||
+          sp->kind == StmtKind::Broadcast) {
+        auto cond = Expr::make_binary(BinOp::Gt, Expr::make_var("my$p"),
+                                      Expr::make_int(0));
+        std::vector<StmtPtr> then_body;
+        then_body.push_back(std::move(sp));
+        sp = Stmt::make_if(std::move(cond), std::move(then_body));
+        wrapped = true;
+        break;
+      }
+    }
+    if (wrapped) break;
+  }
+  ASSERT_TRUE(wrapped) << "no collective found to wrap";
+  SpmdVerifyReport v = verify_spmd(r.spmd);
+  int guarded = 0;
+  for (const Diagnostic& d : v.diags)
+    if (d.id == "fortd-spmd-guarded-collective") ++guarded;
+  EXPECT_GE(guarded, 1) << v.text();
+}
+
+TEST(SpmdVerifier, SizeMismatchIsFlagged) {
+  CompileResult r = compile_analyzed(kJacobi);
+  // Widen the first recv's section by one element: same (src, dst,
+  // array) channel, different payload.
+  bool widened = false;
+  for (auto& proc : r.spmd.ast.procedures) {
+    walk_stmts(proc->body, [&](Stmt& s) {
+      if (widened || s.kind != StmtKind::Recv || s.msg_section.empty())
+        return;
+      s.msg_section[0].ub = Expr::make_binary(
+          BinOp::Add, std::move(s.msg_section[0].ub), Expr::make_int(1));
+      widened = true;
+    });
+    if (widened) break;
+  }
+  ASSERT_TRUE(widened);
+  SpmdVerifyReport v = verify_spmd(r.spmd);
+  int mismatches = 0;
+  for (const Diagnostic& d : v.diags)
+    if (d.id == "fortd-spmd-size-mismatch") ++mismatches;
+  EXPECT_GE(mismatches, 1) << v.text();
+}
+
+}  // namespace
+}  // namespace fortd
