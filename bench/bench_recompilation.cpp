@@ -4,7 +4,16 @@
 // Without recompilation analysis the whole program recompiles (M+1
 // procedures); with it only the edited procedure — plus callers whose
 // interprocedural inputs actually changed — recompiles.
+//
+// BM_ColdProcessRecompile extends the study across process boundaries:
+// a fresh Compiler per iteration (empty memory tiers — a new compiler
+// process) shares one persistent compilation database, so every
+// procedure and summary is served from disk instead of being
+// regenerated. BM_ColdProcessNoCache is the same shape without the
+// database: the full from-scratch compile a cold process otherwise pays.
 #include <benchmark/benchmark.h>
+
+#include <filesystem>
 
 #include "driver/compiler.hpp"
 #include "programs.hpp"
@@ -63,6 +72,46 @@ void BM_BlindRecompilation(benchmark::State& state) {
   state.counters["total_procs"] = static_cast<double>(depth + 1);
 }
 
+void BM_ColdProcessRecompile(benchmark::State& state) {
+  namespace fs = std::filesystem;
+  const int width = static_cast<int>(state.range(0));
+  const std::string src = fortd::bench::fan_out(width, 256);
+  const fs::path dir = fs::temp_directory_path() /
+                       ("fortd_bench_cold_" + std::to_string(width));
+  fs::remove_all(dir);
+  fortd::CacheOptions cache{dir.string()};
+  {
+    // Populate the database once; not part of the measured loop.
+    fortd::Compiler warmup{fortd::CodegenOptions{}, {}, {}, cache};
+    warmup.compile_source(src);
+  }
+  int generated = 0, disk_hits = 0;
+  for (auto _ : state) {
+    fortd::Compiler compiler{fortd::CodegenOptions{}, {}, {}, cache};
+    auto r = compiler.compile_source(src);
+    generated = r.stats.generated;
+    disk_hits = r.stats.disk_hits;
+    { auto sink = r.spmd.stats.loops_bounds_reduced; benchmark::DoNotOptimize(sink); }
+  }
+  state.counters["generated"] = static_cast<double>(generated);
+  state.counters["disk_hits"] = static_cast<double>(disk_hits);
+  state.counters["total_procs"] = static_cast<double>(width + 1);
+  fs::remove_all(dir);
+}
+
+void BM_ColdProcessNoCache(benchmark::State& state) {
+  // Baseline for BM_ColdProcessRecompile: a fresh Compiler with no
+  // persistent tier pays the full compile every time.
+  const int width = static_cast<int>(state.range(0));
+  const std::string src = fortd::bench::fan_out(width, 256);
+  for (auto _ : state) {
+    fortd::Compiler compiler{fortd::CodegenOptions{}};
+    auto r = compiler.compile_source(src);
+    { auto sink = r.spmd.stats.loops_bounds_reduced; benchmark::DoNotOptimize(sink); }
+  }
+  state.counters["total_procs"] = static_cast<double>(width + 1);
+}
+
 }  // namespace
 
 BENCHMARK(BM_RecompilationAnalysis)
@@ -75,6 +124,14 @@ BENCHMARK(BM_BlindRecompilation)
     ->Arg(4)
     ->Arg(8)
     ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ColdProcessRecompile)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ColdProcessNoCache)
+    ->Arg(8)
     ->Arg(32)
     ->Unit(benchmark::kMillisecond);
 

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Diff freshly produced google-benchmark JSON against committed baselines.
+
+    bench/diff_benchmarks.py [--baseline-dir DIR] [--new-dir DIR]
+                             [--threshold FRACTION]
+
+For every BENCH_<name>.json present in *both* directories, benchmarks are
+matched by their "name" field and compared on wall-clock ("real_time",
+normalized to nanoseconds). The script exits 1 when any benchmark's new
+wall time exceeds baseline * (1 + threshold) — default threshold 0.25,
+i.e. a >25% regression fails CI.
+
+Benchmarks or whole files present on only one side are reported but never
+fail the diff: adding a benchmark (or retiring one) is not a regression.
+Counter-only entries without timings are skipped.
+
+Typical CI sequence:
+
+    cmake -B build -S . && cmake --build build -j
+    bench/run_benchmarks.sh build /tmp/bench-out
+    bench/diff_benchmarks.py --new-dir /tmp/bench-out
+
+Re-baselining (after an intentional perf change, or when a new benchmark
+should start being tracked): regenerate the JSON on a quiet machine and
+commit it at the repo root —
+
+    bench/run_benchmarks.sh build .
+    git add BENCH_<name>.json
+
+Only files committed at the baseline dir (repo root by default) are
+tracked; the diff is a no-op for benchmarks without a baseline.
+"""
+import argparse
+import json
+import pathlib
+import sys
+
+TIME_UNITS_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_timings(path):
+    """name -> real_time in ns for every timed benchmark in a JSON file,
+    or None when the file is unreadable (e.g. a truncated run)."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"-- {path}: unreadable ({e}); skipped", file=sys.stderr)
+        return None
+    out = {}
+    for bm in data.get("benchmarks", []):
+        if bm.get("run_type") == "aggregate" and bm.get("aggregate_name") != "mean":
+            continue
+        if "real_time" not in bm:
+            continue
+        unit = TIME_UNITS_NS.get(bm.get("time_unit", "ns"), 1.0)
+        out[bm["name"]] = bm["real_time"] * unit
+    return out
+
+
+def fmt_ns(ns):
+    for unit, scale in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= scale:
+            return f"{ns / scale:.2f}{unit}"
+    return f"{ns:.0f}ns"
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="fail on benchmark wall-time regressions")
+    ap.add_argument("--baseline-dir", default=".",
+                    help="directory holding committed BENCH_*.json "
+                         "(default: repo root)")
+    ap.add_argument("--new-dir", default=".",
+                    help="directory holding freshly produced BENCH_*.json")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed fractional slowdown before failing "
+                         "(default 0.25 = 25%%)")
+    args = ap.parse_args()
+
+    baseline_dir = pathlib.Path(args.baseline_dir)
+    new_dir = pathlib.Path(args.new_dir)
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"diff_benchmarks: no BENCH_*.json under {baseline_dir}; "
+              "nothing to diff")
+        return 0
+
+    regressions = []
+    compared = 0
+    for base_path in baselines:
+        new_path = new_dir / base_path.name
+        if not new_path.exists():
+            print(f"-- {base_path.name}: no fresh run (skipped)")
+            continue
+        base = load_timings(base_path)
+        new = load_timings(new_path)
+        if base is None or new is None:
+            continue
+        for name in sorted(base):
+            if name not in new:
+                print(f"-- {base_path.name}: '{name}' retired (skipped)")
+                continue
+            compared += 1
+            ratio = new[name] / base[name] if base[name] > 0 else 1.0
+            marker = "REGRESSION" if ratio > 1 + args.threshold else "ok"
+            print(f"{marker:>10}  {name}: {fmt_ns(base[name])} -> "
+                  f"{fmt_ns(new[name])}  ({(ratio - 1) * 100:+.1f}%)")
+            if ratio > 1 + args.threshold:
+                regressions.append((name, ratio))
+        for name in sorted(set(new) - set(base)):
+            print(f"       new  {name}: {fmt_ns(new[name])} (no baseline)")
+
+    if regressions:
+        print(f"\ndiff_benchmarks: {len(regressions)} regression(s) beyond "
+              f"{args.threshold * 100:.0f}% (see docstring for re-baselining)")
+        return 1
+    print(f"\ndiff_benchmarks: {compared} benchmark(s) within "
+          f"{args.threshold * 100:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -8,6 +8,12 @@
 //                   byte-identical for any value)
 //     -s STRAT      inter | intra | runtime  (default inter)
 //     -O LEVEL      dynamic-decomposition optimization: 0..3 (default 3)
+//     -cache-dir D  persistent compilation database: a second fortdc run
+//                   on an unchanged program recompiles nothing; after an
+//                   edit, only the procedures §8's recompilation tests
+//                   dirty
+//     -cache-max-bytes N  LRU size bound of the cache dir (default 256 MiB)
+//     -cache-clear  empty the cache directory before compiling
 //     -run          simulate after compiling and report metrics
 //     -analyze      run the interprocedural lint checkers and the SPMD
 //                   communication verifier; print findings to stderr
@@ -30,6 +36,8 @@ int main(int argc, char** argv) {
   using namespace fortd;
   CodegenOptions options;
   LintOptions lint_options;
+  CacheOptions cache_options;
+  bool cache_clear = false;
   bool run = false;
   bool timings = false;
   bool quiet = false;
@@ -54,6 +62,13 @@ int main(int argc, char** argv) {
                            : lvl == 1 ? DynDecompOpt::Live
                            : lvl == 2 ? DynDecompOpt::LiveInvariant
                                       : DynDecompOpt::Full;
+    } else if (!std::strcmp(argv[i], "-cache-dir") && i + 1 < argc) {
+      cache_options.dir = argv[++i];
+    } else if (!std::strcmp(argv[i], "-cache-max-bytes") && i + 1 < argc) {
+      cache_options.max_bytes =
+          static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (!std::strcmp(argv[i], "-cache-clear")) {
+      cache_clear = true;
     } else if (!std::strcmp(argv[i], "-run")) {
       run = true;
     } else if (!std::strcmp(argv[i], "-analyze")) {
@@ -77,8 +92,13 @@ int main(int argc, char** argv) {
   if (!path) {
     std::fprintf(stderr,
                  "usage: fortdc [-p N] [-j N] [-s inter|intra|runtime] "
-                 "[-O 0..3] [-run] [-analyze] [-Werror] [-lint-json] "
+                 "[-O 0..3] [-cache-dir D] [-cache-max-bytes N] "
+                 "[-cache-clear] [-run] [-analyze] [-Werror] [-lint-json] "
                  "[-timings] [-quiet] file.fd\n");
+    return 2;
+  }
+  if (cache_clear && cache_options.dir.empty()) {
+    std::fprintf(stderr, "fortdc: -cache-clear requires -cache-dir\n");
     return 2;
   }
 
@@ -91,7 +111,44 @@ int main(int argc, char** argv) {
   buf << in.rdbuf();
 
   int findings = 0;
-  Compiler compiler(options, {}, lint_options);
+  Compiler compiler(options, {}, lint_options, cache_options);
+  if (cache_clear) compiler.content_store()->clear();
+
+  // Timings survive a CompileError (Compiler fills last_stats() before the
+  // error propagates), so both exit paths share this report.
+  auto print_timings = [&] {
+    const CompilerStats& cs = compiler.last_stats();
+    std::fprintf(stderr,
+                 "fortdc: bind %.2fms, ipa %.2fms, overlap %.2fms, "
+                 "codegen %.2fms (jobs=%d, %d level(s), %d/%d "
+                 "generated), total %.2fms\n",
+                 cs.bind_ms, cs.ipa_ms, cs.overlap_ms, cs.codegen_ms,
+                 cs.jobs, cs.wavefront_levels, cs.generated,
+                 cs.procedures, cs.total_ms);
+    std::fprintf(stderr,
+                 "fortdc: ipa %d round(s) (%d incremental), summaries "
+                 "%d computed / %d cached / %d reused, effects %d "
+                 "reused, reaching %d reused\n",
+                 cs.ipa_rounds, cs.ipa_rounds_incremental,
+                 cs.summaries_computed, cs.summaries_cached,
+                 cs.summaries_reused, cs.effects_reused,
+                 cs.reaching_reused);
+    std::fprintf(stderr, "fortdc: cache: %d hit(s), %d miss(es)",
+                 cs.cache_hits, cs.cache_misses);
+    if (!cache_options.dir.empty())
+      std::fprintf(stderr,
+                   "; disk: %d hit(s), %d miss(es), %d corrupt, %d evicted",
+                   cs.disk_hits, cs.disk_misses, cs.disk_corrupt,
+                   cs.disk_evictions);
+    std::fputc('\n', stderr);
+    if (lint_options.analyze)
+      std::fprintf(stderr,
+                   "fortdc: lint %.2fms (%d warning(s), %d note(s)), "
+                   "verify %.2fms (%d unmatched)\n",
+                   cs.lint_ms, cs.lint_warnings, cs.lint_notes,
+                   cs.verify_ms, cs.verify_unmatched);
+  };
+
   try {
     CompileResult result = compiler.compile_source(buf.str());
     if (!quiet) std::fputs(print_spmd(result.spmd).c_str(), stdout);
@@ -118,30 +175,7 @@ int main(int argc, char** argv) {
                  st.delayed_comms_exported + st.delayed_comms_absorbed,
                  st.runtime_resolved_stmts);
 
-    if (timings) {
-      const CompilerStats& cs = result.stats;
-      std::fprintf(stderr,
-                   "fortdc: bind %.2fms, ipa %.2fms, overlap %.2fms, "
-                   "codegen %.2fms (jobs=%d, %d level(s), %d/%d "
-                   "generated), total %.2fms\n",
-                   cs.bind_ms, cs.ipa_ms, cs.overlap_ms, cs.codegen_ms,
-                   cs.jobs, cs.wavefront_levels, cs.generated,
-                   cs.procedures, cs.total_ms);
-      std::fprintf(stderr,
-                   "fortdc: ipa %d round(s) (%d incremental), summaries "
-                   "%d computed / %d cached / %d reused, effects %d "
-                   "reused, reaching %d reused\n",
-                   cs.ipa_rounds, cs.ipa_rounds_incremental,
-                   cs.summaries_computed, cs.summaries_cached,
-                   cs.summaries_reused, cs.effects_reused,
-                   cs.reaching_reused);
-      if (lint_options.analyze)
-        std::fprintf(stderr,
-                     "fortdc: lint %.2fms (%d warning(s), %d note(s)), "
-                     "verify %.2fms (%d unmatched)\n",
-                     cs.lint_ms, cs.lint_warnings, cs.lint_notes,
-                     cs.verify_ms, cs.verify_unmatched);
-    }
+    if (timings) print_timings();
 
     if (run) {
       RunResult r = simulate(result.spmd);
@@ -162,6 +196,7 @@ int main(int argc, char** argv) {
                                 stdout);
       std::fputs(compiler.last_lint_report().text().c_str(), stderr);
     }
+    if (timings) print_timings();
     std::fprintf(stderr, "fortdc: %s\n", e.what());
     return 1;
   } catch (const std::exception& e) {

@@ -16,16 +16,24 @@
 // regenerates only those k and the callers whose callee exports actually
 // changed — everything else is a hit and its cached SPMD AST is cloned
 // into the result.
+// When a ContentStore is attached (Compiler with CacheOptions.dir set),
+// the cache becomes a two-tier structure: memory misses consult the
+// persistent compilation database (artifact kind "proc"), and inserts
+// write through, so a *separate compiler process* sharing the cache
+// directory inherits every generated procedure whose digest matches.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "codegen/codegen.hpp"
 
 namespace fortd {
+
+class ContentStore;
 
 /// Everything one procedure contributes to a compiled SpmdProgram.
 struct CachedProcedure {
@@ -54,20 +62,37 @@ uint64_t procedure_digest(const Procedure& proc, const BoundProgram& program,
                           const CodegenOptions& options,
                           const std::map<std::string, ProcExports>& callee_exports);
 
+/// Artifact codec for the persistent tier. The payload is a field-exact
+/// binary encoding of CachedProcedure (SPMD body, exports, storage,
+/// stats); deserialize returns nullopt on any malformed payload.
+extern const char kProcArtifactKind[];
+uint64_t proc_artifact_format_hash();
+std::vector<uint8_t> serialize_cached_procedure(const CachedProcedure& entry);
+std::optional<CachedProcedure> deserialize_cached_procedure(
+    const std::vector<uint8_t>& payload);
+
 class CompilationCache {
 public:
-  /// nullptr on miss; the entry stays owned by the cache.
+  /// Attach the persistent second tier (may be null to detach). Not
+  /// thread-safe against concurrent lookups — call before compiling.
+  void attach_store(ContentStore* store) { store_ = store; }
+
+  /// nullptr on miss in both tiers; the entry stays owned by the cache.
+  /// A disk-tier hit is promoted into the memory tier and counted as a
+  /// hit here (the store keeps its own counters).
   std::shared_ptr<const CachedProcedure> lookup(uint64_t digest);
   void insert(uint64_t digest, CachedProcedure entry);
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   size_t size() const;
+  /// Clears the memory tier only; the attached store is unaffected.
   void clear();
 
 private:
   mutable std::mutex mu_;
   std::map<uint64_t, std::shared_ptr<const CachedProcedure>> entries_;
+  ContentStore* store_ = nullptr;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
 };

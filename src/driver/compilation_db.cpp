@@ -1,0 +1,316 @@
+#include "driver/compilation_db.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/serialize.hpp"
+
+namespace fs = std::filesystem;
+
+namespace fortd {
+
+namespace {
+
+// Blob envelope: magic | format_hash | digest | payload_size | payload |
+// fnv1a(payload). All integers fixed-width little-endian so truncation
+// checks are trivial.
+constexpr uint8_t kMagic[4] = {'F', 'D', 'C', 'A'};
+constexpr size_t kHeaderSize = 4 + 8 + 8 + 8;
+constexpr size_t kTrailerSize = 8;
+
+void put_u64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<uint8_t>(v >> (i * 8)));
+}
+
+uint64_t get_u64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (i * 8);
+  return v;
+}
+
+std::vector<uint8_t> make_envelope(uint64_t format_hash, uint64_t digest,
+                                   const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> out;
+  out.reserve(kHeaderSize + payload.size() + kTrailerSize);
+  out.insert(out.end(), kMagic, kMagic + 4);
+  put_u64(out, format_hash);
+  put_u64(out, digest);
+  put_u64(out, payload.size());
+  out.insert(out.end(), payload.begin(), payload.end());
+  put_u64(out, fnv1a(payload.data(), payload.size()));
+  return out;
+}
+
+/// Validate an envelope against the expected key; nullopt on any
+/// mismatch (bad magic, wrong format hash, wrong digest, truncated or
+/// padded payload, checksum failure).
+std::optional<std::vector<uint8_t>> open_envelope(
+    const std::vector<uint8_t>& blob, uint64_t format_hash, uint64_t digest) {
+  if (blob.size() < kHeaderSize + kTrailerSize) return std::nullopt;
+  if (std::memcmp(blob.data(), kMagic, 4) != 0) return std::nullopt;
+  if (get_u64(blob.data() + 4) != format_hash) return std::nullopt;
+  if (get_u64(blob.data() + 12) != digest) return std::nullopt;
+  const uint64_t payload_size = get_u64(blob.data() + 20);
+  if (blob.size() != kHeaderSize + payload_size + kTrailerSize)
+    return std::nullopt;
+  const uint8_t* payload = blob.data() + kHeaderSize;
+  if (get_u64(payload + payload_size) != fnv1a(payload, payload_size))
+    return std::nullopt;
+  return std::vector<uint8_t>(payload, payload + payload_size);
+}
+
+std::optional<std::vector<uint8_t>> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  if (in.bad()) return std::nullopt;
+  return bytes;
+}
+
+/// Write-to-temp + atomic rename; false on any I/O failure.
+bool write_file_atomic(const std::string& path,
+                       const std::vector<uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) return false;
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return false;
+  }
+  return true;
+}
+
+std::optional<uint64_t> parse_hex_digest(const std::string& name) {
+  if (name.size() != 16) return std::nullopt;
+  uint64_t v = 0;
+  for (char c : name) {
+    int d;
+    if (c >= '0' && c <= '9') d = c - '0';
+    else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    else return std::nullopt;
+    v = (v << 4) | static_cast<uint64_t>(d);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string ContentStore::hex_digest(uint64_t digest) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+ContentStore::ContentStore(CacheOptions options)
+    : options_(std::move(options)) {
+  if (options_.dir.empty()) return;
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  std::lock_guard<std::mutex> lock(mu_);
+  load_index_locked();
+}
+
+ContentStore::~ContentStore() { flush(); }
+
+std::string ContentStore::blob_path(const std::string& kind,
+                                    uint64_t digest) const {
+  return options_.dir + "/" + kind + "/" + hex_digest(digest);
+}
+
+std::string ContentStore::index_path() const { return options_.dir + "/index"; }
+
+void ContentStore::load_index_locked() {
+  // Ticks come from the index file; the artifact population comes from a
+  // filesystem scan, so a missing or stale index degrades gracefully
+  // (unknown blobs get tick 0 and are first in line for eviction, index
+  // entries whose files vanished are dropped).
+  std::map<Key, uint64_t> ticks;
+  if (auto bytes = read_file(index_path())) {
+    std::istringstream in(
+        std::string(bytes->begin(), bytes->end()));
+    std::string tag;
+    int version = 0;
+    uint64_t next_tick = 1;
+    if (in >> tag >> version >> next_tick && tag == "fortd-cache-index" &&
+        version == 1) {
+      next_tick_ = next_tick;
+      std::string kind, hex;
+      uint64_t size, tick;
+      while (in >> kind >> hex >> size >> tick)
+        if (auto digest = parse_hex_digest(hex))
+          ticks[{kind, *digest}] = tick;
+    }
+  }
+
+  std::error_code ec;
+  for (const auto& kind_dir : fs::directory_iterator(options_.dir, ec)) {
+    if (!kind_dir.is_directory(ec)) continue;
+    const std::string kind = kind_dir.path().filename().string();
+    for (const auto& file : fs::directory_iterator(kind_dir.path(), ec)) {
+      if (!file.is_regular_file(ec)) continue;
+      auto digest = parse_hex_digest(file.path().filename().string());
+      if (!digest) continue;  // temp files, foreign junk
+      Entry entry;
+      entry.size = file.file_size(ec);
+      if (ec) entry.size = 0;
+      auto it = ticks.find({kind, *digest});
+      entry.tick = it != ticks.end() ? it->second : 0;
+      next_tick_ = std::max(next_tick_, entry.tick + 1);
+      index_[{kind, *digest}] = entry;
+    }
+  }
+}
+
+void ContentStore::quarantine_locked(const std::string& kind,
+                                     uint64_t digest) {
+  ++counters_.corrupt;
+  index_.erase({kind, digest});
+  index_dirty_ = true;
+  if (options_.read_only) return;
+  std::error_code ec;
+  fs::remove(blob_path(kind, digest), ec);
+}
+
+std::optional<std::vector<uint8_t>> ContentStore::load(const std::string& kind,
+                                                       uint64_t format_hash,
+                                                       uint64_t digest) {
+  if (options_.dir.empty()) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  const Key key{kind, digest};
+
+  if (auto pit = pending_.find(key); pit != pending_.end()) {
+    if (auto payload = open_envelope(pit->second, format_hash, digest)) {
+      ++counters_.hits;
+      return payload;
+    }
+    // A pending blob written under a different format hash (never in
+    // practice: one process runs one codec version).
+    ++counters_.misses;
+    return std::nullopt;
+  }
+
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  auto blob = read_file(blob_path(kind, digest));
+  if (!blob) {
+    // File vanished under us: plain miss, fix the index.
+    index_.erase(it);
+    index_dirty_ = true;
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  auto payload = open_envelope(*blob, format_hash, digest);
+  if (!payload) {
+    quarantine_locked(kind, digest);
+    ++counters_.misses;
+    return std::nullopt;
+  }
+  ++counters_.hits;
+  it->second.tick = next_tick_++;
+  index_dirty_ = true;
+  return payload;
+}
+
+void ContentStore::store(const std::string& kind, uint64_t format_hash,
+                         uint64_t digest, std::vector<uint8_t> payload) {
+  if (options_.dir.empty() || options_.read_only) return;
+  std::vector<uint8_t> blob = make_envelope(format_hash, digest, payload);
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_[{kind, digest}] = std::move(blob);
+}
+
+void ContentStore::mark_corrupt(const std::string& kind, uint64_t digest) {
+  if (options_.dir.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_.erase({kind, digest});
+  quarantine_locked(kind, digest);
+}
+
+void ContentStore::flush() {
+  if (options_.dir.empty() || options_.read_only) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  flush_locked();
+}
+
+void ContentStore::flush_locked() {
+  std::error_code ec;
+  for (auto& [key, blob] : pending_) {
+    fs::create_directories(options_.dir + "/" + key.first, ec);
+    const std::string path = blob_path(key.first, key.second);
+    if (!write_file_atomic(path, blob)) continue;  // dropped write
+    index_[key] = Entry{blob.size(), next_tick_++};
+    ++counters_.writes;
+    index_dirty_ = true;
+  }
+  pending_.clear();
+
+  // LRU GC: evict oldest-tick artifacts until the size bound holds.
+  if (options_.max_bytes > 0) {
+    uint64_t total = 0;
+    for (const auto& [key, entry] : index_) total += entry.size;
+    while (total > options_.max_bytes && !index_.empty()) {
+      auto victim = index_.begin();
+      for (auto it = index_.begin(); it != index_.end(); ++it)
+        if (it->second.tick < victim->second.tick) victim = it;
+      fs::remove(blob_path(victim->first.first, victim->first.second), ec);
+      total -= std::min(total, victim->second.size);
+      index_.erase(victim);
+      ++counters_.evictions;
+      index_dirty_ = true;
+    }
+  }
+
+  if (!index_dirty_) return;
+  std::ostringstream out;
+  out << "fortd-cache-index 1 " << next_tick_ << "\n";
+  for (const auto& [key, entry] : index_)
+    out << key.first << " " << hex_digest(key.second) << " " << entry.size
+        << " " << entry.tick << "\n";
+  const std::string text = out.str();
+  if (write_file_atomic(index_path(),
+                        std::vector<uint8_t>(text.begin(), text.end())))
+    index_dirty_ = false;
+}
+
+void ContentStore::clear() {
+  if (options_.dir.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::error_code ec;
+  for (const auto& [key, entry] : index_)
+    fs::remove(blob_path(key.first, key.second), ec);
+  fs::remove(index_path(), ec);
+  index_.clear();
+  pending_.clear();
+  index_dirty_ = false;
+}
+
+ContentStore::Counters ContentStore::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+size_t ContentStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = index_.size();
+  for (const auto& [key, blob] : pending_)
+    if (!index_.count(key)) ++n;
+  return n;
+}
+
+}  // namespace fortd

@@ -18,9 +18,15 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
 }  // namespace
 
 Compiler::Compiler(CodegenOptions options, IpaOptions ipa_options,
-                   LintOptions lint_options)
+                   LintOptions lint_options, CacheOptions cache_options)
     : options_(options), ipa_options_(ipa_options),
-      lint_options_(std::move(lint_options)) {}
+      lint_options_(std::move(lint_options)) {
+  if (!cache_options.dir.empty()) {
+    store_ = std::make_unique<ContentStore>(std::move(cache_options));
+    cache_.attach_store(store_.get());
+    summary_cache_.attach_store(store_.get());
+  }
+}
 
 ThreadPool* Compiler::pool() {
   if (!pool_)
@@ -36,73 +42,95 @@ CompileResult Compiler::compile_source(std::string_view source) {
 
 CompileResult Compiler::compile(SourceProgram ast) {
   const auto t_total = std::chrono::steady_clock::now();
-  CompileResult result;
-
-  auto t = std::chrono::steady_clock::now();
-  result.program = bind_program(std::move(ast));
-  result.stats.bind_ms = ms_since(t);
-
-  t = std::chrono::steady_clock::now();
-  result.ipa = run_ipa(result.program, ipa_options_, pool(), &summary_cache_);
-  result.stats.ipa_ms = ms_since(t);
-
-  t = std::chrono::steady_clock::now();
-  result.overlaps = compute_overlap_estimates(result.program, result.ipa.acg,
-                                              result.ipa.summaries);
-  result.stats.overlap_ms = ms_since(t);
-
-  last_lint_ = LintReport{};
-  if (lint_options_.analyze) {
-    t = std::chrono::steady_clock::now();
-    LintDriver linter(lint_options_);
-    LintContext lint_ctx{result.program, result.ipa, result.overlaps,
-                         options_};
-    result.lint = linter.run(lint_ctx, pool());
-    last_lint_ = result.lint;
-    result.stats.lint_ms = ms_since(t);
-    result.stats.lint_warnings = result.lint.warnings;
-    result.stats.lint_notes = result.lint.notes;
-    // Keep the partially-filled stats visible if codegen throws below.
-    stats_ = result.stats;
-  }
-
-  t = std::chrono::steady_clock::now();
   const uint64_t hits0 = cache_.hits();
   const uint64_t misses0 = cache_.misses();
-  CodeGenerator generator(result.program, result.ipa, options_, &cache_,
-                          &result.overlaps, pool());
-  result.spmd = generator.generate();
-  result.regenerated = generator.generated_procedures();
-  result.stats.codegen_ms = ms_since(t);
+  const ContentStore::Counters disk0 =
+      store_ ? store_->counters() : ContentStore::Counters{};
+  CompileResult result;
 
-  if (lint_options_.verify_spmd) {
+  // Shared by the success path and the CompileError unwind: cache and
+  // disk-tier accounting stays meaningful after a failed compile (the
+  // -timings analogue of last_lint_report()), and pending store writes
+  // land on disk off the per-procedure hot path.
+  auto finalize = [&] {
+    result.stats.total_ms = ms_since(t_total);
+    result.stats.cache_hits = static_cast<int>(cache_.hits() - hits0);
+    result.stats.cache_misses = static_cast<int>(cache_.misses() - misses0);
+    result.stats.jobs = options_.jobs < 1 ? 1 : options_.jobs;
+    const IpaStats& is = result.ipa.stats;
+    result.stats.ipa_rounds = is.rounds;
+    result.stats.ipa_rounds_incremental = is.rounds_incremental;
+    result.stats.summaries_computed = is.summaries_computed;
+    result.stats.summaries_cached = is.summaries_cached;
+    result.stats.summaries_reused = is.summaries_reused;
+    result.stats.effects_reused = is.effects_reused;
+    result.stats.reaching_reused = is.reaching_reused;
+    if (store_) {
+      store_->flush();
+      const ContentStore::Counters d = store_->counters();
+      result.stats.disk_hits = static_cast<int>(d.hits - disk0.hits);
+      result.stats.disk_misses = static_cast<int>(d.misses - disk0.misses);
+      result.stats.disk_corrupt = static_cast<int>(d.corrupt - disk0.corrupt);
+      result.stats.disk_evictions =
+          static_cast<int>(d.evictions - disk0.evictions);
+    }
+    stats_ = result.stats;
+  };
+
+  try {
+    auto t = std::chrono::steady_clock::now();
+    result.program = bind_program(std::move(ast));
+    result.stats.bind_ms = ms_since(t);
+
     t = std::chrono::steady_clock::now();
-    result.verify = verify_spmd(result.spmd, pool());
-    result.stats.verify_ms = ms_since(t);
-    result.stats.verify_unmatched = result.verify.unmatched;
+    result.ipa = run_ipa(result.program, ipa_options_, pool(), &summary_cache_);
+    result.stats.ipa_ms = ms_since(t);
+
+    t = std::chrono::steady_clock::now();
+    result.overlaps = compute_overlap_estimates(result.program, result.ipa.acg,
+                                                result.ipa.summaries);
+    result.stats.overlap_ms = ms_since(t);
+
+    last_lint_ = LintReport{};
+    if (lint_options_.analyze) {
+      t = std::chrono::steady_clock::now();
+      LintDriver linter(lint_options_);
+      LintContext lint_ctx{result.program, result.ipa, result.overlaps,
+                           options_};
+      result.lint = linter.run(lint_ctx, pool());
+      last_lint_ = result.lint;
+      result.stats.lint_ms = ms_since(t);
+      result.stats.lint_warnings = result.lint.warnings;
+      result.stats.lint_notes = result.lint.notes;
+    }
+
+    t = std::chrono::steady_clock::now();
+    CodeGenerator generator(result.program, result.ipa, options_, &cache_,
+                            &result.overlaps, pool());
+    result.spmd = generator.generate();
+    result.regenerated = generator.generated_procedures();
+    result.stats.codegen_ms = ms_since(t);
+
+    if (lint_options_.verify_spmd) {
+      t = std::chrono::steady_clock::now();
+      result.verify = verify_spmd(result.spmd, pool());
+      result.stats.verify_ms = ms_since(t);
+      result.stats.verify_unmatched = result.verify.unmatched;
+    }
+
+    result.record =
+        make_compilation_record(result.program, result.ipa, result.overlaps);
+
+    result.stats.procedures =
+        static_cast<int>(result.program.ast.procedures.size());
+    result.stats.generated = static_cast<int>(result.regenerated.size());
+    result.stats.wavefront_levels =
+        static_cast<int>(result.ipa.acg.wavefront_levels().size());
+  } catch (...) {
+    finalize();
+    throw;
   }
-
-  result.record =
-      make_compilation_record(result.program, result.ipa, result.overlaps);
-
-  result.stats.total_ms = ms_since(t_total);
-  result.stats.procedures =
-      static_cast<int>(result.program.ast.procedures.size());
-  result.stats.generated = static_cast<int>(result.regenerated.size());
-  result.stats.cache_hits = static_cast<int>(cache_.hits() - hits0);
-  result.stats.cache_misses = static_cast<int>(cache_.misses() - misses0);
-  result.stats.wavefront_levels =
-      static_cast<int>(result.ipa.acg.wavefront_levels().size());
-  result.stats.jobs = options_.jobs < 1 ? 1 : options_.jobs;
-  const IpaStats& is = result.ipa.stats;
-  result.stats.ipa_rounds = is.rounds;
-  result.stats.ipa_rounds_incremental = is.rounds_incremental;
-  result.stats.summaries_computed = is.summaries_computed;
-  result.stats.summaries_cached = is.summaries_cached;
-  result.stats.summaries_reused = is.summaries_reused;
-  result.stats.effects_reused = is.effects_reused;
-  result.stats.reaching_reused = is.reaching_reused;
-  stats_ = result.stats;
+  finalize();
   return result;
 }
 

@@ -24,6 +24,7 @@
 #include "analysis/lint/spmd_verifier.hpp"
 #include "codegen/codegen.hpp"
 #include "driver/compilation_cache.hpp"
+#include "driver/compilation_db.hpp"
 #include "ipa/recompilation.hpp"
 #include "ipa/summary_cache.hpp"
 #include "machine/simulator.hpp"
@@ -60,6 +61,13 @@ struct CompilerStats {
   int lint_warnings = 0;
   int lint_notes = 0;
   int verify_unmatched = 0;  // SPMD messages with no partner
+
+  // Persistent compilation-database tier (zero unless CacheOptions.dir is
+  // set): ContentStore counter deltas for this compile().
+  int disk_hits = 0;       // artifacts loaded from the cache directory
+  int disk_misses = 0;
+  int disk_corrupt = 0;    // quarantined truncated/bit-flipped/skewed blobs
+  int disk_evictions = 0;  // blobs removed by LRU GC this compile
 };
 
 struct CompileResult {
@@ -83,8 +91,14 @@ struct CompileResult {
 
 class Compiler {
 public:
+  /// `cache_options.dir`, when non-empty, opens the persistent
+  /// compilation database there and makes both caches two-tier: a second
+  /// Compiler (in this process or another) pointed at the same directory
+  /// skips code generation and local analysis for every unchanged
+  /// procedure.
   explicit Compiler(CodegenOptions options = {}, IpaOptions ipa_options = {},
-                    LintOptions lint_options = {});
+                    LintOptions lint_options = {},
+                    CacheOptions cache_options = {});
 
   /// Parse, bind, analyze, and generate SPMD code. Throws CompileError.
   CompileResult compile_source(std::string_view source);
@@ -100,13 +114,21 @@ public:
   IpaSummaryCache& summary_cache() { return summary_cache_; }
   const IpaSummaryCache& summary_cache() const { return summary_cache_; }
 
+  /// The persistent compilation database, or nullptr when CacheOptions
+  /// left the disk tier disabled.
+  ContentStore* content_store() { return store_.get(); }
+  const ContentStore* content_store() const { return store_.get(); }
+
   /// The worker pool shared by IPA, code generation, and (through
   /// compile_and_run) the machine simulator. Created lazily with
   /// options().jobs - 1 workers — with jobs == 1 every batch runs inline
   /// on the caller, so the pool costs nothing.
   ThreadPool* pool();
 
-  /// Stats of the most recent compile().
+  /// Stats of the most recent compile(). Like last_lint_report(), this
+  /// survives a CompileError: timings of the phases that ran and the
+  /// cache/disk-tier counters are filled in before the error propagates,
+  /// so fortdc -timings can report them after a failed compile.
   const CompilerStats& last_stats() const { return stats_; }
 
   /// Lint report of the most recent compile(). Populated before code
@@ -119,6 +141,7 @@ private:
   IpaOptions ipa_options_;
   LintOptions lint_options_;
   LintReport last_lint_;
+  std::unique_ptr<ContentStore> store_;  // null when disk tier disabled
   CompilationCache cache_;
   IpaSummaryCache summary_cache_;
   std::unique_ptr<ThreadPool> pool_;

@@ -10,19 +10,35 @@
 // statement indices* (the deterministic walk_stmts order) and lookup()
 // rehydrates them against the current procedure body; a statement-count
 // mismatch rejects the entry.
+// With a ContentStore attached (Compiler with CacheOptions.dir set) the
+// cache is two-tier: memory misses consult the persistent compilation
+// database (artifact kind "summary", keyed by the same hash_procedure
+// digest), and inserts write through — so local analysis survives across
+// compiler processes, not just compile() calls.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "ipa/summaries.hpp"
 
 namespace fortd {
 
+class ContentStore;
+
+/// Artifact codec identity for the persistent tier.
+extern const char kSummaryArtifactKind[];
+uint64_t summary_artifact_format_hash();
+
 class IpaSummaryCache {
 public:
+  /// Attach the persistent second tier (may be null to detach). Not
+  /// thread-safe against concurrent lookups — call before compiling.
+  void attach_store(ContentStore* store) { store_ = store; }
+
   /// Return the cached summary for `hash`, rehydrated against `proc`'s
   /// statements, or nullopt on miss. Thread-safe.
   std::optional<ProcSummary> lookup(uint64_t hash, const Procedure& proc);
@@ -43,8 +59,17 @@ private:
     size_t stmt_count = 0;
   };
 
+  static std::vector<uint8_t> serialize_entry(const Entry& entry);
+  static std::optional<Entry> deserialize_entry(
+      const std::vector<uint8_t>& payload);
+
+  /// Entry for `hash` from memory or disk (promoting a disk hit into the
+  /// memory tier); accounts the miss when neither tier has it.
+  std::optional<Entry> fetch(uint64_t hash);
+
   mutable std::mutex mu_;
   std::map<uint64_t, Entry> entries_;
+  ContentStore* store_ = nullptr;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
 };

@@ -1,0 +1,24 @@
+// Binary (de)serialization of IR value types shared by the persistent
+// artifact codecs: regular sections (Triplet/Rsd/RsdList) and
+// decomposition specs. Same conventions as frontend/ast_serialize.hpp:
+// writers are exact, readers set the BinaryReader fail bit on malformed
+// input instead of throwing.
+#pragma once
+
+#include "frontend/ast_serialize.hpp"
+#include "ir/decomp.hpp"
+#include "ir/rsd.hpp"
+
+namespace fortd {
+
+void write_triplet(BinaryWriter& w, const Triplet& t);
+void write_rsd(BinaryWriter& w, const Rsd& r);
+void write_rsd_list(BinaryWriter& w, const RsdList& l);
+void write_decomp_spec(BinaryWriter& w, const DecompSpec& d);
+
+Triplet read_triplet(BinaryReader& r);
+Rsd read_rsd(BinaryReader& r);
+RsdList read_rsd_list(BinaryReader& r);
+DecompSpec read_decomp_spec(BinaryReader& r);
+
+}  // namespace fortd

@@ -1,0 +1,512 @@
+// The persistent content-addressed compilation database:
+//   * BinaryWriter/BinaryReader round trips and stream-failure semantics,
+//   * ContentStore blob lifecycle — store/flush/load across instances,
+//     atomic layout, LRU eviction, read-only mode, clear(),
+//   * corruption robustness — truncation, bit flips, and version skew all
+//     degrade to a silent full recompile with the corrupt counter bumped
+//     and the damaged blob quarantined,
+//   * two-process recompilation — a *fresh Compiler* pointed at a
+//     populated cache directory generates 0 procedures and computes 0
+//     summaries on an unchanged program, and regenerates exactly the one
+//     edited procedure after a 1-of-N edit,
+//   * golden digest stability — two independent compiler constructions
+//     produce identical artifact digests and identical blob bytes,
+//   * cold-vs-warm byte identity for jobs=1 and jobs=4,
+//   * CompilerStats surviving a CompileError (the -timings analogue of
+//     last_lint_report()).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "../bench/programs.hpp"
+#include "codegen/spmd_printer.hpp"
+#include "driver/compilation_db.hpp"
+#include "driver/compiler.hpp"
+#include "support/serialize.hpp"
+
+namespace fs = std::filesystem;
+
+namespace fortd {
+namespace {
+
+// Fresh per-test cache directory under gtest's temp root.
+std::string fresh_cache_dir(const std::string& name) {
+  fs::path dir = fs::path(::testing::TempDir()) / ("fortd_cachedb_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::vector<uint8_t> bytes_of(std::initializer_list<int> xs) {
+  std::vector<uint8_t> v;
+  for (int x : xs) v.push_back(static_cast<uint8_t>(x));
+  return v;
+}
+
+std::vector<uint8_t> slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+void spit(const fs::path& path, const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// All blob files under `dir`, as "kind/hexdigest" relative paths.
+std::set<std::string> blob_listing(const std::string& dir) {
+  std::set<std::string> out;
+  for (const auto& kind_dir : fs::directory_iterator(dir)) {
+    if (!kind_dir.is_directory()) continue;
+    for (const auto& file : fs::directory_iterator(kind_dir.path()))
+      out.insert(kind_dir.path().filename().string() + "/" +
+                 file.path().filename().string());
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization primitives
+// ---------------------------------------------------------------------------
+
+TEST(Serialize, RoundTripsPrimitives) {
+  BinaryWriter w;
+  w.u64(0);
+  w.u64(127);
+  w.u64(128);
+  w.u64(~0ull);
+  w.i64(-1);
+  w.i64(INT64_MIN);
+  w.i64(INT64_MAX);
+  w.boolean(true);
+  w.boolean(false);
+  w.f64(-0.125);
+  w.str("");
+  w.str("hello fortran d");
+  w.count(3);  // counts must be followed by their elements (see count())
+  for (int x : {10, 20, 30}) w.u8(static_cast<uint8_t>(x));
+
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.u64(), 0u);
+  EXPECT_EQ(r.u64(), 127u);
+  EXPECT_EQ(r.u64(), 128u);
+  EXPECT_EQ(r.u64(), ~0ull);
+  EXPECT_EQ(r.i64(), -1);
+  EXPECT_EQ(r.i64(), INT64_MIN);
+  EXPECT_EQ(r.i64(), INT64_MAX);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_FALSE(r.boolean());
+  EXPECT_EQ(r.f64(), -0.125);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.str(), "hello fortran d");
+  EXPECT_EQ(r.count(), 3u);
+  EXPECT_EQ(r.u8(), 10);
+  EXPECT_EQ(r.u8(), 20);
+  EXPECT_EQ(r.u8(), 30);
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Serialize, TruncationSetsStickyFailBit) {
+  BinaryWriter w;
+  w.str("a long enough string to truncate");
+  std::vector<uint8_t> bytes = w.take();
+  bytes.resize(bytes.size() / 2);
+
+  BinaryReader r(bytes);
+  (void)r.str();
+  EXPECT_FALSE(r.ok());
+  // Sticky: later reads keep failing and return zero values.
+  EXPECT_EQ(r.u64(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialize, ImplausibleCountFails) {
+  // A count claiming more elements than remaining bytes is corruption by
+  // construction — it must fail instead of driving a huge reserve() loop.
+  BinaryWriter w;
+  w.count(1u << 30);
+  BinaryReader r(w.bytes());
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialize, OverlongVarintFails) {
+  // 11 continuation bytes cannot encode a uint64 value.
+  std::vector<uint8_t> bytes(11, 0xff);
+  BinaryReader r(bytes);
+  (void)r.u64();
+  EXPECT_FALSE(r.ok());
+}
+
+// ---------------------------------------------------------------------------
+// ContentStore blob lifecycle
+// ---------------------------------------------------------------------------
+
+TEST(ContentStore, PendingBlobIsVisibleBeforeFlush) {
+  ContentStore store({fresh_cache_dir("pending")});
+  store.store("proc", 7, 42, bytes_of({1, 2, 3}));
+  auto got = store.load("proc", 7, 42);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, bytes_of({1, 2, 3}));
+  // Not yet on disk: the write is buffered off the hot path.
+  EXPECT_FALSE(fs::exists(fs::path(store.options().dir) / "proc"));
+}
+
+TEST(ContentStore, FlushedBlobSurvivesIntoANewInstance) {
+  std::string dir = fresh_cache_dir("survive");
+  {
+    ContentStore store({dir});
+    store.store("proc", 7, 42, bytes_of({9, 8, 7}));
+    store.store("summary", 11, 43, bytes_of({4, 5}));
+  }  // destructor flushes
+  EXPECT_TRUE(fs::exists(fs::path(dir) / "proc" /
+                         ContentStore::hex_digest(42)));
+  EXPECT_TRUE(fs::exists(fs::path(dir) / "index"));
+
+  ContentStore reopened({dir});
+  EXPECT_EQ(reopened.size(), 2u);
+  auto got = reopened.load("proc", 7, 42);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, bytes_of({9, 8, 7}));
+  got = reopened.load("summary", 11, 43);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, bytes_of({4, 5}));
+  EXPECT_EQ(reopened.counters().hits, 2u);
+}
+
+TEST(ContentStore, MissesAreCounted) {
+  ContentStore store({fresh_cache_dir("miss")});
+  EXPECT_FALSE(store.load("proc", 7, 99).has_value());
+  EXPECT_EQ(store.counters().misses, 1u);
+  EXPECT_EQ(store.counters().hits, 0u);
+}
+
+TEST(ContentStore, TruncatedBlobIsCorruptAndQuarantined) {
+  std::string dir = fresh_cache_dir("truncate");
+  {
+    ContentStore store({dir});
+    store.store("proc", 7, 42, std::vector<uint8_t>(64, 0xab));
+  }
+  fs::path blob = fs::path(dir) / "proc" / ContentStore::hex_digest(42);
+  std::vector<uint8_t> bytes = slurp(blob);
+  bytes.resize(bytes.size() / 2);
+  spit(blob, bytes);
+
+  ContentStore store({dir});
+  EXPECT_FALSE(store.load("proc", 7, 42).has_value());
+  EXPECT_EQ(store.counters().corrupt, 1u);
+  EXPECT_EQ(store.counters().misses, 1u);
+  EXPECT_FALSE(fs::exists(blob)) << "corrupt blob must be quarantined";
+  // The slot accepts a clean rewrite.
+  store.store("proc", 7, 42, bytes_of({1}));
+  store.flush();
+  EXPECT_TRUE(fs::exists(blob));
+}
+
+TEST(ContentStore, BitFlippedPayloadFailsTheChecksum) {
+  std::string dir = fresh_cache_dir("bitflip");
+  {
+    ContentStore store({dir});
+    store.store("proc", 7, 42, std::vector<uint8_t>(64, 0xab));
+  }
+  fs::path blob = fs::path(dir) / "proc" / ContentStore::hex_digest(42);
+  std::vector<uint8_t> bytes = slurp(blob);
+  bytes[bytes.size() / 2] ^= 0x01;  // one bit, somewhere in the payload
+  spit(blob, bytes);
+
+  ContentStore store({dir});
+  EXPECT_FALSE(store.load("proc", 7, 42).has_value());
+  EXPECT_EQ(store.counters().corrupt, 1u);
+  EXPECT_FALSE(fs::exists(blob));
+}
+
+TEST(ContentStore, FormatHashSkewReadsAsCorruption) {
+  // A blob written by an older codec version carries a different format
+  // hash; loading it under the current hash must quarantine, not decode.
+  std::string dir = fresh_cache_dir("skew");
+  {
+    ContentStore store({dir});
+    store.store("proc", /*format_hash=*/7, 42, bytes_of({1, 2, 3}));
+  }
+  ContentStore store({dir});
+  EXPECT_FALSE(store.load("proc", /*format_hash=*/8, 42).has_value());
+  EXPECT_EQ(store.counters().corrupt, 1u);
+  EXPECT_FALSE(
+      fs::exists(fs::path(dir) / "proc" / ContentStore::hex_digest(42)));
+}
+
+TEST(ContentStore, LruEvictionKeepsTheMostRecentlyUsed) {
+  std::string dir = fresh_cache_dir("lru");
+  CacheOptions opt{dir};
+  // Three ~100-byte blobs (plus envelope); bound the store to two of them.
+  opt.max_bytes = 2 * (100 + 28 + 8) + 16;
+  ContentStore store(opt);
+  store.store("proc", 7, 1, std::vector<uint8_t>(100, 1));
+  store.store("proc", 7, 2, std::vector<uint8_t>(100, 2));
+  store.flush();
+  EXPECT_EQ(store.counters().evictions, 0u);
+
+  // Touch 1 so 2 becomes least recently used, then overflow with 3.
+  EXPECT_TRUE(store.load("proc", 7, 1).has_value());
+  store.store("proc", 7, 3, std::vector<uint8_t>(100, 3));
+  store.flush();
+  EXPECT_EQ(store.counters().evictions, 1u);
+  EXPECT_TRUE(fs::exists(fs::path(dir) / "proc" / ContentStore::hex_digest(1)));
+  EXPECT_FALSE(
+      fs::exists(fs::path(dir) / "proc" / ContentStore::hex_digest(2)));
+  EXPECT_TRUE(fs::exists(fs::path(dir) / "proc" / ContentStore::hex_digest(3)));
+}
+
+TEST(ContentStore, LruTicksSurviveReopen) {
+  std::string dir = fresh_cache_dir("lru_reopen");
+  {
+    ContentStore store({dir});
+    store.store("proc", 7, 1, std::vector<uint8_t>(100, 1));
+    store.store("proc", 7, 2, std::vector<uint8_t>(100, 2));
+    store.flush();
+    EXPECT_TRUE(store.load("proc", 7, 1).has_value());  // 1 is now newest
+  }
+  CacheOptions opt{dir};
+  opt.max_bytes = 100 + 28 + 8 + 16;  // room for one blob only
+  ContentStore store(opt);
+  store.store("proc", 7, 3, std::vector<uint8_t>(100, 3));
+  store.flush();
+  // 2 (oldest tick, recorded in the index file) went first, then 1.
+  EXPECT_EQ(store.counters().evictions, 2u);
+  EXPECT_TRUE(fs::exists(fs::path(dir) / "proc" / ContentStore::hex_digest(3)));
+  EXPECT_FALSE(
+      fs::exists(fs::path(dir) / "proc" / ContentStore::hex_digest(2)));
+}
+
+TEST(ContentStore, ReadOnlyModeNeverWritesOrQuarantines) {
+  std::string dir = fresh_cache_dir("readonly");
+  {
+    ContentStore store({dir});
+    store.store("proc", 7, 42, bytes_of({1, 2, 3}));
+  }
+  fs::path blob = fs::path(dir) / "proc" / ContentStore::hex_digest(42);
+  std::vector<uint8_t> bytes = slurp(blob);
+  bytes.back() ^= 0xff;
+  spit(blob, bytes);
+
+  CacheOptions opt{dir};
+  opt.read_only = true;
+  ContentStore store(opt);
+  store.store("proc", 7, 99, bytes_of({4}));
+  store.flush();
+  EXPECT_FALSE(store.load("proc", 7, 99).has_value()) << "stores are dropped";
+  EXPECT_FALSE(store.load("proc", 7, 42).has_value());
+  EXPECT_EQ(store.counters().corrupt, 1u);
+  EXPECT_TRUE(fs::exists(blob)) << "read-only must not delete blobs";
+}
+
+TEST(ContentStore, ClearEmptiesTheStore) {
+  std::string dir = fresh_cache_dir("clear");
+  ContentStore store({dir});
+  store.store("proc", 7, 1, bytes_of({1}));
+  store.store("summary", 9, 2, bytes_of({2}));
+  store.flush();
+  EXPECT_EQ(store.size(), 2u);
+  store.clear();
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_FALSE(fs::exists(fs::path(dir) / "index"));
+  EXPECT_FALSE(store.load("proc", 7, 1).has_value());
+}
+
+TEST(ContentStore, ForeignFilesInTheDirectoryAreIgnored) {
+  std::string dir = fresh_cache_dir("foreign");
+  fs::create_directories(fs::path(dir) / "proc");
+  spit(fs::path(dir) / "proc" / "not-a-digest", bytes_of({1, 2}));
+  spit(fs::path(dir) / "README", bytes_of({3}));
+  ContentStore store({dir});
+  EXPECT_EQ(store.size(), 0u);
+  store.store("proc", 7, 1, bytes_of({9}));
+  store.flush();
+  EXPECT_TRUE(fs::exists(fs::path(dir) / "proc" / "not-a-digest"));
+}
+
+// ---------------------------------------------------------------------------
+// Two-process recompilation (fresh Compiler instances sharing a directory)
+// ---------------------------------------------------------------------------
+
+CompileResult compile_with_dir(const std::string& src, const std::string& dir,
+                               int jobs = 1) {
+  CodegenOptions opt;
+  opt.n_procs = 4;
+  opt.jobs = jobs;
+  Compiler compiler(opt, {}, {}, CacheOptions{dir});
+  return compiler.compile_source(src);
+}
+
+class TwoProcessRecompilation : public ::testing::TestWithParam<int> {};
+
+TEST_P(TwoProcessRecompilation, UnchangedProgramRecompilesNothing) {
+  const int jobs = GetParam();
+  const std::string src = bench::fan_out(32, 64);
+  std::string dir = fresh_cache_dir("twoproc_j" + std::to_string(jobs));
+
+  // "Process" A: cold, populates the database. 32 leaves + the program.
+  CompileResult a = compile_with_dir(src, dir, jobs);
+  EXPECT_EQ(a.stats.generated, 33);
+  EXPECT_EQ(a.stats.summaries_computed, 33);
+  EXPECT_GT(a.stats.disk_misses, 0);
+
+  // "Process" B: a fresh Compiler (empty memory tiers) on the same
+  // directory. Zero procedures generated, zero summaries computed.
+  CompileResult b = compile_with_dir(src, dir, jobs);
+  EXPECT_EQ(b.stats.generated, 0);
+  EXPECT_TRUE(b.regenerated.empty());
+  EXPECT_EQ(b.stats.summaries_computed, 0);
+  EXPECT_EQ(b.stats.summaries_cached, 33);
+  EXPECT_GT(b.stats.disk_hits, 0);
+  EXPECT_EQ(b.stats.disk_corrupt, 0);
+  EXPECT_EQ(print_spmd(b.spmd), print_spmd(a.spmd));
+}
+
+TEST_P(TwoProcessRecompilation, OneEditRegeneratesExactlyOne) {
+  const int jobs = GetParam();
+  std::string dir = fresh_cache_dir("oneedit_j" + std::to_string(jobs));
+  compile_with_dir(bench::fan_out(32, 64), dir, jobs);
+
+  // Edit 1 of 32 leaves (same exported interface): a fresh Compiler must
+  // regenerate exactly that leaf and re-analyze only it.
+  CompileResult c = compile_with_dir(bench::fan_out(32, 64, 3), dir, jobs);
+  EXPECT_EQ(c.regenerated, std::vector<std::string>{"leaf3"});
+  EXPECT_EQ(c.stats.generated, 1);
+  EXPECT_EQ(c.stats.summaries_computed, 1);
+  EXPECT_EQ(c.stats.summaries_cached, 32);
+
+  // The warm result is byte-identical to a cold compile of the edited
+  // program.
+  CodegenOptions opt;
+  opt.n_procs = 4;
+  opt.jobs = jobs;
+  Compiler cold(opt);
+  CompileResult d = cold.compile_source(bench::fan_out(32, 64, 3));
+  EXPECT_EQ(print_spmd(c.spmd), print_spmd(d.spmd));
+}
+
+INSTANTIATE_TEST_SUITE_P(Jobs, TwoProcessRecompilation,
+                         ::testing::Values(1, 4),
+                         [](const auto& info) {
+                           return "jobs" + std::to_string(info.param);
+                         });
+
+TEST(TwoProcessRecompilation, WarmDiskOutputMatchesColdAcrossWorkloads) {
+  const std::vector<std::pair<const char*, std::string>> workloads = {
+      {"fig15", bench::fig15(64, 4)},
+      {"dgefa", bench::dgefa(16)},
+      {"cloning_hub", bench::cloning_hub(4, 16)}};
+  for (const auto& [name, src] : workloads) {
+    std::string dir = fresh_cache_dir(std::string("warmcold_") + name);
+    CompileResult cold = compile_with_dir(src, dir);
+    CompileResult warm = compile_with_dir(src, dir);
+    EXPECT_EQ(print_spmd(warm.spmd), print_spmd(cold.spmd)) << name;
+    EXPECT_EQ(warm.stats.generated, 0) << name;
+    EXPECT_EQ(warm.stats.summaries_computed, 0) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Golden digest stability
+// ---------------------------------------------------------------------------
+
+TEST(GoldenDigests, TwoCompilerConstructionsProduceIdenticalArtifacts) {
+  // Any nondeterminism in procedure_digest / hash_procedure (pointer
+  // hashing, unordered iteration, uninitialized fields) would show up as
+  // differing blob names or bytes between two independent compilations
+  // into two separate directories.
+  const std::string src = bench::fan_out(8, 64);
+  std::string dir_a = fresh_cache_dir("golden_a");
+  std::string dir_b = fresh_cache_dir("golden_b");
+  compile_with_dir(src, dir_a, /*jobs=*/1);
+  compile_with_dir(src, dir_b, /*jobs=*/4);
+
+  std::set<std::string> blobs_a = blob_listing(dir_a);
+  EXPECT_EQ(blobs_a, blob_listing(dir_b));
+  EXPECT_GE(blobs_a.size(), 18u);  // 9 proc + 9 summary artifacts
+  for (const std::string& rel : blobs_a)
+    EXPECT_EQ(slurp(fs::path(dir_a) / rel), slurp(fs::path(dir_b) / rel))
+        << rel;
+}
+
+// ---------------------------------------------------------------------------
+// Compiler-level corruption robustness: silent full recompile
+// ---------------------------------------------------------------------------
+
+TEST(CompilerCorruption, DamagedDatabaseMeansSilentFullRecompile) {
+  const std::string src = bench::fan_out(8, 64);
+  std::string dir = fresh_cache_dir("damage");
+  CompileResult a = compile_with_dir(src, dir);
+
+  // Damage every blob a different way: truncation, payload bit flip, and
+  // format-hash skew (a byte of the header's format-hash field).
+  int i = 0;
+  for (const std::string& rel : blob_listing(dir)) {
+    fs::path blob = fs::path(dir) / rel;
+    std::vector<uint8_t> bytes = slurp(blob);
+    switch (i++ % 3) {
+      case 0: bytes.resize(bytes.size() / 2); break;
+      case 1: bytes[bytes.size() - 1] ^= 0x40; break;
+      case 2: bytes[5] ^= 0x40; break;
+    }
+    spit(blob, bytes);
+  }
+
+  CompileResult b = compile_with_dir(src, dir);
+  EXPECT_EQ(b.stats.generated, 9) << "full recompile";
+  EXPECT_EQ(b.stats.summaries_computed, 9);
+  EXPECT_GT(b.stats.disk_corrupt, 0);
+  EXPECT_EQ(print_spmd(b.spmd), print_spmd(a.spmd));
+
+  // The quarantined slots were rewritten cleanly: a third fresh Compiler
+  // is fully warm again.
+  CompileResult c = compile_with_dir(src, dir);
+  EXPECT_EQ(c.stats.generated, 0);
+  EXPECT_EQ(c.stats.summaries_computed, 0);
+  EXPECT_EQ(c.stats.disk_corrupt, 0);
+}
+
+TEST(CompilerCorruption, RoundTripsCachedProcedureThroughTheCodec) {
+  // serialize/deserialize_cached_procedure is exercised end-to-end by the
+  // two-process tests; here the decode path must also reject garbage.
+  EXPECT_FALSE(deserialize_cached_procedure({}).has_value());
+  EXPECT_FALSE(
+      deserialize_cached_procedure(std::vector<uint8_t>(64, 0xfe)).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Stats survive a CompileError (fortdc -timings after a failed compile)
+// ---------------------------------------------------------------------------
+
+TEST(CompilerStatsOnError, LastStatsFilledWhenCompileThrows) {
+  // Recursion is rejected while building the augmented call graph, well
+  // after bind — the phases that ran must still be reported, and pending
+  // store writes must still be flushed.
+  const char* recursive = R"(
+      program p
+      call a()
+      end
+      subroutine a()
+      call b()
+      end
+      subroutine b()
+      call a()
+      end
+)";
+  std::string dir = fresh_cache_dir("error_stats");
+  CodegenOptions opt;
+  Compiler compiler(opt, {}, {}, CacheOptions{dir});
+  EXPECT_THROW(compiler.compile_source(recursive), CompileError);
+  EXPECT_GT(compiler.last_stats().total_ms, 0.0);
+  EXPECT_EQ(compiler.last_stats().jobs, 1);
+  EXPECT_EQ(compiler.last_stats().generated, 0);
+}
+
+}  // namespace
+}  // namespace fortd
