@@ -1,0 +1,131 @@
+// E14 — the remote compilation-cache tier (fortd-cached).
+//
+// An in-process CacheDaemon on a loopback socket stands in for a shared
+// team cache. Three costs bound the design space:
+//
+//   BM_RemoteHit          a cold compiler with *no local tiers* pulls
+//                         every artifact over the wire — the best case a
+//                         warm daemon offers a fresh checkout/CI machine,
+//   BM_RemoteMissPenalty  the same compiler against an empty read-only
+//                         daemon: every GET misses, so this is the full
+//                         compile plus pure protocol overhead (the price
+//                         of asking),
+//   BM_DegradedLocal      the daemon is unreachable and the circuit
+//                         breaker is open: the floor the degradation
+//                         path must stay at (a purely local compile).
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "driver/compiler.hpp"
+#include "programs.hpp"
+#include "remote/server.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string scratch_dir(const std::string& tag) {
+  fs::path dir = fs::temp_directory_path() / ("fortd_bench_remote_" + tag);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+fortd::CacheOptions remote_only(int port) {
+  fortd::CacheOptions cache;
+  cache.remote_endpoint = "127.0.0.1:" + std::to_string(port);
+  return cache;  // dir left empty: memory tier directly over the wire
+}
+
+void BM_RemoteHit(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const std::string src = fortd::bench::fan_out(width, 256);
+  const std::string dir = scratch_dir("hit_" + std::to_string(width));
+
+  fortd::ContentStore store{fortd::CacheOptions{dir}};
+  fortd::ThreadPool pool(2);
+  fortd::remote::CacheDaemon daemon(&store, &pool, {});
+  if (!daemon.start()) {
+    state.SkipWithError("daemon failed to start");
+    return;
+  }
+  {
+    // Warm the daemon once; not part of the measured loop.
+    fortd::Compiler warmup{fortd::CodegenOptions{}, {}, {},
+                           remote_only(daemon.port())};
+    warmup.compile_source(src);
+  }
+
+  int generated = 0, remote_hits = 0;
+  for (auto _ : state) {
+    fortd::Compiler compiler{fortd::CodegenOptions{}, {}, {},
+                             remote_only(daemon.port())};
+    auto r = compiler.compile_source(src);
+    generated = r.stats.generated;
+    remote_hits = r.stats.remote_hits;
+    { auto sink = r.spmd.stats.loops_bounds_reduced; benchmark::DoNotOptimize(sink); }
+  }
+  state.counters["generated"] = static_cast<double>(generated);
+  state.counters["remote_hits"] = static_cast<double>(remote_hits);
+  daemon.stop();
+  fs::remove_all(dir);
+}
+
+void BM_RemoteMissPenalty(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const std::string src = fortd::bench::fan_out(width, 256);
+  const std::string dir = scratch_dir("miss_" + std::to_string(width));
+
+  // Read-only over an empty store: every GET misses, every PUT is
+  // denied, and the store never warms up between iterations.
+  fortd::CacheOptions store_options{dir};
+  store_options.read_only = true;
+  fortd::ContentStore store(store_options);
+  fortd::ThreadPool pool(2);
+  fortd::remote::CacheDaemon daemon(&store, &pool, {});
+  if (!daemon.start()) {
+    state.SkipWithError("daemon failed to start");
+    return;
+  }
+
+  for (auto _ : state) {
+    fortd::Compiler compiler{fortd::CodegenOptions{}, {}, {},
+                             remote_only(daemon.port())};
+    auto r = compiler.compile_source(src);
+    { auto sink = r.stats.generated; benchmark::DoNotOptimize(sink); }
+  }
+  daemon.stop();
+  fs::remove_all(dir);
+}
+
+void BM_DegradedLocal(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  const std::string src = fortd::bench::fan_out(width, 256);
+
+  bool degraded = false;
+  for (auto _ : state) {
+    // Port 1 on loopback: connect is refused immediately. A hair-trigger
+    // breaker and no backoff naps isolate the *local compile* cost the
+    // degraded path falls back to.
+    fortd::Compiler compiler{fortd::CodegenOptions{}, {}, {},
+                             remote_only(1)};
+    auto& opts = compiler.remote_store()->options_for_test();
+    opts.timeout_ms = 50;
+    opts.max_retries = 0;
+    opts.breaker_threshold = 1;
+    opts.sleep_fn = [](int) {};
+    auto r = compiler.compile_source(src);
+    degraded = r.stats.remote_degraded;
+    { auto sink = r.stats.generated; benchmark::DoNotOptimize(sink); }
+  }
+  state.counters["degraded"] = degraded ? 1.0 : 0.0;
+}
+
+}  // namespace
+
+BENCHMARK(BM_RemoteHit)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RemoteMissPenalty)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DegradedLocal)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -12,7 +12,9 @@ i.e. a >25% regression fails CI.
 
 Benchmarks or whole files present on only one side are reported but never
 fail the diff: adding a benchmark (or retiring one) is not a regression.
-Counter-only entries without timings are skipped.
+A fresh BENCH_<name>.json with no committed baseline (a newly added bench
+binary) is announced with re-baselining instructions and skipped — the
+diff still exits 0. Counter-only entries without timings are skipped.
 
 Typical CI sequence:
 
@@ -85,6 +87,18 @@ def main():
         print(f"diff_benchmarks: no BENCH_*.json under {baseline_dir}; "
               "nothing to diff")
         return 0
+
+    # Fresh results for bench binaries that have no committed baseline yet
+    # (e.g. a benchmark added in this very change): warn and skip — never
+    # a failure, but loud enough that someone commits a baseline.
+    baseline_names = {p.name for p in baselines}
+    if new_dir.resolve() != baseline_dir.resolve():
+        for new_path in sorted(new_dir.glob("BENCH_*.json")):
+            if new_path.name not in baseline_names:
+                print(f"-- {new_path.name}: no committed baseline under "
+                      f"{baseline_dir} (skipped); to start tracking it: "
+                      f"cp {new_path} {baseline_dir}/ && git add "
+                      f"{new_path.name}", file=sys.stderr)
 
     regressions = []
     compared = 0

@@ -1,0 +1,100 @@
+// fortd-cached — the remote compilation-cache daemon.
+//
+// Serves a ContentStore directory over TCP to fortdc clients
+// (-cache-remote HOST:PORT): GETs answer from the content-addressed
+// blob store, PUTs are checksum-vetted and written through to it, so a
+// team (or a CI fleet) shares one warm cache — the first build of a
+// changed procedure anywhere makes it a cache hit everywhere.
+//
+//   fortd-cached -dir D [options]
+//     -dir D          cache directory to serve (required)
+//     -host H         bind address (default 127.0.0.1)
+//     -port N         TCP port (default 4815; 0 picks an ephemeral port)
+//     -j N            request worker threads (default 2)
+//     -max-bytes N    LRU size bound of the store (default 256 MiB)
+//     -read-only      serve GETs, deny PUTs
+//     -metrics-json   print the metrics JSON to stdout every 10 seconds
+//
+// Runs in the foreground until SIGINT/SIGTERM, then flushes the store
+// and prints a final metrics line. Exit codes: 0 clean shutdown, 2 usage.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "driver/compilation_db.hpp"
+#include "remote/server.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fortd;
+  CacheOptions cache_options;
+  remote::DaemonOptions daemon_options;
+  daemon_options.port = 4815;
+  int jobs = 2;
+  bool metrics_json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "-dir") && i + 1 < argc) {
+      cache_options.dir = argv[++i];
+    } else if (!std::strcmp(argv[i], "-host") && i + 1 < argc) {
+      daemon_options.host = argv[++i];
+    } else if (!std::strcmp(argv[i], "-port") && i + 1 < argc) {
+      daemon_options.port = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "-j") && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "-max-bytes") && i + 1 < argc) {
+      cache_options.max_bytes = static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (!std::strcmp(argv[i], "-read-only")) {
+      cache_options.read_only = true;
+    } else if (!std::strcmp(argv[i], "-metrics-json")) {
+      metrics_json = true;
+    } else {
+      std::fprintf(stderr, "fortd-cached: unknown option '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (cache_options.dir.empty()) {
+    std::fprintf(stderr,
+                 "usage: fortd-cached -dir D [-host H] [-port N] [-j N] "
+                 "[-max-bytes N] [-read-only] [-metrics-json]\n");
+    return 2;
+  }
+
+  ContentStore store(cache_options);
+  ThreadPool pool(jobs < 1 ? 0 : jobs - 1);
+  remote::CacheDaemon daemon(&store, &pool, daemon_options);
+  std::string err;
+  if (!daemon.start(&err)) {
+    std::fprintf(stderr, "fortd-cached: %s\n", err.c_str());
+    return 2;
+  }
+  std::fprintf(stderr,
+               "fortd-cached: listening on %s:%d, serving %s (%s, %zu "
+               "artifact(s))\n",
+               daemon_options.host.c_str(), daemon.port(),
+               cache_options.dir.c_str(),
+               cache_options.read_only ? "read-only" : "read-write",
+               store.size());
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  int ticks = 0;
+  while (!g_stop) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    if (metrics_json && ++ticks % 100 == 0)
+      std::fprintf(stdout, "%s\n", daemon.metrics_json().c_str());
+  }
+
+  daemon.stop();
+  std::fprintf(stdout, "%s\n", daemon.metrics_json().c_str());
+  std::fprintf(stderr, "fortd-cached: shut down cleanly\n");
+  return 0;
+}

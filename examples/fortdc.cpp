@@ -14,6 +14,13 @@
 //                   dirty
 //     -cache-max-bytes N  LRU size bound of the cache dir (default 256 MiB)
 //     -cache-clear  empty the cache directory before compiling
+//     -cache-remote HOST:PORT  consult a fortd-cached daemon after local
+//                   misses and write new artifacts through to it; any
+//                   network problem degrades to local-only compilation
+//                   with a single diagnostic, never a compile failure
+//     -cache-remote-timeout-ms N  per-request deadline (default 250)
+//     -cache-stats-json  print cumulative per-tier cache counters as JSON
+//                   to stdout after compiling
 //     -run          simulate after compiling and report metrics
 //     -analyze      run the interprocedural lint checkers and the SPMD
 //                   communication verifier; print findings to stderr
@@ -43,6 +50,7 @@ int main(int argc, char** argv) {
   bool quiet = false;
   bool werror = false;
   bool lint_json = false;
+  bool cache_stats_json = false;
   const char* path = nullptr;
 
   for (int i = 1; i < argc; ++i) {
@@ -67,6 +75,13 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "-cache-max-bytes") && i + 1 < argc) {
       cache_options.max_bytes =
           static_cast<uint64_t>(std::atoll(argv[++i]));
+    } else if (!std::strcmp(argv[i], "-cache-remote") && i + 1 < argc) {
+      cache_options.remote_endpoint = argv[++i];
+    } else if (!std::strcmp(argv[i], "-cache-remote-timeout-ms") &&
+               i + 1 < argc) {
+      cache_options.remote_timeout_ms = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "-cache-stats-json")) {
+      cache_stats_json = true;
     } else if (!std::strcmp(argv[i], "-cache-clear")) {
       cache_clear = true;
     } else if (!std::strcmp(argv[i], "-run")) {
@@ -93,8 +108,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: fortdc [-p N] [-j N] [-s inter|intra|runtime] "
                  "[-O 0..3] [-cache-dir D] [-cache-max-bytes N] "
-                 "[-cache-clear] [-run] [-analyze] [-Werror] [-lint-json] "
-                 "[-timings] [-quiet] file.fd\n");
+                 "[-cache-clear] [-cache-remote HOST:PORT] "
+                 "[-cache-remote-timeout-ms N] [-cache-stats-json] [-run] "
+                 "[-analyze] [-Werror] [-lint-json] [-timings] [-quiet] "
+                 "file.fd\n");
     return 2;
   }
   if (cache_clear && cache_options.dir.empty()) {
@@ -140,6 +157,12 @@ int main(int argc, char** argv) {
                    "; disk: %d hit(s), %d miss(es), %d corrupt, %d evicted",
                    cs.disk_hits, cs.disk_misses, cs.disk_corrupt,
                    cs.disk_evictions);
+    if (!cache_options.remote_endpoint.empty())
+      std::fprintf(stderr,
+                   "; remote: %d hit(s), %d put(s), %d error(s), "
+                   "%d retrie(s)%s",
+                   cs.remote_hits, cs.remote_puts, cs.remote_errors,
+                   cs.remote_retries, cs.remote_degraded ? ", DEGRADED" : "");
     std::fputc('\n', stderr);
     if (lint_options.analyze)
       std::fprintf(stderr,
@@ -147,6 +170,16 @@ int main(int argc, char** argv) {
                    "verify %.2fms (%d unmatched)\n",
                    cs.lint_ms, cs.lint_warnings, cs.lint_notes,
                    cs.verify_ms, cs.verify_unmatched);
+  };
+
+  // One diagnostic when the remote tier gave up — the compile itself
+  // succeeded from the local tiers; this only explains the slowdown.
+  auto report_remote_degradation = [&] {
+    if (compiler.remote_store() && compiler.remote_store()->degraded())
+      std::fprintf(stderr,
+                   "fortdc: warning: remote cache unavailable, continuing "
+                   "with local tiers only (%s)\n",
+                   compiler.remote_store()->degraded_reason().c_str());
   };
 
   try {
@@ -176,6 +209,9 @@ int main(int argc, char** argv) {
                  st.runtime_resolved_stmts);
 
     if (timings) print_timings();
+    report_remote_degradation();
+    if (cache_stats_json)
+      std::fprintf(stdout, "%s\n", compiler.cache_stats_json().c_str());
 
     if (run) {
       RunResult r = simulate(result.spmd);
@@ -197,6 +233,7 @@ int main(int argc, char** argv) {
       std::fputs(compiler.last_lint_report().text().c_str(), stderr);
     }
     if (timings) print_timings();
+    report_remote_degradation();
     std::fprintf(stderr, "fortdc: %s\n", e.what());
     return 1;
   } catch (const std::exception& e) {

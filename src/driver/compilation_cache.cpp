@@ -5,6 +5,7 @@
 #include "ipa/recompilation.hpp"
 #include "ipa/summaries.hpp"
 #include "ir/ir_serialize.hpp"
+#include "support/compress.hpp"
 
 namespace fortd {
 
@@ -117,6 +118,7 @@ uint64_t proc_artifact_format_hash() {
   uint64_t h = kFnvOffset;
   mix_str(h, kProcArtifactKind);
   mix(h, kSerializeFormatVersion);
+  mix(h, kCompressFormatVersion);
   return h;
 }
 

@@ -7,6 +7,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "support/compress.hpp"
 #include "support/serialize.hpp"
 
 namespace fs = std::filesystem;
@@ -15,11 +16,12 @@ namespace fortd {
 
 namespace {
 
-// Blob envelope: magic | format_hash | digest | payload_size | payload |
-// fnv1a(payload). All integers fixed-width little-endian so truncation
-// checks are trivial.
+// Blob envelope: magic | format_hash | digest | comp_size | raw_size |
+// LZ(payload) | fnv1a(LZ(payload)). All integers fixed-width
+// little-endian so truncation checks are trivial; the checksum covers the
+// compressed bytes, so envelope validation never pays a decompression.
 constexpr uint8_t kMagic[4] = {'F', 'D', 'C', 'A'};
-constexpr size_t kHeaderSize = 4 + 8 + 8 + 8;
+constexpr size_t kHeaderSize = 4 + 8 + 8 + 8 + 8;
 constexpr size_t kTrailerSize = 8;
 
 void put_u64(std::vector<uint8_t>& out, uint64_t v) {
@@ -30,37 +32,6 @@ uint64_t get_u64(const uint8_t* p) {
   uint64_t v = 0;
   for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (i * 8);
   return v;
-}
-
-std::vector<uint8_t> make_envelope(uint64_t format_hash, uint64_t digest,
-                                   const std::vector<uint8_t>& payload) {
-  std::vector<uint8_t> out;
-  out.reserve(kHeaderSize + payload.size() + kTrailerSize);
-  out.insert(out.end(), kMagic, kMagic + 4);
-  put_u64(out, format_hash);
-  put_u64(out, digest);
-  put_u64(out, payload.size());
-  out.insert(out.end(), payload.begin(), payload.end());
-  put_u64(out, fnv1a(payload.data(), payload.size()));
-  return out;
-}
-
-/// Validate an envelope against the expected key; nullopt on any
-/// mismatch (bad magic, wrong format hash, wrong digest, truncated or
-/// padded payload, checksum failure).
-std::optional<std::vector<uint8_t>> open_envelope(
-    const std::vector<uint8_t>& blob, uint64_t format_hash, uint64_t digest) {
-  if (blob.size() < kHeaderSize + kTrailerSize) return std::nullopt;
-  if (std::memcmp(blob.data(), kMagic, 4) != 0) return std::nullopt;
-  if (get_u64(blob.data() + 4) != format_hash) return std::nullopt;
-  if (get_u64(blob.data() + 12) != digest) return std::nullopt;
-  const uint64_t payload_size = get_u64(blob.data() + 20);
-  if (blob.size() != kHeaderSize + payload_size + kTrailerSize)
-    return std::nullopt;
-  const uint8_t* payload = blob.data() + kHeaderSize;
-  if (get_u64(payload + payload_size) != fnv1a(payload, payload_size))
-    return std::nullopt;
-  return std::vector<uint8_t>(payload, payload + payload_size);
 }
 
 std::optional<std::vector<uint8_t>> read_file(const std::string& path) {
@@ -106,6 +77,48 @@ std::optional<uint64_t> parse_hex_digest(const std::string& name) {
 }
 
 }  // namespace
+
+std::vector<uint8_t> make_blob_envelope(uint64_t format_hash, uint64_t digest,
+                                        const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> comp = compress_bytes(payload);
+  std::vector<uint8_t> out;
+  out.reserve(kHeaderSize + comp.size() + kTrailerSize);
+  for (uint8_t b : kMagic) out.push_back(b);
+  put_u64(out, format_hash);
+  put_u64(out, digest);
+  put_u64(out, comp.size());
+  put_u64(out, payload.size());
+  out.insert(out.end(), comp.begin(), comp.end());
+  put_u64(out, fnv1a(comp.data(), comp.size()));
+  return out;
+}
+
+std::optional<BlobInfo> inspect_blob_envelope(
+    const std::vector<uint8_t>& blob) {
+  if (blob.size() < kHeaderSize + kTrailerSize) return std::nullopt;
+  if (std::memcmp(blob.data(), kMagic, 4) != 0) return std::nullopt;
+  BlobInfo info;
+  info.format_hash = get_u64(blob.data() + 4);
+  info.digest = get_u64(blob.data() + 12);
+  const uint64_t comp_size = get_u64(blob.data() + 20);
+  info.raw_size = get_u64(blob.data() + 28);
+  if (blob.size() != kHeaderSize + comp_size + kTrailerSize)
+    return std::nullopt;
+  const uint8_t* comp = blob.data() + kHeaderSize;
+  if (get_u64(comp + comp_size) != fnv1a(comp, comp_size)) return std::nullopt;
+  return info;
+}
+
+std::optional<std::vector<uint8_t>> open_blob_envelope(
+    const std::vector<uint8_t>& blob, uint64_t format_hash, uint64_t digest) {
+  auto info = inspect_blob_envelope(blob);
+  if (!info || info->format_hash != format_hash || info->digest != digest)
+    return std::nullopt;
+  auto raw = decompress_bytes(blob.data() + kHeaderSize,
+                              blob.size() - kHeaderSize - kTrailerSize);
+  if (!raw || raw->size() != info->raw_size) return std::nullopt;
+  return raw;
+}
 
 std::string ContentStore::hex_digest(uint64_t digest) {
   char buf[17];
@@ -179,86 +192,155 @@ void ContentStore::quarantine_locked(const std::string& kind,
   ++counters_.corrupt;
   index_.erase({kind, digest});
   index_dirty_ = true;
-  if (options_.read_only) return;
+  if (options_.read_only || options_.dir.empty()) return;
   std::error_code ec;
   fs::remove(blob_path(kind, digest), ec);
 }
 
-std::optional<std::vector<uint8_t>> ContentStore::load(const std::string& kind,
-                                                       uint64_t format_hash,
-                                                       uint64_t digest) {
-  if (options_.dir.empty()) return std::nullopt;
-  std::lock_guard<std::mutex> lock(mu_);
+std::optional<std::vector<uint8_t>> ContentStore::local_blob_locked(
+    const std::string& kind, uint64_t format_hash, uint64_t digest) {
   const Key key{kind, digest};
 
   if (auto pit = pending_.find(key); pit != pending_.end()) {
-    if (auto payload = open_envelope(pit->second, format_hash, digest)) {
-      ++counters_.hits;
-      return payload;
-    }
+    auto info = inspect_blob_envelope(pit->second.blob);
+    if (info && info->format_hash == format_hash && info->digest == digest)
+      return pit->second.blob;
     // A pending blob written under a different format hash (never in
     // practice: one process runs one codec version).
-    ++counters_.misses;
     return std::nullopt;
   }
 
+  if (options_.dir.empty()) return std::nullopt;
   auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++counters_.misses;
-    return std::nullopt;
-  }
+  if (it == index_.end()) return std::nullopt;
   auto blob = read_file(blob_path(kind, digest));
   if (!blob) {
     // File vanished under us: plain miss, fix the index.
     index_.erase(it);
     index_dirty_ = true;
-    ++counters_.misses;
     return std::nullopt;
   }
-  auto payload = open_envelope(*blob, format_hash, digest);
-  if (!payload) {
+  auto info = inspect_blob_envelope(*blob);
+  if (!info || info->format_hash != format_hash || info->digest != digest) {
+    // Truncation, bit flip, or version skew: quarantine the slot.
     quarantine_locked(kind, digest);
-    ++counters_.misses;
     return std::nullopt;
   }
-  ++counters_.hits;
   it->second.tick = next_tick_++;
   index_dirty_ = true;
-  return payload;
+  return blob;
+}
+
+std::optional<std::vector<uint8_t>> ContentStore::load(const std::string& kind,
+                                                       uint64_t format_hash,
+                                                       uint64_t digest) {
+  if (options_.dir.empty() && !remote_) return std::nullopt;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto blob = local_blob_locked(kind, format_hash, digest)) {
+      if (auto payload = open_blob_envelope(*blob, format_hash, digest)) {
+        ++counters_.hits;
+        return payload;
+      }
+      // Checksum passed but the payload would not decompress to its
+      // declared size: treat exactly like disk corruption.
+      pending_.erase({kind, digest});
+      quarantine_locked(kind, digest);
+      ++counters_.misses;
+      return std::nullopt;
+    }
+  }
+
+  // Local miss: consult the remote tier outside the lock (a network
+  // round-trip must not serialize concurrent codegen workers behind mu_).
+  if (remote_) {
+    if (auto blob = remote_->get_blob(kind, format_hash, digest)) {
+      if (auto payload = open_blob_envelope(*blob, format_hash, digest)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.remote_hits;
+        // Promote: the enveloped bytes land in the local tier at the next
+        // flush (and serve repeat loads from the pending buffer).
+        pending_[{kind, digest}] = PendingBlob{std::move(*blob), true};
+        return payload;
+      }
+      // The daemon sent bytes that fail validation: count it, fall
+      // through to a miss (nothing local to quarantine).
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.corrupt;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++counters_.misses;
+  return std::nullopt;
+}
+
+std::optional<std::vector<uint8_t>> ContentStore::load_blob(
+    const std::string& kind, uint64_t format_hash, uint64_t digest) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto blob = local_blob_locked(kind, format_hash, digest)) {
+    ++counters_.hits;
+    return blob;
+  }
+  ++counters_.misses;
+  return std::nullopt;
 }
 
 void ContentStore::store(const std::string& kind, uint64_t format_hash,
                          uint64_t digest, std::vector<uint8_t> payload) {
-  if (options_.dir.empty() || options_.read_only) return;
-  std::vector<uint8_t> blob = make_envelope(format_hash, digest, payload);
+  if (options_.read_only) return;
+  if (options_.dir.empty() && !remote_) return;
+  std::vector<uint8_t> blob = make_blob_envelope(format_hash, digest, payload);
   std::lock_guard<std::mutex> lock(mu_);
-  pending_[{kind, digest}] = std::move(blob);
+  pending_[{kind, digest}] = PendingBlob{std::move(blob), false};
+}
+
+void ContentStore::store_blob(const std::string& kind, uint64_t digest,
+                              std::vector<uint8_t> blob) {
+  if (options_.read_only) return;
+  if (options_.dir.empty() && !remote_) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_[{kind, digest}] = PendingBlob{std::move(blob), true};
 }
 
 void ContentStore::mark_corrupt(const std::string& kind, uint64_t digest) {
-  if (options_.dir.empty()) return;
+  if (options_.dir.empty() && !remote_) return;
   std::lock_guard<std::mutex> lock(mu_);
   pending_.erase({kind, digest});
   quarantine_locked(kind, digest);
 }
 
 void ContentStore::flush() {
-  if (options_.dir.empty() || options_.read_only) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  flush_locked();
+  if (options_.read_only) return;
+  if (options_.dir.empty() && !remote_) return;
+  std::vector<std::pair<Key, std::vector<uint8_t>>> to_put;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    flush_locked(remote_ ? &to_put : nullptr);
+  }
+  // Write-through to the daemon outside the lock; the client degrades
+  // failures internally (circuit breaker), so this never blocks long.
+  for (auto& [key, blob] : to_put)
+    remote_->put_blob(key.first, key.second, blob);
 }
 
-void ContentStore::flush_locked() {
+void ContentStore::flush_locked(
+    std::vector<std::pair<Key, std::vector<uint8_t>>>* to_put) {
   std::error_code ec;
-  for (auto& [key, blob] : pending_) {
+  const bool local = !options_.dir.empty();
+  for (auto& [key, pb] : pending_) {
+    // Promotions came *from* the remote tier; don't echo them back.
+    if (to_put && !pb.from_remote) to_put->emplace_back(key, pb.blob);
+    if (!local) continue;
     fs::create_directories(options_.dir + "/" + key.first, ec);
     const std::string path = blob_path(key.first, key.second);
-    if (!write_file_atomic(path, blob)) continue;  // dropped write
-    index_[key] = Entry{blob.size(), next_tick_++};
+    if (!write_file_atomic(path, pb.blob)) continue;  // dropped write
+    index_[key] = Entry{pb.blob.size(), next_tick_++};
     ++counters_.writes;
     index_dirty_ = true;
   }
   pending_.clear();
+  if (!local) return;
 
   // LRU GC: evict oldest-tick artifacts until the size bound holds.
   if (options_.max_bytes > 0) {
@@ -289,7 +371,11 @@ void ContentStore::flush_locked() {
 }
 
 void ContentStore::clear() {
-  if (options_.dir.empty()) return;
+  if (options_.dir.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.clear();
+    return;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   std::error_code ec;
   for (const auto& [key, entry] : index_)
@@ -308,7 +394,7 @@ ContentStore::Counters ContentStore::counters() const {
 size_t ContentStore::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   size_t n = index_.size();
-  for (const auto& [key, blob] : pending_)
+  for (const auto& [key, pb] : pending_)
     if (!index_.count(key)) ++n;
   return n;
 }

@@ -25,6 +25,14 @@
 //     exceeds max_bytes at flush time, least-recently-used artifacts are
 //     evicted (their blob files deleted) until the bound holds.
 //
+// Since PR 5 the payload inside the envelope is LZ-compressed
+// (support/compress.hpp) and the ladder has an optional third tier: a
+// StorageBackend (in practice remote/client.hpp's RemoteStore talking to
+// a fortd-cached daemon) consulted after a local miss, with remote hits
+// promoted into the local tier and local writes forwarded write-through.
+// Backends exchange *enveloped* blobs, so the checksum that protects a
+// blob at rest also protects it end-to-end across the wire.
+//
 // All operations are thread-safe and never throw past the store boundary:
 // I/O errors degrade to misses (reads) or dropped writes.
 #pragma once
@@ -39,12 +47,61 @@
 namespace fortd {
 
 /// Driver-level knobs for the persistent tier (fortdc -cache-dir,
-/// -cache-max-bytes). An empty dir disables the disk tier entirely.
+/// -cache-max-bytes, -cache-remote). An empty dir disables the local disk
+/// tier; an empty remote_endpoint disables the network tier; with both
+/// empty the caches are purely in-memory.
 struct CacheOptions {
-  std::string dir;                       // empty = in-memory caches only
+  std::string dir;                       // empty = no local disk tier
   uint64_t max_bytes = 256ull << 20;     // LRU GC bound (0 = unbounded)
   bool read_only = false;                // consult but never write/evict
+  std::string remote_endpoint{};         // "host:port" of a fortd-cached
+  int remote_timeout_ms = 250;           // per-request network deadline
 };
+
+/// A composable blob tier under the ContentStore. Implementations
+/// exchange complete FDCA-enveloped blobs (see make_blob_envelope), so a
+/// backend never needs to understand artifact payloads and every byte it
+/// returns is checksum-validated by the caller. Implementations must be
+/// thread-safe and must degrade failures to nullopt/false, never throw.
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  /// The enveloped blob stored under (kind, digest), or nullopt on miss
+  /// or failure. `format_hash` travels with the request so a backend
+  /// holding stale-format blobs reads as a miss, not as corruption here.
+  virtual std::optional<std::vector<uint8_t>> get_blob(
+      const std::string& kind, uint64_t format_hash, uint64_t digest) = 0;
+
+  /// Persist an enveloped blob (best effort; false = dropped).
+  virtual bool put_blob(const std::string& kind, uint64_t digest,
+                        const std::vector<uint8_t>& blob) = 0;
+};
+
+/// Build the FDCA on-disk/wire envelope around `payload`:
+///   magic | format_hash | digest | comp_size | raw_size |
+///   LZ(payload) | fnv1a(LZ(payload))
+/// (fixed-width little-endian integers so truncation checks are trivial).
+std::vector<uint8_t> make_blob_envelope(uint64_t format_hash, uint64_t digest,
+                                        const std::vector<uint8_t>& payload);
+
+/// Validate an envelope against the expected key and return the
+/// decompressed payload; nullopt on any mismatch — bad magic, wrong
+/// format hash, wrong digest, truncated or padded blob, checksum
+/// failure, or a payload that does not decompress to its declared size.
+std::optional<std::vector<uint8_t>> open_blob_envelope(
+    const std::vector<uint8_t>& blob, uint64_t format_hash, uint64_t digest);
+
+/// Header fields of a structurally valid envelope (magic, sizes, and
+/// checksum verified; format hash NOT compared against anything). The
+/// daemon uses this to vet incoming PUT blobs it cannot otherwise
+/// interpret.
+struct BlobInfo {
+  uint64_t format_hash = 0;
+  uint64_t digest = 0;
+  uint64_t raw_size = 0;
+};
+std::optional<BlobInfo> inspect_blob_envelope(const std::vector<uint8_t>& blob);
 
 class ContentStore {
 public:
@@ -56,6 +113,11 @@ public:
 
   const CacheOptions& options() const { return options_; }
 
+  /// Attach the remote tier (unowned; may be null to detach). Consulted
+  /// after a local miss; hits are promoted locally, flushed writes are
+  /// forwarded. Call before compiling — not thread-safe against load().
+  void attach_remote(StorageBackend* remote) { remote_ = remote; }
+
   /// The payload stored under (kind, digest), or nullopt on miss or on a
   /// corrupt/truncated/version-skewed blob (counted + quarantined).
   /// `format_hash` is the artifact codec's version stamp; a mismatch is
@@ -64,10 +126,25 @@ public:
                                            uint64_t format_hash,
                                            uint64_t digest);
 
+  /// The complete *enveloped* blob for (kind, digest) from the local
+  /// tiers only (pending buffer or disk; the remote tier is not
+  /// consulted). Validated like load() but not decompressed — this is
+  /// what the daemon serves over the wire byte-identically.
+  std::optional<std::vector<uint8_t>> load_blob(const std::string& kind,
+                                                uint64_t format_hash,
+                                                uint64_t digest);
+
   /// Buffer `payload` for persistence under (kind, digest). The blob
   /// reaches disk at the next flush(); load() sees it immediately.
   void store(const std::string& kind, uint64_t format_hash, uint64_t digest,
              std::vector<uint8_t> payload);
+
+  /// Buffer an already-enveloped blob under (kind, digest) — the daemon's
+  /// PUT path, skipping the decompress/recompress round trip. The caller
+  /// must have vetted the bytes via inspect_blob_envelope. The blob is
+  /// never forwarded to an attached remote tier (it came from one).
+  void store_blob(const std::string& kind, uint64_t digest,
+                  std::vector<uint8_t> blob);
 
   /// Report (kind, digest) as undecodable at a layer above the envelope
   /// (payload deserialization failure): count + quarantine, as if the
@@ -82,11 +159,12 @@ public:
   void clear();
 
   struct Counters {
-    uint64_t hits = 0;       // load() served from disk or pending buffer
-    uint64_t misses = 0;     // absent artifacts (corrupt loads also miss)
-    uint64_t writes = 0;     // blobs flushed to disk
-    uint64_t evictions = 0;  // blobs removed by LRU GC
-    uint64_t corrupt = 0;    // envelope/codec validation failures
+    uint64_t hits = 0;         // load() served from disk or pending buffer
+    uint64_t misses = 0;       // absent artifacts (corrupt loads also miss)
+    uint64_t writes = 0;       // blobs flushed to disk
+    uint64_t evictions = 0;    // blobs removed by LRU GC
+    uint64_t corrupt = 0;      // envelope/codec validation failures
+    uint64_t remote_hits = 0;  // served by the remote tier (and promoted)
   };
   Counters counters() const;
 
@@ -100,18 +178,28 @@ private:
     uint64_t size = 0;  // blob file size in bytes
     uint64_t tick = 0;  // LRU clock value of the last access
   };
+  struct PendingBlob {
+    std::vector<uint8_t> blob;  // enveloped bytes
+    bool from_remote = false;   // promotion — do not echo back over the wire
+  };
   using Key = std::pair<std::string, uint64_t>;  // (kind, digest)
 
   std::string blob_path(const std::string& kind, uint64_t digest) const;
   std::string index_path() const;
   void load_index_locked();
   void quarantine_locked(const std::string& kind, uint64_t digest);
-  void flush_locked();
+  /// Local tiers only (pending, then disk): the validated enveloped blob,
+  /// or nullopt. Counts hits/corruption but NOT misses (the caller may
+  /// still consult the remote tier).
+  std::optional<std::vector<uint8_t>> local_blob_locked(
+      const std::string& kind, uint64_t format_hash, uint64_t digest);
+  void flush_locked(std::vector<std::pair<Key, std::vector<uint8_t>>>* to_put);
 
   mutable std::mutex mu_;
   CacheOptions options_;
+  StorageBackend* remote_ = nullptr;
   std::map<Key, Entry> index_;
-  std::map<Key, std::vector<uint8_t>> pending_;  // serialized blobs (with envelope)
+  std::map<Key, PendingBlob> pending_;
   uint64_t next_tick_ = 1;
   Counters counters_;
   bool index_dirty_ = false;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <sstream>
 
 #include "frontend/parser.hpp"
 
@@ -17,12 +18,47 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
 
 }  // namespace
 
+namespace {
+
+/// Split "host:port" (host defaults to 127.0.0.1 for a bare ":port" or
+/// plain port string). Returns false on an unparseable port.
+bool parse_endpoint(const std::string& endpoint, std::string* host,
+                    int* port) {
+  const size_t colon = endpoint.rfind(':');
+  std::string host_part =
+      colon == std::string::npos ? "" : endpoint.substr(0, colon);
+  const std::string port_part =
+      colon == std::string::npos ? endpoint : endpoint.substr(colon + 1);
+  if (port_part.empty()) return false;
+  int p = 0;
+  for (char c : port_part) {
+    if (c < '0' || c > '9') return false;
+    p = p * 10 + (c - '0');
+    if (p > 65535) return false;
+  }
+  *host = host_part.empty() ? "127.0.0.1" : host_part;
+  *port = p;
+  return p > 0;
+}
+
+}  // namespace
+
 Compiler::Compiler(CodegenOptions options, IpaOptions ipa_options,
                    LintOptions lint_options, CacheOptions cache_options)
     : options_(options), ipa_options_(ipa_options),
       lint_options_(std::move(lint_options)) {
-  if (!cache_options.dir.empty()) {
+  if (!cache_options.remote_endpoint.empty()) {
+    remote::RemoteOptions ropts;
+    ropts.timeout_ms = cache_options.remote_timeout_ms;
+    if (parse_endpoint(cache_options.remote_endpoint, &ropts.host,
+                       &ropts.port))
+      remote_store_ = std::make_unique<remote::RemoteStore>(ropts);
+    // An unparseable endpoint degrades to local-only, consistent with the
+    // remote tier's never-fail-the-compile contract.
+  }
+  if (!cache_options.dir.empty() || remote_store_) {
     store_ = std::make_unique<ContentStore>(std::move(cache_options));
+    if (remote_store_) store_->attach_remote(remote_store_.get());
     cache_.attach_store(store_.get());
     summary_cache_.attach_store(store_.get());
   }
@@ -46,6 +82,9 @@ CompileResult Compiler::compile(SourceProgram ast) {
   const uint64_t misses0 = cache_.misses();
   const ContentStore::Counters disk0 =
       store_ ? store_->counters() : ContentStore::Counters{};
+  const remote::RemoteStore::Counters remote0 =
+      remote_store_ ? remote_store_->counters()
+                    : remote::RemoteStore::Counters{};
   CompileResult result;
 
   // Shared by the success path and the CompileError unwind: cache and
@@ -73,6 +112,16 @@ CompileResult Compiler::compile(SourceProgram ast) {
       result.stats.disk_corrupt = static_cast<int>(d.corrupt - disk0.corrupt);
       result.stats.disk_evictions =
           static_cast<int>(d.evictions - disk0.evictions);
+      result.stats.remote_hits =
+          static_cast<int>(d.remote_hits - disk0.remote_hits);
+    }
+    if (remote_store_) {
+      const remote::RemoteStore::Counters r = remote_store_->counters();
+      result.stats.remote_puts = static_cast<int>(r.puts - remote0.puts);
+      result.stats.remote_errors = static_cast<int>(r.errors - remote0.errors);
+      result.stats.remote_retries =
+          static_cast<int>(r.retries - remote0.retries);
+      result.stats.remote_degraded = remote_store_->degraded();
     }
     stats_ = result.stats;
   };
@@ -132,6 +181,46 @@ CompileResult Compiler::compile(SourceProgram ast) {
   }
   finalize();
   return result;
+}
+
+std::string Compiler::cache_stats_json() const {
+  const auto escape = [](const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (static_cast<unsigned char>(c) < 0x20)
+        out += ' ';
+      else
+        out += c;
+    }
+    return out;
+  };
+  std::ostringstream out;
+  out << "{\"memory\":{\"proc_hits\":" << cache_.hits()
+      << ",\"proc_misses\":" << cache_.misses()
+      << ",\"proc_entries\":" << cache_.size()
+      << ",\"summary_hits\":" << summary_cache_.hits()
+      << ",\"summary_misses\":" << summary_cache_.misses()
+      << ",\"summary_entries\":" << summary_cache_.size() << "}";
+  if (store_) {
+    const ContentStore::Counters d = store_->counters();
+    out << ",\"disk\":{\"hits\":" << d.hits << ",\"misses\":" << d.misses
+        << ",\"writes\":" << d.writes << ",\"evictions\":" << d.evictions
+        << ",\"corrupt\":" << d.corrupt
+        << ",\"remote_hits\":" << d.remote_hits << "}";
+  }
+  if (remote_store_) {
+    const remote::RemoteStore::Counters r = remote_store_->counters();
+    out << ",\"remote\":{\"gets\":" << r.gets << ",\"hits\":" << r.hits
+        << ",\"puts\":" << r.puts << ",\"errors\":" << r.errors
+        << ",\"retries\":" << r.retries
+        << ",\"reconnects\":" << r.reconnects
+        << ",\"degraded\":" << (remote_store_->degraded() ? "true" : "false")
+        << ",\"degraded_reason\":\""
+        << escape(remote_store_->degraded_reason()) << "\"}";
+  }
+  out << "}";
+  return out.str();
 }
 
 RunResult compile_and_run(std::string_view source, const CodegenOptions& options,

@@ -28,6 +28,7 @@
 #include "ipa/recompilation.hpp"
 #include "ipa/summary_cache.hpp"
 #include "machine/simulator.hpp"
+#include "remote/client.hpp"
 #include "support/thread_pool.hpp"
 
 namespace fortd {
@@ -68,6 +69,14 @@ struct CompilerStats {
   int disk_misses = 0;
   int disk_corrupt = 0;    // quarantined truncated/bit-flipped/skewed blobs
   int disk_evictions = 0;  // blobs removed by LRU GC this compile
+
+  // Remote cache tier (zero unless CacheOptions.remote_endpoint is set):
+  // counter deltas for this compile().
+  int remote_hits = 0;     // artifacts served by the daemon (and promoted)
+  int remote_puts = 0;     // artifacts written through to the daemon
+  int remote_errors = 0;   // failed request attempts (timeouts, resets)
+  int remote_retries = 0;  // attempts beyond the first, per request
+  bool remote_degraded = false;  // circuit breaker open: local-only now
 };
 
 struct CompileResult {
@@ -115,9 +124,20 @@ public:
   const IpaSummaryCache& summary_cache() const { return summary_cache_; }
 
   /// The persistent compilation database, or nullptr when CacheOptions
-  /// left the disk tier disabled.
+  /// left both the disk and remote tiers disabled.
   ContentStore* content_store() { return store_.get(); }
   const ContentStore* content_store() const { return store_.get(); }
+
+  /// The remote cache tier, or nullptr when CacheOptions left
+  /// remote_endpoint empty.
+  remote::RemoteStore* remote_store() { return remote_store_.get(); }
+  const remote::RemoteStore* remote_store() const {
+    return remote_store_.get();
+  }
+
+  /// Cumulative cache counters of every tier — memory, disk, remote — as
+  /// stable machine-readable JSON (fortdc -cache-stats-json).
+  std::string cache_stats_json() const;
 
   /// The worker pool shared by IPA, code generation, and (through
   /// compile_and_run) the machine simulator. Created lazily with
@@ -141,7 +161,10 @@ private:
   IpaOptions ipa_options_;
   LintOptions lint_options_;
   LintReport last_lint_;
-  std::unique_ptr<ContentStore> store_;  // null when disk tier disabled
+  // Declared before store_: ~ContentStore flushes pending writes through
+  // the remote tier, so the client must be destroyed after the store.
+  std::unique_ptr<remote::RemoteStore> remote_store_;
+  std::unique_ptr<ContentStore> store_;  // null when both tiers disabled
   CompilationCache cache_;
   IpaSummaryCache summary_cache_;
   std::unique_ptr<ThreadPool> pool_;

@@ -2,6 +2,7 @@
 
 #include "driver/compilation_db.hpp"
 #include "ir/ir_serialize.hpp"
+#include "support/compress.hpp"
 
 namespace fortd {
 
@@ -14,6 +15,8 @@ uint64_t summary_artifact_format_hash() {
     h *= 1099511628211ull;
   }
   h ^= kSerializeFormatVersion;
+  h *= 1099511628211ull;
+  h ^= kCompressFormatVersion;
   h *= 1099511628211ull;
   return h;
 }

@@ -1,0 +1,58 @@
+#include "net/frame.hpp"
+
+namespace fortd::net {
+
+void encode_frame(std::vector<uint8_t>& out,
+                  const std::vector<uint8_t>& payload) {
+  uint64_t v = payload.size();
+  while (v >= 0x80) {
+    out.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(v));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+void FrameDecoder::feed(const uint8_t* data, size_t n) {
+  if (failed_) return;
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+std::optional<std::vector<uint8_t>> FrameDecoder::next() {
+  if (failed_) return std::nullopt;
+
+  // Parse the varint length by hand so a partial prefix is "wait for
+  // more", while an overlong encoding is a hard failure.
+  uint64_t len = 0;
+  int shift = 0;
+  size_t cursor = pos_;
+  while (true) {
+    if (cursor >= buf_.size()) return std::nullopt;  // partial length
+    if (shift >= 64) {
+      failed_ = true;
+      return std::nullopt;
+    }
+    const uint8_t byte = buf_[cursor++];
+    len |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if (!(byte & 0x80)) break;
+    shift += 7;
+  }
+  if (len > kMaxFramePayload) {
+    failed_ = true;
+    return std::nullopt;
+  }
+  if (buf_.size() - cursor < len) return std::nullopt;  // partial payload
+
+  std::vector<uint8_t> payload(buf_.begin() + static_cast<ptrdiff_t>(cursor),
+                               buf_.begin() +
+                                   static_cast<ptrdiff_t>(cursor + len));
+  pos_ = cursor + static_cast<size_t>(len);
+  // Compact once the consumed prefix dominates the buffer.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  return payload;
+}
+
+}  // namespace fortd::net

@@ -1,0 +1,237 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace fortd::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Milliseconds left until `deadline` (>= 0), for poll().
+int ms_left(Clock::time_point deadline) {
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - Clock::now())
+                  .count();
+  return left < 0 ? 0 : static_cast<int>(left);
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::set_nonblocking() {
+  if (fd_ < 0) return;
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+}
+
+IoStatus Socket::send_all(const uint8_t* data, size_t n, int deadline_ms) {
+  if (fd_ < 0) return IoStatus::Error;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
+  size_t sent = 0;
+  while (sent < n) {
+    ssize_t w = ::send(fd_, data + sent, n - sent, MSG_NOSIGNAL);
+    if (w > 0) {
+      sent += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && (errno == EPIPE || errno == ECONNRESET)) return IoStatus::Closed;
+    if (w < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)
+      return IoStatus::Error;
+    struct pollfd pfd = {fd_, POLLOUT, 0};
+    int left = ms_left(deadline);
+    if (left == 0) return IoStatus::Timeout;
+    int rc = ::poll(&pfd, 1, left);
+    if (rc == 0) return IoStatus::Timeout;
+    if (rc < 0 && errno != EINTR) return IoStatus::Error;
+  }
+  return IoStatus::Ok;
+}
+
+IoStatus Socket::recv_some(uint8_t* buf, size_t n, size_t& got,
+                           int deadline_ms) {
+  got = 0;
+  if (fd_ < 0) return IoStatus::Error;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
+  while (true) {
+    ssize_t r = ::recv(fd_, buf, n, 0);
+    if (r > 0) {
+      got = static_cast<size_t>(r);
+      return IoStatus::Ok;
+    }
+    if (r == 0) return IoStatus::Closed;
+    if (errno == ECONNRESET) return IoStatus::Closed;
+    if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)
+      return IoStatus::Error;
+    struct pollfd pfd = {fd_, POLLIN, 0};
+    int left = ms_left(deadline);
+    if (left == 0) return IoStatus::Timeout;
+    int rc = ::poll(&pfd, 1, left);
+    if (rc == 0) return IoStatus::Timeout;
+    if (rc < 0 && errno != EINTR) return IoStatus::Error;
+  }
+}
+
+IoStatus Socket::send_nonblocking(const uint8_t* data, size_t n,
+                                  size_t& sent) {
+  sent = 0;
+  if (fd_ < 0) return IoStatus::Error;
+  while (sent < n) {
+    ssize_t w = ::send(fd_, data + sent, n - sent,
+                       MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (w > 0) {
+      sent += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return IoStatus::Ok;
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EPIPE || errno == ECONNRESET))
+      return IoStatus::Closed;
+    return IoStatus::Error;
+  }
+  return IoStatus::Ok;
+}
+
+IoStatus Socket::recv_available(std::string& out) {
+  if (fd_ < 0) return IoStatus::Error;
+  char chunk[65536];
+  while (true) {
+    ssize_t r = ::recv(fd_, chunk, sizeof(chunk), MSG_DONTWAIT);
+    if (r > 0) {
+      out.append(chunk, static_cast<size_t>(r));
+      continue;
+    }
+    if (r == 0) return IoStatus::Closed;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::Ok;
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET) return IoStatus::Closed;
+    return IoStatus::Error;
+  }
+}
+
+std::optional<Socket> connect_to(const std::string& host, int port,
+                                 int timeout_ms, std::string* err) {
+  struct addrinfo hints = {};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  int rc = ::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res);
+  if (rc != 0 || !res) {
+    if (err) *err = "cannot resolve '" + host + "': " + ::gai_strerror(rc);
+    if (res) ::freeaddrinfo(res);
+    return std::nullopt;
+  }
+
+  Socket sock(::socket(res->ai_family, res->ai_socktype, res->ai_protocol));
+  if (!sock.valid()) {
+    if (err) *err = std::string("socket: ") + std::strerror(errno);
+    ::freeaddrinfo(res);
+    return std::nullopt;
+  }
+  sock.set_nonblocking();
+  rc = ::connect(sock.fd(), res->ai_addr, res->ai_addrlen);
+  ::freeaddrinfo(res);
+  if (rc != 0 && errno != EINPROGRESS) {
+    if (err) *err = std::string("connect: ") + std::strerror(errno);
+    return std::nullopt;
+  }
+  if (rc != 0) {
+    struct pollfd pfd = {sock.fd(), POLLOUT, 0};
+    rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc <= 0) {
+      if (err) *err = rc == 0 ? "connect timed out"
+                              : std::string("poll: ") + std::strerror(errno);
+      return std::nullopt;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    ::getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &so_error, &len);
+    if (so_error != 0) {
+      if (err) *err = std::string("connect: ") + std::strerror(so_error);
+      return std::nullopt;
+    }
+  }
+  int one = 1;
+  ::setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return sock;
+}
+
+bool Listener::listen_on(const std::string& host, int port, std::string* err) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) {
+    if (err) *err = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    if (host == "localhost") {
+      ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    } else {
+      if (err) *err = "cannot parse bind address '" + host + "'";
+      return false;
+    }
+  }
+  if (::bind(sock.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    if (err) *err = std::string("bind: ") + std::strerror(errno);
+    return false;
+  }
+  if (::listen(sock.fd(), 64) != 0) {
+    if (err) *err = std::string("listen: ") + std::strerror(errno);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(sock.fd(), reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) == 0)
+    port_ = ntohs(addr.sin_port);
+  else
+    port_ = port;
+  sock.set_nonblocking();
+  sock_ = std::move(sock);
+  return true;
+}
+
+std::optional<Socket> Listener::accept_conn() {
+  if (!sock_.valid()) return std::nullopt;
+  int fd = ::accept(sock_.fd(), nullptr, nullptr);
+  if (fd < 0) return std::nullopt;
+  Socket conn(fd);
+  conn.set_nonblocking();
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return conn;
+}
+
+}  // namespace fortd::net

@@ -1,0 +1,240 @@
+#include "remote/client.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace fortd::remote {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int ms_left(Clock::time_point deadline) {
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - Clock::now())
+                  .count();
+  return left < 0 ? 0 : static_cast<int>(left);
+}
+
+}  // namespace
+
+RemoteStore::RemoteStore(RemoteOptions options)
+    : options_(std::move(options)),
+      jitter_state_(options_.jitter_seed ? options_.jitter_seed : 1) {}
+
+bool RemoteStore::ensure_connected_locked(std::string* why) {
+  if (sock_.valid() && hello_done_) return true;
+  drop_connection_locked();
+
+  std::string err;
+  auto sock = net::connect_to(options_.host, options_.port, options_.timeout_ms,
+                              &err);
+  if (!sock) {
+    *why = "connect to " + options_.host + ":" +
+           std::to_string(options_.port) + " failed: " + err;
+    return false;
+  }
+  sock_ = std::move(*sock);
+  ++counters_.reconnects;
+
+  WireMessage hello;
+  hello.type = MsgType::Hello;
+  hello.format_hash = options_.format_hash_override
+                          ? options_.format_hash_override
+                          : remote_wire_format_hash();
+  auto reply = roundtrip_once_locked(hello, why);
+  if (!reply) {
+    drop_connection_locked();
+    return false;
+  }
+  if (reply->type == MsgType::HelloReject) {
+    // Version skew is permanent for this process; retrying cannot help.
+    drop_connection_locked();
+    breaker_open_ = true;
+    if (degraded_reason_.empty())
+      degraded_reason_ = "daemon rejected handshake: " + reply->text;
+    *why = degraded_reason_;
+    return false;
+  }
+  if (reply->type != MsgType::HelloOk) {
+    drop_connection_locked();
+    *why = "unexpected handshake reply";
+    return false;
+  }
+  hello_done_ = true;
+  return true;
+}
+
+std::optional<WireMessage> RemoteStore::roundtrip_once_locked(
+    const WireMessage& req, std::string* why) {
+  std::vector<uint8_t> wire;
+  net::encode_frame(wire, encode_message(req));
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(options_.timeout_ms);
+  auto st = sock_.send_all(wire.data(), wire.size(), options_.timeout_ms);
+  if (st != net::IoStatus::Ok) {
+    *why = st == net::IoStatus::Timeout ? "send timed out"
+                                        : "connection lost during send";
+    return std::nullopt;
+  }
+  while (true) {
+    if (auto frame = decoder_.next()) {
+      auto msg = decode_message(*frame);
+      if (!msg) {
+        *why = "undecodable reply";
+        return std::nullopt;
+      }
+      return msg;
+    }
+    if (decoder_.failed()) {
+      *why = "garbled reply stream";
+      return std::nullopt;
+    }
+    uint8_t chunk[65536];
+    size_t got = 0;
+    st = sock_.recv_some(chunk, sizeof(chunk), got, ms_left(deadline));
+    if (st == net::IoStatus::Ok) {
+      decoder_.feed(chunk, got);
+      continue;
+    }
+    *why = st == net::IoStatus::Timeout  ? "reply timed out"
+           : st == net::IoStatus::Closed ? "daemon closed the connection"
+                                         : "socket error awaiting reply";
+    return std::nullopt;
+  }
+}
+
+std::optional<WireMessage> RemoteStore::request_locked(const WireMessage& req) {
+  if (breaker_open_) return std::nullopt;
+  std::string why;
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      ++counters_.retries;
+      backoff_locked(attempt);
+    }
+    if (!ensure_connected_locked(&why)) {
+      ++counters_.errors;
+      if (breaker_open_) return std::nullopt;  // handshake reject
+      continue;
+    }
+    auto reply = roundtrip_once_locked(req, &why);
+    if (reply) {
+      consecutive_failures_ = 0;
+      return reply;
+    }
+    ++counters_.errors;
+    drop_connection_locked();  // the stream is unsynchronized; start over
+  }
+  note_request_failed_locked(why);
+  return std::nullopt;
+}
+
+void RemoteStore::drop_connection_locked() {
+  sock_.close();
+  decoder_ = net::FrameDecoder{};
+  hello_done_ = false;
+}
+
+void RemoteStore::note_request_failed_locked(const std::string& why) {
+  if (degraded_reason_.empty()) degraded_reason_ = why;
+  if (++consecutive_failures_ >= options_.breaker_threshold)
+    breaker_open_ = true;
+}
+
+void RemoteStore::backoff_locked(int attempt) {
+  // Exponential base with deterministic xorshift jitter; the injectable
+  // sleep keeps tests wall-clock-free.
+  jitter_state_ ^= jitter_state_ << 13;
+  jitter_state_ ^= jitter_state_ >> 7;
+  jitter_state_ ^= jitter_state_ << 17;
+  const int base = options_.backoff_ms << (attempt - 1);
+  const int jitter =
+      options_.backoff_ms > 0
+          ? static_cast<int>(jitter_state_ %
+                             static_cast<uint64_t>(options_.backoff_ms))
+          : 0;
+  const int ms = base + jitter;
+  if (ms <= 0) return;
+  if (options_.sleep_fn)
+    options_.sleep_fn(ms);
+  else
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+std::optional<std::vector<uint8_t>> RemoteStore::get_blob(
+    const std::string& kind, uint64_t format_hash, uint64_t digest) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WireMessage req;
+  req.type = MsgType::Get;
+  req.kind = kind;
+  req.format_hash = format_hash;
+  req.digest = digest;
+  auto reply = request_locked(req);
+  if (!reply) return std::nullopt;
+  ++counters_.gets;
+  if (reply->type == MsgType::GetOk) {
+    ++counters_.hits;
+    return std::move(reply->blob);
+  }
+  return std::nullopt;  // GetMiss or a protocol-level Error
+}
+
+bool RemoteStore::put_blob(const std::string& kind, uint64_t digest,
+                           const std::vector<uint8_t>& blob) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WireMessage req;
+  req.type = MsgType::Put;
+  req.kind = kind;
+  req.digest = digest;
+  req.blob = blob;
+  auto reply = request_locked(req);
+  if (!reply) return false;
+  if (reply->type != MsgType::PutOk) return false;  // denied: daemon healthy
+  ++counters_.puts;
+  return true;
+}
+
+std::optional<std::vector<std::pair<bool, std::vector<uint8_t>>>>
+RemoteStore::batch_get(
+    uint64_t format_hash,
+    const std::vector<std::pair<std::string, uint64_t>>& keys) {
+  std::lock_guard<std::mutex> lock(mu_);
+  WireMessage req;
+  req.type = MsgType::BatchGet;
+  req.format_hash = format_hash;
+  req.keys = keys;
+  auto reply = request_locked(req);
+  if (!reply || reply->type != MsgType::BatchGetOk ||
+      reply->blobs.size() != keys.size())
+    return std::nullopt;
+  counters_.gets += keys.size();
+  for (const auto& [found, blob] : reply->blobs)
+    if (found) ++counters_.hits;
+  return std::move(reply->blobs);
+}
+
+std::optional<std::string> RemoteStore::fetch_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  WireMessage req;
+  req.type = MsgType::Stats;
+  auto reply = request_locked(req);
+  if (!reply || reply->type != MsgType::StatsOk) return std::nullopt;
+  return std::move(reply->text);
+}
+
+RemoteStore::Counters RemoteStore::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+bool RemoteStore::degraded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return breaker_open_;
+}
+
+std::string RemoteStore::degraded_reason() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degraded_reason_;
+}
+
+}  // namespace fortd::remote

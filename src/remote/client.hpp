@@ -1,0 +1,114 @@
+// RemoteStore — the networked StorageBackend under ContentStore.
+//
+// One persistent TCP connection to a fortd-cached daemon, opened lazily
+// on the first request and re-opened after failures. Every request runs
+// under a deadline (CacheOptions.remote_timeout_ms) and a bounded retry
+// budget with exponential backoff plus deterministic jitter; failures
+// beyond the budget feed a circuit breaker that, once open, stays open
+// for the life of the store — the compiler silently degrades to its
+// local tiers and keeps compiling. A remote-cache problem is *never* a
+// CompileError: the worst case is the performance of a purely local
+// build, reported as one diagnostic line (degraded_reason()).
+//
+// Thread safety: ContentStore calls get_blob/put_blob from codegen
+// workers concurrently; a mutex serializes the requests over the single
+// connection.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "driver/compilation_db.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "remote/protocol.hpp"
+
+namespace fortd::remote {
+
+struct RemoteOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int timeout_ms = 250;      // per-attempt deadline (connect and round-trip)
+  int max_retries = 2;       // extra attempts after the first failure
+  int backoff_ms = 10;       // base of the exponential backoff
+  int breaker_threshold = 3; // consecutive failed *requests* that open it
+  uint64_t jitter_seed = 0x9e3779b97f4a7c15ull;
+  /// Backoff sleep, injectable so tests run without wall-clock waits.
+  /// Null = real std::this_thread::sleep_for.
+  std::function<void(int /*ms*/)> sleep_fn;
+  /// Nonzero: sent in HELLO instead of remote_wire_format_hash() (tests
+  /// provoke the version-skew rejection path with this).
+  uint64_t format_hash_override = 0;
+};
+
+class RemoteStore : public StorageBackend {
+ public:
+  explicit RemoteStore(RemoteOptions options);
+  ~RemoteStore() override = default;
+
+  std::optional<std::vector<uint8_t>> get_blob(const std::string& kind,
+                                               uint64_t format_hash,
+                                               uint64_t digest) override;
+  bool put_blob(const std::string& kind, uint64_t digest,
+                const std::vector<uint8_t>& blob) override;
+
+  /// One BATCH_GET round trip: per-key (found, enveloped blob) results
+  /// parallel to `keys`, or nullopt when the request failed/degraded.
+  std::optional<std::vector<std::pair<bool, std::vector<uint8_t>>>> batch_get(
+      uint64_t format_hash,
+      const std::vector<std::pair<std::string, uint64_t>>& keys);
+
+  /// One STATS round trip: the daemon's metrics JSON, or nullopt.
+  std::optional<std::string> fetch_stats();
+
+  struct Counters {
+    uint64_t gets = 0;       // GET requests answered (hit or miss)
+    uint64_t hits = 0;       // GET_OK replies
+    uint64_t puts = 0;       // PUT_OK replies
+    uint64_t errors = 0;     // failed attempts (timeout/disconnect/garbage)
+    uint64_t retries = 0;    // attempts beyond the first, per request
+    uint64_t reconnects = 0; // connections (re)established
+  };
+  Counters counters() const;
+
+  /// True once the circuit breaker opened; every later request returns
+  /// a miss/false immediately without touching the network.
+  bool degraded() const;
+  /// The first failure that contributed to degradation (empty until one
+  /// occurred) — surfaced once as a driver diagnostic.
+  std::string degraded_reason() const;
+
+  /// Test access to retry/backoff/fault knobs. Mutate only before the
+  /// store is shared with a ContentStore.
+  RemoteOptions& options_for_test() { return options_; }
+
+ private:
+  /// Connection + HELLO handshake; false (with reason) on failure. A
+  /// HELLO_REJECT opens the breaker immediately — skew is permanent.
+  bool ensure_connected_locked(std::string* why);
+  /// Send one message, await one reply frame under the deadline.
+  std::optional<WireMessage> roundtrip_once_locked(const WireMessage& req,
+                                                   std::string* why);
+  /// Full request: retries, backoff, breaker accounting.
+  std::optional<WireMessage> request_locked(const WireMessage& req);
+  void drop_connection_locked();
+  void note_request_failed_locked(const std::string& why);
+  void backoff_locked(int attempt);
+
+  mutable std::mutex mu_;
+  RemoteOptions options_;
+  net::Socket sock_;
+  net::FrameDecoder decoder_;
+  bool hello_done_ = false;
+  int consecutive_failures_ = 0;
+  bool breaker_open_ = false;
+  std::string degraded_reason_;
+  uint64_t jitter_state_;
+  Counters counters_;
+};
+
+}  // namespace fortd::remote

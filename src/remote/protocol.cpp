@@ -1,0 +1,126 @@
+#include "remote/protocol.hpp"
+
+#include "support/compress.hpp"
+#include "support/serialize.hpp"
+
+namespace fortd::remote {
+
+uint64_t remote_wire_format_hash() {
+  const uint32_t parts[3] = {kProtocolVersion, kSerializeFormatVersion,
+                             kCompressFormatVersion};
+  return fnv1a(reinterpret_cast<const uint8_t*>(parts), sizeof(parts));
+}
+
+std::vector<uint8_t> encode_message(const WireMessage& m) {
+  BinaryWriter w;
+  w.u8(static_cast<uint8_t>(m.type));
+  switch (m.type) {
+    case MsgType::Hello:
+      w.u64(m.format_hash);
+      break;
+    case MsgType::HelloOk:
+    case MsgType::GetMiss:
+    case MsgType::PutOk:
+    case MsgType::Stats:
+      break;
+    case MsgType::HelloReject:
+    case MsgType::PutDenied:
+    case MsgType::StatsOk:
+    case MsgType::Error:
+      w.str(m.text);
+      break;
+    case MsgType::Get:
+      w.str(m.kind);
+      w.u64(m.format_hash);
+      w.u64(m.digest);
+      break;
+    case MsgType::GetOk:
+      w.blob(m.blob);
+      break;
+    case MsgType::Put:
+      w.str(m.kind);
+      w.u64(m.digest);
+      w.blob(m.blob);
+      break;
+    case MsgType::BatchGet:
+      w.u64(m.format_hash);
+      w.count(m.keys.size());
+      for (const auto& [kind, digest] : m.keys) {
+        w.str(kind);
+        w.u64(digest);
+      }
+      break;
+    case MsgType::BatchGetOk:
+      w.count(m.blobs.size());
+      for (const auto& [found, blob] : m.blobs) {
+        w.boolean(found);
+        w.blob(blob);
+      }
+      break;
+  }
+  return w.take();
+}
+
+std::optional<WireMessage> decode_message(const std::vector<uint8_t>& frame) {
+  BinaryReader r(frame);
+  WireMessage m;
+  const uint8_t type = r.u8();
+  if (type < static_cast<uint8_t>(MsgType::Hello) ||
+      type > static_cast<uint8_t>(MsgType::Error))
+    return std::nullopt;
+  m.type = static_cast<MsgType>(type);
+  switch (m.type) {
+    case MsgType::Hello:
+      m.format_hash = r.u64();
+      break;
+    case MsgType::HelloOk:
+    case MsgType::GetMiss:
+    case MsgType::PutOk:
+    case MsgType::Stats:
+      break;
+    case MsgType::HelloReject:
+    case MsgType::PutDenied:
+    case MsgType::StatsOk:
+    case MsgType::Error:
+      m.text = r.str();
+      break;
+    case MsgType::Get:
+      m.kind = r.str();
+      m.format_hash = r.u64();
+      m.digest = r.u64();
+      break;
+    case MsgType::GetOk:
+      m.blob = r.blob();
+      break;
+    case MsgType::Put:
+      m.kind = r.str();
+      m.digest = r.u64();
+      m.blob = r.blob();
+      break;
+    case MsgType::BatchGet: {
+      m.format_hash = r.u64();
+      const size_t n = r.count();
+      m.keys.reserve(n);
+      for (size_t i = 0; i < n && r.ok(); ++i) {
+        std::string kind = r.str();
+        uint64_t digest = r.u64();
+        m.keys.emplace_back(std::move(kind), digest);
+      }
+      break;
+    }
+    case MsgType::BatchGetOk: {
+      const size_t n = r.count();
+      m.blobs.reserve(n);
+      for (size_t i = 0; i < n && r.ok(); ++i) {
+        bool found = r.boolean();
+        std::vector<uint8_t> blob = r.blob();
+        m.blobs.emplace_back(found, std::move(blob));
+      }
+      break;
+    }
+  }
+  if (!r.ok() || !r.at_end()) return std::nullopt;
+  return m;
+}
+
+}  // namespace fortd::remote

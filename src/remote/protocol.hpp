@@ -1,0 +1,74 @@
+// Wire protocol for the remote compilation-cache service (fortd-cached).
+//
+// Every message travels as one frame (net/frame.hpp) whose payload is a
+// BinaryWriter encoding: a one-byte message type followed by type-specific
+// fields. A connection opens with HELLO carrying the client's wire format
+// hash — a fingerprint of the protocol version plus every serialization
+// and compression format version involved — and the daemon answers
+// HELLO_OK only on an exact match. Version skew between a compiler and a
+// long-running daemon is therefore detected at the handshake, before any
+// artifact bytes move, and the client degrades to local-only operation.
+//
+// GET/PUT exchange complete FDCA-enveloped blobs
+// (driver/compilation_db.hpp), never decoded payloads: the checksum that
+// protects an artifact at rest protects it end-to-end across the wire,
+// and the daemon can vet a PUT (inspect_blob_envelope) without
+// understanding artifact payloads at all.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fortd::remote {
+
+/// Bump on any wire-visible protocol change.
+constexpr uint32_t kProtocolVersion = 1;
+
+/// The handshake fingerprint: protocol version mixed with the artifact
+/// serialization and compression format versions. Any of the three
+/// changing makes clients and daemons mutually unintelligible, and this
+/// hash is how they find out.
+uint64_t remote_wire_format_hash();
+
+enum class MsgType : uint8_t {
+  Hello = 1,        // client → daemon: format_hash
+  HelloOk = 2,      // daemon → client
+  HelloReject = 3,  // daemon → client: text = reason; connection closes
+  Get = 4,          // kind, format_hash, digest
+  GetOk = 5,        // blob = enveloped artifact
+  GetMiss = 6,      //
+  Put = 7,          // kind, digest, blob = enveloped artifact
+  PutOk = 8,        //
+  PutDenied = 9,    // text = reason (read-only daemon, invalid blob)
+  BatchGet = 10,    // format_hash, keys = (kind, digest) list
+  BatchGetOk = 11,  // blobs = (found, blob) list, parallel to keys
+  Stats = 12,       //
+  StatsOk = 13,     // text = metrics JSON
+  Error = 14,       // text = reason; daemon closes the connection
+};
+
+/// One decoded protocol message. Fields beyond `type` are meaningful only
+/// for the message types annotated above; the codec writes and reads
+/// exactly the fields each type defines.
+struct WireMessage {
+  MsgType type = MsgType::Error;
+  uint64_t format_hash = 0;
+  std::string kind;
+  uint64_t digest = 0;
+  std::vector<uint8_t> blob;
+  std::vector<std::pair<std::string, uint64_t>> keys;
+  std::vector<std::pair<bool, std::vector<uint8_t>>> blobs;
+  std::string text;
+};
+
+/// Serialize `m` into a frame payload (not yet length-prefixed).
+std::vector<uint8_t> encode_message(const WireMessage& m);
+
+/// Decode one frame payload; nullopt on any structural problem (unknown
+/// type, truncation, trailing bytes) — the BinaryReader discipline.
+std::optional<WireMessage> decode_message(const std::vector<uint8_t>& frame);
+
+}  // namespace fortd::remote

@@ -1,0 +1,285 @@
+#include "remote/server.hpp"
+
+#include <poll.h>
+
+#include <sstream>
+
+namespace fortd::remote {
+
+namespace {
+
+std::string hex16(uint64_t v) { return ContentStore::hex_digest(v); }
+
+}  // namespace
+
+CacheDaemon::CacheDaemon(ContentStore* store, ThreadPool* pool,
+                         DaemonOptions options)
+    : store_(store), pool_(pool), options_(std::move(options)) {}
+
+CacheDaemon::~CacheDaemon() { stop(); }
+
+bool CacheDaemon::start(std::string* err) {
+  if (running_.load()) return true;
+  if (!listener_.listen_on(options_.host, options_.port, err)) return false;
+  stopping_.store(false);
+  running_.store(true);
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void CacheDaemon::stop() {
+  if (!running_.load()) return;
+  stopping_.store(true);
+  if (thread_.joinable()) thread_.join();
+  listener_.close();
+  running_.store(false);
+  store_->flush();
+}
+
+void CacheDaemon::queue_reply(Conn& conn, const WireMessage& reply) {
+  std::vector<uint8_t> wire;
+  net::encode_frame(wire, encode_message(reply));
+  conn.outbuf.append(reinterpret_cast<const char*>(wire.data()), wire.size());
+}
+
+bool CacheDaemon::read_conn(Conn& conn, std::vector<WireMessage>& requests) {
+  std::string data;
+  const auto st = conn.sock.recv_available(data);
+  conn.decoder.feed(data);
+
+  while (auto frame = conn.decoder.next()) {
+    auto msg = decode_message(*frame);
+    if (!msg) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++protocol_errors_;
+      return false;
+    }
+    if (!conn.hello_done) {
+      if (msg->type != MsgType::Hello) {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++protocol_errors_;
+        return false;
+      }
+      const uint64_t expected = options_.format_hash_override
+                                    ? options_.format_hash_override
+                                    : remote_wire_format_hash();
+      WireMessage reply;
+      if (msg->format_hash == expected) {
+        reply.type = MsgType::HelloOk;
+        conn.hello_done = true;
+        queue_reply(conn, reply);
+      } else {
+        reply.type = MsgType::HelloReject;
+        reply.text = "wire format mismatch: daemon " + hex16(expected) +
+                     ", client " + hex16(msg->format_hash);
+        queue_reply(conn, reply);
+        conn.closing = true;  // close once the reject flushes
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++handshake_rejects_;
+        return true;
+      }
+      continue;
+    }
+    requests.push_back(std::move(*msg));
+  }
+  if (conn.decoder.failed()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++protocol_errors_;
+    return false;
+  }
+  if (st == net::IoStatus::Error) return false;
+  // EOF with requests still buffered: serve them this cycle, the next
+  // poll drops the connection.
+  if (st == net::IoStatus::Closed && requests.empty()) return false;
+  return true;
+}
+
+WireMessage CacheDaemon::handle(const WireMessage& req, bool* close_after) {
+  WireMessage reply;
+  switch (req.type) {
+    case MsgType::Get: {
+      auto blob = store_->load_blob(req.kind, req.format_hash, req.digest);
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      auto& k = counters_[req.kind];
+      if (blob) {
+        reply.type = MsgType::GetOk;
+        k.bytes_out += blob->size();
+        ++k.get_hits;
+        reply.blob = std::move(*blob);
+      } else {
+        reply.type = MsgType::GetMiss;
+        ++k.get_misses;
+      }
+      break;
+    }
+    case MsgType::Put: {
+      auto info = inspect_blob_envelope(req.blob);
+      if (!info || info->digest != req.digest) {
+        reply.type = MsgType::PutDenied;
+        reply.text = "invalid blob envelope";
+      } else if (store_->options().read_only) {
+        reply.type = MsgType::PutDenied;
+        reply.text = "daemon is read-only";
+      } else {
+        store_->store_blob(req.kind, req.digest, req.blob);
+        reply.type = MsgType::PutOk;
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        auto& k = counters_[req.kind];
+        ++k.puts;
+        k.bytes_in += req.blob.size();
+      }
+      break;
+    }
+    case MsgType::BatchGet: {
+      reply.type = MsgType::BatchGetOk;
+      reply.blobs.reserve(req.keys.size());
+      for (const auto& [kind, digest] : req.keys) {
+        auto blob = store_->load_blob(kind, req.format_hash, digest);
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        auto& k = counters_[kind];
+        if (blob) {
+          ++k.get_hits;
+          k.bytes_out += blob->size();
+          reply.blobs.emplace_back(true, std::move(*blob));
+        } else {
+          ++k.get_misses;
+          reply.blobs.emplace_back(false, std::vector<uint8_t>{});
+        }
+      }
+      break;
+    }
+    case MsgType::Stats:
+      reply.type = MsgType::StatsOk;
+      reply.text = metrics_json();
+      break;
+    default:
+      reply.type = MsgType::Error;
+      reply.text = "unexpected message type";
+      *close_after = true;
+      break;
+  }
+  return reply;
+}
+
+void CacheDaemon::serve_loop() {
+  std::vector<std::unique_ptr<Conn>> conns;
+  while (!stopping_.load()) {
+    // Only the first n_polled connections have a mirror entry in fds;
+    // connections accepted below are picked up next cycle.
+    const size_t n_polled = conns.size();
+    std::vector<struct pollfd> fds;
+    fds.push_back({listener_.fd(), POLLIN, 0});
+    for (const auto& conn : conns) {
+      short events = POLLIN;
+      if (!conn->outbuf.empty()) events |= POLLOUT;
+      fds.push_back({conn->sock.fd(), events, 0});
+    }
+    ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 50);
+
+    if (fds[0].revents & POLLIN) {
+      while (auto sock = listener_.accept_conn()) {
+        auto conn = std::make_unique<Conn>();
+        conn->sock = std::move(*sock);
+        conns.push_back(std::move(conn));
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++connections_accepted_;
+      }
+    }
+
+    // Gather complete requests from every readable connection.
+    std::vector<bool> drop(conns.size(), false);
+    std::vector<std::pair<size_t, WireMessage>> requests;
+    for (size_t i = 0; i < n_polled; ++i) {
+      const short revents = fds[i + 1].revents;
+      if (revents & (POLLERR | POLLNVAL)) {
+        drop[i] = true;
+        continue;
+      }
+      if (revents & (POLLIN | POLLHUP)) {
+        std::vector<WireMessage> batch;
+        if (!read_conn(*conns[i], batch)) {
+          drop[i] = true;
+          continue;
+        }
+        for (auto& msg : batch) requests.emplace_back(i, std::move(msg));
+      }
+    }
+
+    // Answer the batch; several requests in one cycle fan out across the
+    // pool (ContentStore and the counters are thread-safe).
+    std::vector<WireMessage> replies(requests.size());
+    std::vector<char> close_after(requests.size(), 0);
+    const auto handle_one = [&](size_t r) {
+      bool close = false;
+      replies[r] = handle(requests[r].second, &close);
+      close_after[r] = close ? 1 : 0;
+    };
+    if (pool_ && requests.size() > 1) {
+      pool_->parallel_for(requests.size(), handle_one);
+    } else {
+      for (size_t r = 0; r < requests.size(); ++r) handle_one(r);
+    }
+
+    // Queue replies in arrival order (per-connection FIFO) and apply the
+    // fault-injection hooks.
+    bool had_put = false;
+    for (size_t r = 0; r < requests.size(); ++r) {
+      const size_t i = requests[r].first;
+      if (drop[i]) continue;
+      if (requests[r].second.type == MsgType::Put &&
+          replies[r].type == MsgType::PutOk)
+        had_put = true;
+      if (options_.drop_before_reply &&
+          options_.drop_before_reply(requests[r].second)) {
+        drop[i] = true;
+        continue;
+      }
+      if (options_.stall_reply && options_.stall_reply(requests[r].second))
+        continue;  // swallow the reply, hold the connection open
+      queue_reply(*conns[i], replies[r]);
+      if (close_after[r]) conns[i]->closing = true;
+    }
+    if (had_put) store_->flush();  // bounded memory + durable across restart
+
+    // Drain output buffers.
+    for (size_t i = 0; i < conns.size(); ++i) {
+      if (drop[i] || conns[i]->outbuf.empty()) continue;
+      size_t sent = 0;
+      auto st = conns[i]->sock.send_nonblocking(
+          reinterpret_cast<const uint8_t*>(conns[i]->outbuf.data()),
+          conns[i]->outbuf.size(), sent);
+      if (sent > 0) conns[i]->outbuf.erase(0, sent);
+      if (st != net::IoStatus::Ok) drop[i] = true;
+      if (conns[i]->closing && conns[i]->outbuf.empty()) drop[i] = true;
+    }
+
+    for (size_t i = conns.size(); i-- > 0;)
+      if (drop[i]) conns.erase(conns.begin() + static_cast<ptrdiff_t>(i));
+  }
+}
+
+std::map<std::string, CacheDaemon::KindCounters> CacheDaemon::counters() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return counters_;
+}
+
+std::string CacheDaemon::metrics_json() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  std::ostringstream out;
+  out << "{\"connections_accepted\":" << connections_accepted_
+      << ",\"handshake_rejects\":" << handshake_rejects_
+      << ",\"protocol_errors\":" << protocol_errors_ << ",\"kinds\":{";
+  bool first = true;
+  for (const auto& [kind, k] : counters_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << kind << "\":{\"get_hits\":" << k.get_hits
+        << ",\"get_misses\":" << k.get_misses << ",\"puts\":" << k.puts
+        << ",\"bytes_in\":" << k.bytes_in << ",\"bytes_out\":" << k.bytes_out
+        << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+}  // namespace fortd::remote

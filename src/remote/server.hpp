@@ -1,0 +1,116 @@
+// CacheDaemon — the serving side of fortd-cached.
+//
+// A single service thread runs a poll() loop over the listening socket
+// and every live client connection: readable sockets are drained into
+// per-connection FrameDecoders, complete requests are batched and
+// answered (request handling fans out across the ThreadPool when a poll
+// cycle yields several), and replies queue in per-connection output
+// buffers drained under POLLOUT. Connections are independent — a client
+// that stalls mid-frame or sends garbage affects only itself (its
+// decoder's sticky fail bit closes it).
+//
+// The daemon owns nothing but counters: artifacts live in the
+// ContentStore it serves, which may be opened read-only (PUTs are then
+// denied, GETs still served). Per-kind hit/miss/put/byte counters are
+// exported as JSON via metrics_json(), the STATS request, and the
+// fortd-cached -metrics-json flag.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/compilation_db.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "remote/protocol.hpp"
+#include "support/thread_pool.hpp"
+
+namespace fortd::remote {
+
+struct DaemonOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  // 0 = ephemeral (tests); fortd-cached defaults to 4815
+  /// Nonzero: the daemon's side of the handshake uses this instead of
+  /// remote_wire_format_hash() — tests provoke version skew with it.
+  uint64_t format_hash_override = 0;
+  /// Fault injection (tests): when set and returning true for a request,
+  /// the daemon closes that connection instead of replying / swallows the
+  /// reply while keeping the connection open (a stall the client can only
+  /// escape via its deadline).
+  std::function<bool(const WireMessage&)> drop_before_reply;
+  std::function<bool(const WireMessage&)> stall_reply;
+};
+
+class CacheDaemon {
+ public:
+  /// `store` must outlive the daemon. `pool` (nullable = serve inline) is
+  /// used to parallelize request handling within one poll cycle; it must
+  /// not be a pool some other thread runs batches on concurrently.
+  CacheDaemon(ContentStore* store, ThreadPool* pool, DaemonOptions options);
+  ~CacheDaemon();
+
+  CacheDaemon(const CacheDaemon&) = delete;
+  CacheDaemon& operator=(const CacheDaemon&) = delete;
+
+  /// Bind and spawn the service thread. False (with reason) on failure.
+  bool start(std::string* err = nullptr);
+  /// Idempotent; joins the service thread and closes every connection.
+  void stop();
+
+  bool running() const { return running_.load(); }
+  /// The bound port (after start(); meaningful with port 0 in options).
+  int port() const { return listener_.port(); }
+
+  struct KindCounters {
+    uint64_t get_hits = 0;
+    uint64_t get_misses = 0;
+    uint64_t puts = 0;
+    uint64_t bytes_in = 0;   // PUT blob bytes accepted
+    uint64_t bytes_out = 0;  // GET blob bytes served
+  };
+  /// Snapshot of the per-kind counters.
+  std::map<std::string, KindCounters> counters() const;
+  /// The counters plus connection totals, as stable machine-readable
+  /// JSON (also the STATS reply payload).
+  std::string metrics_json() const;
+
+ private:
+  struct Conn {
+    net::Socket sock;
+    net::FrameDecoder decoder;
+    bool hello_done = false;
+    bool closing = false;    // close once outbuf drains
+    std::string outbuf;      // encoded reply frames awaiting POLLOUT
+  };
+
+  void serve_loop();
+  /// Drain one readable connection; false = drop it.
+  bool read_conn(Conn& conn, std::vector<WireMessage>& requests);
+  /// Compute the reply for one request (thread-safe; pool workers call
+  /// this concurrently). `close_after` = reply then drop the connection.
+  WireMessage handle(const WireMessage& req, bool* close_after);
+  void queue_reply(Conn& conn, const WireMessage& reply);
+
+  ContentStore* store_;
+  ThreadPool* pool_;
+  DaemonOptions options_;
+  net::Listener listener_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex stats_mu_;
+  std::map<std::string, KindCounters> counters_;
+  uint64_t connections_accepted_ = 0;
+  uint64_t handshake_rejects_ = 0;
+  uint64_t protocol_errors_ = 0;
+};
+
+}  // namespace fortd::remote

@@ -1,0 +1,150 @@
+#include "support/compress.hpp"
+
+#include <cstring>
+
+namespace fortd {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxMatch = kMinMatch + 0x7f;  // 131
+constexpr size_t kMaxLiteralRun = 128;
+constexpr size_t kMaxDistance = 65535;
+constexpr size_t kHashBits = 15;
+constexpr uint64_t kMaxPlausibleRaw = 1ull << 30;  // decoder allocation cap
+
+void put_varint(std::vector<uint8_t>& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<uint8_t>(v));
+}
+
+/// Varint read with explicit cursor; false on truncation/overlong.
+bool get_varint(const uint8_t* data, size_t size, size_t& pos, uint64_t& v) {
+  v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos >= size || shift >= 64) return false;
+    uint8_t byte = data[pos++];
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if (!(byte & 0x80)) return true;
+    shift += 7;
+  }
+}
+
+uint32_t hash4(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void flush_literals(std::vector<uint8_t>& out, const uint8_t* raw,
+                    size_t lit_start, size_t lit_end) {
+  while (lit_start < lit_end) {
+    size_t run = lit_end - lit_start;
+    if (run > kMaxLiteralRun) run = kMaxLiteralRun;
+    out.push_back(static_cast<uint8_t>(run - 1));
+    out.insert(out.end(), raw + lit_start, raw + lit_start + run);
+    lit_start += run;
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> compress_bytes(const std::vector<uint8_t>& raw) {
+  std::vector<uint8_t> out;
+  out.reserve(raw.size() / 2 + 16);
+  out.push_back(1);  // LZ mode; rewritten to 0 below if it did not help
+  put_varint(out, raw.size());
+  const size_t header = out.size();
+
+  if (raw.size() >= kMinMatch) {
+    // Greedy LZ with a most-recent-position hash table over 4-byte keys.
+    std::vector<uint32_t> head(size_t{1} << kHashBits, UINT32_MAX);
+    const uint8_t* p = raw.data();
+    const size_t n = raw.size();
+    size_t pos = 0, lit_start = 0;
+    while (pos + kMinMatch <= n) {
+      uint32_t h = hash4(p + pos);
+      size_t cand = head[h];
+      head[h] = static_cast<uint32_t>(pos);
+      size_t len = 0;
+      if (cand != UINT32_MAX && pos - cand <= kMaxDistance &&
+          std::memcmp(p + cand, p + pos, kMinMatch) == 0) {
+        len = kMinMatch;
+        size_t limit = n - pos < kMaxMatch ? n - pos : kMaxMatch;
+        while (len < limit && p[cand + len] == p[pos + len]) ++len;
+      }
+      if (len >= kMinMatch) {
+        flush_literals(out, p, lit_start, pos);
+        out.push_back(static_cast<uint8_t>(0x80 | (len - kMinMatch)));
+        put_varint(out, pos - cand);
+        // Seed the table across the match so later references can land
+        // inside it (skip the tail to stay O(n) on pathological input).
+        size_t seed_end = pos + len < n - kMinMatch ? pos + len : 0;
+        for (size_t q = pos + 1; q + kMinMatch <= seed_end && q < pos + 16; ++q)
+          head[hash4(p + q)] = static_cast<uint32_t>(q);
+        pos += len;
+        lit_start = pos;
+      } else {
+        ++pos;
+      }
+    }
+    flush_literals(out, p, lit_start, n);
+  } else {
+    flush_literals(out, raw.data(), 0, raw.size());
+  }
+
+  if (out.size() - header >= raw.size()) {
+    // Incompressible: stored mode keeps the cost to the framing bytes.
+    out.clear();
+    out.push_back(0);
+    put_varint(out, raw.size());
+    out.insert(out.end(), raw.begin(), raw.end());
+  }
+  return out;
+}
+
+std::optional<std::vector<uint8_t>> decompress_bytes(const uint8_t* data,
+                                                     size_t size) {
+  size_t pos = 0;
+  if (size == 0) return std::nullopt;
+  const uint8_t mode = data[pos++];
+  uint64_t raw_size = 0;
+  if (mode > 1 || !get_varint(data, size, pos, raw_size)) return std::nullopt;
+  if (raw_size > kMaxPlausibleRaw) return std::nullopt;
+
+  if (mode == 0) {
+    if (size - pos != raw_size) return std::nullopt;
+    return std::vector<uint8_t>(data + pos, data + size);
+  }
+
+  std::vector<uint8_t> out;
+  out.reserve(static_cast<size_t>(raw_size));
+  while (out.size() < raw_size) {
+    if (pos >= size) return std::nullopt;
+    const uint8_t t = data[pos++];
+    if (t < 0x80) {
+      const size_t run = static_cast<size_t>(t) + 1;
+      if (size - pos < run || out.size() + run > raw_size) return std::nullopt;
+      out.insert(out.end(), data + pos, data + pos + run);
+      pos += run;
+    } else {
+      const size_t len = static_cast<size_t>(t & 0x7f) + kMinMatch;
+      uint64_t dist = 0;
+      if (!get_varint(data, size, pos, dist)) return std::nullopt;
+      if (dist == 0 || dist > out.size() || dist > kMaxDistance ||
+          out.size() + len > raw_size)
+        return std::nullopt;
+      // Byte-by-byte: overlapping matches (dist < len) replicate.
+      size_t from = out.size() - static_cast<size_t>(dist);
+      for (size_t i = 0; i < len; ++i) out.push_back(out[from + i]);
+    }
+  }
+  if (pos != size) return std::nullopt;  // trailing garbage
+  return out;
+}
+
+}  // namespace fortd

@@ -20,7 +20,8 @@ namespace fortd {
 
 /// Bump when any artifact payload layout changes; stamped (mixed with the
 /// artifact kind) into every blob header so stale caches read as misses.
-constexpr uint32_t kSerializeFormatVersion = 1;
+/// v2: FDCA envelope payloads are LZ-compressed (support/compress.hpp).
+constexpr uint32_t kSerializeFormatVersion = 2;
 
 /// FNV-1a over a byte range — the checksum used by artifact envelopes.
 uint64_t fnv1a(const uint8_t* data, size_t size, uint64_t seed = 1469598103934665603ull);
@@ -33,6 +34,7 @@ public:
   void boolean(bool v) { u8(v ? 1 : 0); }
   void f64(double v);              // 8 bytes, little-endian bit pattern
   void str(const std::string& s);
+  void blob(const std::vector<uint8_t>& v);  // length-prefixed raw bytes
 
   /// Length prefix for a container; elements follow via the other writers.
   void count(size_t n) { u64(static_cast<uint64_t>(n)); }
@@ -56,6 +58,7 @@ public:
   bool boolean() { return u8() != 0; }
   double f64();
   std::string str();
+  std::vector<uint8_t> blob();
 
   /// Container length prefix. Fails (returning 0) when the count exceeds
   /// the remaining bytes — every element costs at least one byte, so a

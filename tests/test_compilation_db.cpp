@@ -243,8 +243,12 @@ TEST(ContentStore, FormatHashSkewReadsAsCorruption) {
 TEST(ContentStore, LruEvictionKeepsTheMostRecentlyUsed) {
   std::string dir = fresh_cache_dir("lru");
   CacheOptions opt{dir};
-  // Three ~100-byte blobs (plus envelope); bound the store to two of them.
-  opt.max_bytes = 2 * (100 + 28 + 8) + 16;
+  // Three same-shaped blobs; bound the store to two of them. The on-disk
+  // blob size is exactly the envelope size (compression included), so
+  // measure it instead of hard-coding codec arithmetic.
+  const uint64_t blob_size =
+      make_blob_envelope(7, 1, std::vector<uint8_t>(100, 1)).size();
+  opt.max_bytes = 2 * blob_size + blob_size / 2;
   ContentStore store(opt);
   store.store("proc", 7, 1, std::vector<uint8_t>(100, 1));
   store.store("proc", 7, 2, std::vector<uint8_t>(100, 2));
@@ -272,7 +276,9 @@ TEST(ContentStore, LruTicksSurviveReopen) {
     EXPECT_TRUE(store.load("proc", 7, 1).has_value());  // 1 is now newest
   }
   CacheOptions opt{dir};
-  opt.max_bytes = 100 + 28 + 8 + 16;  // room for one blob only
+  const uint64_t blob_size =
+      make_blob_envelope(7, 1, std::vector<uint8_t>(100, 1)).size();
+  opt.max_bytes = blob_size + blob_size / 2;  // room for one blob only
   ContentStore store(opt);
   store.store("proc", 7, 3, std::vector<uint8_t>(100, 3));
   store.flush();

@@ -1,0 +1,606 @@
+// The remote compilation-cache tier end to end, over real loopback TCP:
+//   * LZ compression codec round trips and the envelope size win,
+//   * frame codec incremental decode (byte-at-a-time, coalesced frames,
+//     oversized-length rejection),
+//   * protocol message encode/decode round trips,
+//   * daemon lifecycle + GET/PUT/BATCH_GET/STATS against a live daemon,
+//   * the acceptance path: a *fresh* Compiler with an empty local cache
+//     directory compiling a 32-procedure program against a warm daemon
+//     generates 0 procedures and computes 0 summaries (jobs=1 and
+//     jobs=4), and a 1-of-32 edit regenerates exactly one,
+//   * graceful degradation — unreachable daemon, mid-stream disconnect,
+//     stalled replies, and a version-skewed handshake each leave the
+//     compile successful on local tiers with the circuit breaker open
+//     (no sleeps: fault hooks + short poll deadlines),
+//   * a multi-client soak: concurrent clients mixing GETs and PUTs with
+//     byte-identity checks (run it under FORTD_SANITIZE=thread to vet
+//     the daemon's locking).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "../bench/programs.hpp"
+#include "codegen/spmd_printer.hpp"
+#include "driver/compiler.hpp"
+#include "net/frame.hpp"
+#include "remote/client.hpp"
+#include "remote/server.hpp"
+#include "support/compress.hpp"
+
+namespace fs = std::filesystem;
+
+namespace fortd {
+namespace {
+
+std::string fresh_cache_dir(const std::string& name) {
+  fs::path dir = fs::path(::testing::TempDir()) / ("fortd_remote_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// A daemon over a fresh directory with its own pool (ThreadPool batches
+/// are single-owner, so the daemon must never share a compiler's pool).
+struct TestDaemon {
+  explicit TestDaemon(const std::string& tag,
+                      remote::DaemonOptions options = {})
+      : store({fresh_cache_dir(tag)}), pool(2),
+        daemon(&store, &pool, std::move(options)) {
+    std::string err;
+    started = daemon.start(&err);
+    EXPECT_TRUE(started) << err;
+  }
+  std::string endpoint() const {
+    return "127.0.0.1:" + std::to_string(daemon.port());
+  }
+
+  ContentStore store;
+  ThreadPool pool;
+  remote::CacheDaemon daemon;
+  bool started = false;
+};
+
+remote::RemoteOptions client_options(int port) {
+  remote::RemoteOptions opt;
+  opt.host = "127.0.0.1";
+  opt.port = port;
+  opt.timeout_ms = 2000;  // generous: loopback, but CI machines stall
+  opt.sleep_fn = [](int) {};
+  return opt;
+}
+
+/// Make the compiler's remote tier fail fast and without wall-clock
+/// sleeps: short deadlines, no backoff naps, a hair-trigger breaker.
+void make_impatient(remote::RemoteStore* rs) {
+  ASSERT_NE(rs, nullptr);
+  rs->options_for_test().timeout_ms = 50;
+  rs->options_for_test().max_retries = 1;
+  rs->options_for_test().breaker_threshold = 1;
+  rs->options_for_test().sleep_fn = [](int) {};
+}
+
+// ---------------------------------------------------------------------------
+// Compression codec
+// ---------------------------------------------------------------------------
+
+TEST(Compress, RoundTripsRepetitiveAndShrinksIt) {
+  std::vector<uint8_t> raw;
+  for (int i = 0; i < 10000; ++i)
+    raw.push_back(static_cast<uint8_t>("abcdabcdabcd"[i % 12]));
+  std::vector<uint8_t> comp = compress_bytes(raw);
+  EXPECT_LT(comp.size(), raw.size() / 4)
+      << "repetitive data must compress well";
+  auto back = decompress_bytes(comp);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, raw);
+}
+
+TEST(Compress, RoundTripsIncompressibleViaStoredMode) {
+  // A deterministic pseudorandom buffer defeats the matcher; the codec
+  // must fall back to stored mode and cost only the small header.
+  std::vector<uint8_t> raw;
+  uint64_t x = 88172645463325252ull;
+  for (int i = 0; i < 4096; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    raw.push_back(static_cast<uint8_t>(x));
+  }
+  std::vector<uint8_t> comp = compress_bytes(raw);
+  EXPECT_LE(comp.size(), raw.size() + 8);
+  auto back = decompress_bytes(comp);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, raw);
+}
+
+TEST(Compress, RoundTripsEmptyAndTiny) {
+  for (size_t n : {size_t{0}, size_t{1}, size_t{3}}) {
+    std::vector<uint8_t> raw(n, 0x5a);
+    auto back = decompress_bytes(compress_bytes(raw));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, raw);
+  }
+}
+
+TEST(Compress, EnvelopePayloadsAreCompressed) {
+  std::vector<uint8_t> payload(8192, 7);  // maximally repetitive
+  std::vector<uint8_t> blob = make_blob_envelope(1, 2, payload);
+  EXPECT_LT(blob.size(), payload.size() / 8);
+  auto back = open_blob_envelope(blob, 1, 2);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, payload);
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------------
+
+TEST(FrameCodec, DecodesByteAtATime) {
+  std::vector<uint8_t> payload;
+  for (int i = 0; i < 300; ++i) payload.push_back(static_cast<uint8_t>(i));
+  std::vector<uint8_t> wire;
+  net::encode_frame(wire, payload);
+  net::encode_frame(wire, {});  // an empty frame is legal
+
+  net::FrameDecoder dec;
+  std::vector<std::vector<uint8_t>> frames;
+  for (uint8_t b : wire) {
+    dec.feed(&b, 1);
+    while (auto f = dec.next()) frames.push_back(*f);
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0], payload);
+  EXPECT_TRUE(frames[1].empty());
+  EXPECT_FALSE(dec.failed());
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(FrameCodec, CoalescedFramesDecodeInOrder) {
+  std::vector<uint8_t> wire;
+  for (int i = 0; i < 5; ++i)
+    net::encode_frame(wire, std::vector<uint8_t>(i * 10, static_cast<uint8_t>(i)));
+  net::FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  for (int i = 0; i < 5; ++i) {
+    auto f = dec.next();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_EQ(f->size(), static_cast<size_t>(i * 10));
+  }
+  EXPECT_FALSE(dec.next().has_value());
+}
+
+TEST(FrameCodec, OversizedLengthFailsSticky) {
+  // Varint for 1 GiB, far above kMaxFramePayload.
+  std::vector<uint8_t> wire;
+  uint64_t v = 1ull << 30;
+  while (v >= 0x80) {
+    wire.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  wire.push_back(static_cast<uint8_t>(v));
+  net::FrameDecoder dec;
+  dec.feed(wire.data(), wire.size());
+  EXPECT_FALSE(dec.next().has_value());
+  EXPECT_TRUE(dec.failed());
+  dec.feed(wire.data(), wire.size());  // no-op once failed
+  EXPECT_FALSE(dec.next().has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Protocol messages
+// ---------------------------------------------------------------------------
+
+TEST(RemoteProtocol, RoundTripsEveryMessageType) {
+  using remote::MsgType;
+  using remote::WireMessage;
+  std::vector<WireMessage> messages;
+  {
+    WireMessage m;
+    m.type = MsgType::Hello;
+    m.format_hash = remote::remote_wire_format_hash();
+    messages.push_back(m);
+  }
+  for (MsgType t : {MsgType::HelloOk, MsgType::GetMiss, MsgType::PutOk,
+                    MsgType::Stats}) {
+    WireMessage m;
+    m.type = t;
+    messages.push_back(m);
+  }
+  for (MsgType t : {MsgType::HelloReject, MsgType::PutDenied, MsgType::StatsOk,
+                    MsgType::Error}) {
+    WireMessage m;
+    m.type = t;
+    m.text = "some reason \"quoted\"";
+    messages.push_back(m);
+  }
+  {
+    WireMessage m;
+    m.type = MsgType::Get;
+    m.kind = "proc";
+    m.format_hash = 0xfeed;
+    m.digest = 0xbeef;
+    messages.push_back(m);
+  }
+  {
+    WireMessage m;
+    m.type = MsgType::GetOk;
+    m.blob = {1, 2, 3, 4, 5};
+    messages.push_back(m);
+  }
+  {
+    WireMessage m;
+    m.type = MsgType::Put;
+    m.kind = "summary";
+    m.digest = 77;
+    m.blob = std::vector<uint8_t>(1000, 0xcd);
+    messages.push_back(m);
+  }
+  {
+    WireMessage m;
+    m.type = MsgType::BatchGet;
+    m.format_hash = 5;
+    m.keys = {{"proc", 1}, {"summary", 2}};
+    messages.push_back(m);
+  }
+  {
+    WireMessage m;
+    m.type = MsgType::BatchGetOk;
+    m.blobs = {{true, {9, 9}}, {false, {}}};
+    messages.push_back(m);
+  }
+
+  for (const auto& m : messages) {
+    auto decoded = remote::decode_message(remote::encode_message(m));
+    ASSERT_TRUE(decoded.has_value())
+        << "type " << static_cast<int>(m.type);
+    EXPECT_EQ(decoded->type, m.type);
+    EXPECT_EQ(decoded->format_hash, m.format_hash);
+    EXPECT_EQ(decoded->kind, m.kind);
+    EXPECT_EQ(decoded->digest, m.digest);
+    EXPECT_EQ(decoded->blob, m.blob);
+    EXPECT_EQ(decoded->keys, m.keys);
+    EXPECT_EQ(decoded->blobs, m.blobs);
+    EXPECT_EQ(decoded->text, m.text);
+  }
+}
+
+TEST(RemoteProtocol, RejectsGarbageAndTrailingBytes) {
+  EXPECT_FALSE(remote::decode_message({}).has_value());
+  EXPECT_FALSE(remote::decode_message({0}).has_value());
+  EXPECT_FALSE(remote::decode_message({200}).has_value());
+  remote::WireMessage m;
+  m.type = remote::MsgType::GetMiss;
+  auto bytes = remote::encode_message(m);
+  bytes.push_back(0);  // trailing garbage
+  EXPECT_FALSE(remote::decode_message(bytes).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Live daemon: blob exchange and stats
+// ---------------------------------------------------------------------------
+
+TEST(RemoteCache, PutThenGetRoundTripsBytesExactly) {
+  TestDaemon td("putget");
+  remote::RemoteStore client(client_options(td.daemon.port()));
+
+  std::vector<uint8_t> payload(2000, 0x3c);
+  std::vector<uint8_t> blob = make_blob_envelope(11, 42, payload);
+  ASSERT_TRUE(client.put_blob("proc", 42, blob));
+
+  auto got = client.get_blob("proc", 11, 42);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, blob) << "the daemon must serve blobs byte-identically";
+  EXPECT_FALSE(client.get_blob("proc", 11, 43).has_value());
+
+  auto counters = td.daemon.counters();
+  EXPECT_EQ(counters["proc"].puts, 1u);
+  EXPECT_EQ(counters["proc"].get_hits, 1u);
+  EXPECT_EQ(counters["proc"].get_misses, 1u);
+  EXPECT_EQ(counters["proc"].bytes_out, blob.size());
+}
+
+TEST(RemoteCache, PutOfACorruptBlobIsDenied) {
+  TestDaemon td("badput");
+  remote::RemoteStore client(client_options(td.daemon.port()));
+  std::vector<uint8_t> blob = make_blob_envelope(11, 42, {1, 2, 3});
+  blob[blob.size() / 2] ^= 0x40;
+  EXPECT_FALSE(client.put_blob("proc", 42, blob));
+  EXPECT_FALSE(client.degraded()) << "a denial is not a network failure";
+  EXPECT_EQ(td.daemon.counters()["proc"].puts, 0u);
+}
+
+TEST(RemoteCache, ReadOnlyDaemonServesGetsAndDeniesPuts) {
+  std::string dir = fresh_cache_dir("readonly_daemon");
+  std::vector<uint8_t> blob = make_blob_envelope(11, 42, {1, 2, 3});
+  {
+    ContentStore seed({dir});
+    seed.store("proc", 11, 42, {1, 2, 3});
+  }
+  CacheOptions opt{dir};
+  opt.read_only = true;
+  ContentStore store(opt);
+  ThreadPool pool(1);
+  remote::CacheDaemon daemon(&store, &pool, {});
+  ASSERT_TRUE(daemon.start());
+
+  remote::RemoteStore client(client_options(daemon.port()));
+  EXPECT_TRUE(client.get_blob("proc", 11, 42).has_value());
+  EXPECT_FALSE(client.put_blob("proc", 43, make_blob_envelope(11, 43, {4})));
+  daemon.stop();
+}
+
+TEST(RemoteCache, BatchGetMixesHitsAndMisses) {
+  TestDaemon td("batch");
+  remote::RemoteStore client(client_options(td.daemon.port()));
+  std::vector<uint8_t> b1 = make_blob_envelope(11, 1, {1});
+  std::vector<uint8_t> b2 = make_blob_envelope(11, 2, {2, 2});
+  ASSERT_TRUE(client.put_blob("proc", 1, b1));
+  ASSERT_TRUE(client.put_blob("summary", 2, b2));
+
+  auto got = client.batch_get(11, {{"proc", 1}, {"summary", 2}, {"proc", 3}});
+  ASSERT_TRUE(got.has_value());
+  ASSERT_EQ(got->size(), 3u);
+  EXPECT_TRUE((*got)[0].first);
+  EXPECT_EQ((*got)[0].second, b1);
+  EXPECT_TRUE((*got)[1].first);
+  EXPECT_EQ((*got)[1].second, b2);
+  EXPECT_FALSE((*got)[2].first);
+}
+
+TEST(RemoteCache, StatsReportsPerKindCounters) {
+  TestDaemon td("stats");
+  remote::RemoteStore client(client_options(td.daemon.port()));
+  ASSERT_TRUE(client.put_blob("proc", 7, make_blob_envelope(11, 7, {1})));
+  ASSERT_TRUE(client.get_blob("proc", 11, 7).has_value());
+
+  auto stats = client.fetch_stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_NE(stats->find("\"proc\""), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("\"get_hits\":1"), std::string::npos) << *stats;
+  EXPECT_NE(stats->find("\"puts\":1"), std::string::npos) << *stats;
+  EXPECT_EQ(*stats, td.daemon.metrics_json());
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: warm daemon, cold client
+// ---------------------------------------------------------------------------
+
+CompileResult compile_remote(const std::string& src, const std::string& dir,
+                             const std::string& endpoint, int jobs,
+                             std::string* spmd = nullptr) {
+  CodegenOptions opt;
+  opt.n_procs = 4;
+  opt.jobs = jobs;
+  CacheOptions copt;
+  copt.dir = dir;
+  copt.remote_endpoint = endpoint;
+  Compiler compiler(opt, {}, {}, copt);
+  CompileResult r = compiler.compile_source(src);
+  EXPECT_FALSE(compiler.remote_store()->degraded())
+      << compiler.remote_store()->degraded_reason();
+  if (spmd) *spmd = print_spmd(r.spmd);
+  return r;
+}
+
+class RemoteRecompilation : public ::testing::TestWithParam<int> {};
+
+TEST_P(RemoteRecompilation, WarmDaemonMakesAColdClientIncremental) {
+  const int jobs = GetParam();
+  const std::string tag = "accept_j" + std::to_string(jobs);
+  TestDaemon td(tag);
+  const std::string src = bench::fan_out(32, 64);
+
+  // First build anywhere: everything generated, written through to the
+  // daemon at flush time.
+  std::string warm_spmd;
+  CompileResult warm = compile_remote(src, fresh_cache_dir(tag + "_warm"),
+                                      td.endpoint(), jobs, &warm_spmd);
+  EXPECT_EQ(warm.stats.procedures, 33);
+  EXPECT_EQ(warm.stats.generated, 33);
+  EXPECT_GT(warm.stats.remote_puts, 0);
+
+  // Cold client, *empty* local cache directory: every artifact arrives
+  // over the wire — zero procedures generated, zero summaries computed.
+  std::string cold_spmd;
+  CompileResult cold = compile_remote(src, fresh_cache_dir(tag + "_cold"),
+                                      td.endpoint(), jobs, &cold_spmd);
+  EXPECT_EQ(cold.stats.generated, 0);
+  EXPECT_EQ(cold.stats.summaries_computed, 0);
+  EXPECT_GT(cold.stats.remote_hits, 0);
+  EXPECT_EQ(cold_spmd, warm_spmd) << "remote hits must be byte-identical";
+
+  // A 1-of-32 edit from another cold client: exactly the edited leaf is
+  // regenerated; all 32 untouched procedures come from the daemon.
+  CompileResult edited =
+      compile_remote(bench::fan_out(32, 64, /*edited_leaf=*/1),
+                     fresh_cache_dir(tag + "_edit"), td.endpoint(), jobs);
+  EXPECT_EQ(edited.stats.generated, 1);
+  EXPECT_EQ(edited.stats.summaries_computed, 1);
+
+  td.daemon.stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Jobs, RemoteRecompilation, ::testing::Values(1, 4));
+
+TEST(RemoteCache, RemoteOnlyClientNeedsNoLocalDirectory) {
+  TestDaemon td("remote_only");
+  const std::string src = bench::fan_out(8, 64);
+  compile_remote(src, fresh_cache_dir("remote_only_warm"), td.endpoint(), 1);
+
+  // dir left empty: the memory tier sits directly on the remote tier.
+  CompileResult r = compile_remote(src, "", td.endpoint(), 1);
+  EXPECT_EQ(r.stats.generated, 0);
+  EXPECT_GT(r.stats.remote_hits, 0);
+  td.daemon.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Graceful degradation
+// ---------------------------------------------------------------------------
+
+/// Compile with a remote tier expected to fail: the compile must succeed
+/// purely locally with the breaker open.
+void expect_degraded_compile(const std::string& endpoint,
+                             const std::string& dir_tag) {
+  CodegenOptions opt;
+  opt.n_procs = 4;
+  CacheOptions copt;
+  copt.dir = fresh_cache_dir(dir_tag);
+  copt.remote_endpoint = endpoint;
+  copt.remote_timeout_ms = 50;
+  Compiler compiler(opt, {}, {}, copt);
+  make_impatient(compiler.remote_store());
+
+  CompileResult r = compiler.compile_source(bench::fan_out(4, 64));
+  EXPECT_EQ(r.stats.procedures, 5);
+  EXPECT_EQ(r.stats.generated, 5) << "local compile must complete";
+  EXPECT_TRUE(r.stats.remote_degraded);
+  EXPECT_GT(r.stats.remote_errors, 0);
+  EXPECT_TRUE(compiler.remote_store()->degraded());
+  EXPECT_FALSE(compiler.remote_store()->degraded_reason().empty());
+}
+
+TEST(RemoteDegradation, UnreachableDaemonFallsBackToLocal) {
+  // Grab a port nothing listens on: bind an ephemeral listener, read the
+  // port, close it again.
+  net::Listener probe;
+  ASSERT_TRUE(probe.listen_on("127.0.0.1", 0));
+  const int dead_port = probe.port();
+  probe.close();
+  expect_degraded_compile("127.0.0.1:" + std::to_string(dead_port),
+                          "degrade_unreachable");
+}
+
+TEST(RemoteDegradation, MidStreamDisconnectFallsBackToLocal) {
+  remote::DaemonOptions dopt;
+  dopt.drop_before_reply = [](const remote::WireMessage& m) {
+    return m.type == remote::MsgType::Get ||
+           m.type == remote::MsgType::Put;
+  };
+  TestDaemon td("degrade_drop", dopt);
+  expect_degraded_compile(td.endpoint(), "degrade_drop_client");
+  td.daemon.stop();
+}
+
+TEST(RemoteDegradation, StalledReplyTimesOutAndFallsBackToLocal) {
+  remote::DaemonOptions dopt;
+  dopt.stall_reply = [](const remote::WireMessage& m) {
+    return m.type == remote::MsgType::Get ||
+           m.type == remote::MsgType::Put;
+  };
+  TestDaemon td("degrade_stall", dopt);
+  expect_degraded_compile(td.endpoint(), "degrade_stall_client");
+  td.daemon.stop();
+}
+
+TEST(RemoteDegradation, VersionSkewedDaemonIsRejectedAtHandshake) {
+  remote::DaemonOptions dopt;
+  dopt.format_hash_override = 0xdeadbeef;  // pretend a different build
+  TestDaemon td("degrade_skew", dopt);
+
+  CodegenOptions opt;
+  opt.n_procs = 4;
+  CacheOptions copt;
+  copt.dir = fresh_cache_dir("degrade_skew_client");
+  copt.remote_endpoint = td.endpoint();
+  Compiler compiler(opt, {}, {}, copt);
+  make_impatient(compiler.remote_store());
+
+  CompileResult r = compiler.compile_source(bench::fan_out(4, 64));
+  EXPECT_EQ(r.stats.generated, 5);
+  EXPECT_EQ(r.stats.remote_hits, 0);
+  EXPECT_TRUE(compiler.remote_store()->degraded());
+  EXPECT_NE(compiler.remote_store()->degraded_reason().find("handshake"),
+            std::string::npos)
+      << compiler.remote_store()->degraded_reason();
+  EXPECT_GE(td.daemon.counters().size(), 0u);  // no artifact traffic
+  td.daemon.stop();
+}
+
+TEST(RemoteDegradation, CacheStatsJsonNamesEveryTier) {
+  net::Listener probe;
+  ASSERT_TRUE(probe.listen_on("127.0.0.1", 0));
+  const int dead_port = probe.port();
+  probe.close();
+
+  CodegenOptions opt;
+  opt.n_procs = 4;
+  CacheOptions copt;
+  copt.dir = fresh_cache_dir("stats_json");
+  copt.remote_endpoint = "127.0.0.1:" + std::to_string(dead_port);
+  copt.remote_timeout_ms = 50;
+  Compiler compiler(opt, {}, {}, copt);
+  make_impatient(compiler.remote_store());
+  compiler.compile_source(bench::fan_out(4, 64));
+
+  const std::string json = compiler.cache_stats_json();
+  EXPECT_NE(json.find("\"memory\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"disk\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"remote\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"degraded\":true"), std::string::npos) << json;
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency soak (loopback; run under FORTD_SANITIZE=thread)
+// ---------------------------------------------------------------------------
+
+TEST(RemoteCacheSoak, ConcurrentClientsMixGetsAndPutsByteIdentically) {
+  TestDaemon td("soak");
+  constexpr int kClients = 4;
+  constexpr int kOps = 40;
+  constexpr uint64_t kFormat = 11;
+
+  const auto payload_for = [](uint64_t digest) {
+    std::vector<uint8_t> p(64 + digest % 512);
+    for (size_t i = 0; i < p.size(); ++i)
+      p[i] = static_cast<uint8_t>(digest * 31 + i * 7);
+    return p;
+  };
+
+  // Seed a shared region every client reads.
+  {
+    remote::RemoteStore seeder(client_options(td.daemon.port()));
+    for (uint64_t d = 1; d <= 8; ++d)
+      ASSERT_TRUE(
+          seeder.put_blob("proc", d, make_blob_envelope(kFormat, d, payload_for(d))));
+  }
+
+  std::vector<std::thread> clients;
+  std::vector<int> failures(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      remote::RemoteStore client(client_options(td.daemon.port()));
+      for (int i = 0; i < kOps; ++i) {
+        // Private write, then read-back.
+        const uint64_t mine = 1000 + static_cast<uint64_t>(c) * 100 +
+                              static_cast<uint64_t>(i);
+        const auto blob = make_blob_envelope(kFormat, mine, payload_for(mine));
+        if (!client.put_blob("summary", mine, blob)) ++failures[c];
+        auto got = client.get_blob("summary", kFormat, mine);
+        if (!got || *got != blob) ++failures[c];
+        // Shared read.
+        const uint64_t shared = 1 + static_cast<uint64_t>(i) % 8;
+        auto s = client.get_blob("proc", kFormat, shared);
+        if (!s || *s != make_blob_envelope(kFormat, shared, payload_for(shared)))
+          ++failures[c];
+      }
+      if (client.degraded()) ++failures[c];
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c)
+    EXPECT_EQ(failures[c], 0) << "client " << c;
+
+  auto counters = td.daemon.counters();
+  EXPECT_EQ(counters["summary"].puts,
+            static_cast<uint64_t>(kClients * kOps));
+  EXPECT_EQ(counters["summary"].get_hits,
+            static_cast<uint64_t>(kClients * kOps));
+  EXPECT_EQ(counters["proc"].get_hits + counters["proc"].puts,
+            static_cast<uint64_t>(kClients * kOps + 8));
+  td.daemon.stop();
+}
+
+}  // namespace
+}  // namespace fortd
