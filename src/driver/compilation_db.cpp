@@ -127,6 +127,17 @@ std::string ContentStore::hex_digest(uint64_t digest) {
   return buf;
 }
 
+bool ContentStore::valid_kind(const std::string& kind) {
+  if (kind.empty() || kind.size() > 64) return false;
+  if (kind == "." || kind == "..") return false;
+  for (char c : kind) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
 ContentStore::ContentStore(CacheOptions options)
     : options_(std::move(options)) {
   if (options_.dir.empty()) return;
@@ -172,6 +183,7 @@ void ContentStore::load_index_locked() {
   for (const auto& kind_dir : fs::directory_iterator(options_.dir, ec)) {
     if (!kind_dir.is_directory(ec)) continue;
     const std::string kind = kind_dir.path().filename().string();
+    if (!valid_kind(kind)) continue;  // foreign directories stay foreign
     for (const auto& file : fs::directory_iterator(kind_dir.path(), ec)) {
       if (!file.is_regular_file(ec)) continue;
       auto digest = parse_hex_digest(file.path().filename().string());
@@ -235,6 +247,11 @@ std::optional<std::vector<uint8_t>> ContentStore::load(const std::string& kind,
                                                        uint64_t format_hash,
                                                        uint64_t digest) {
   if (options_.dir.empty() && !remote_) return std::nullopt;
+  if (!valid_kind(kind)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.misses;
+    return std::nullopt;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (auto blob = local_blob_locked(kind, format_hash, digest)) {
@@ -259,8 +276,11 @@ std::optional<std::vector<uint8_t>> ContentStore::load(const std::string& kind,
         std::lock_guard<std::mutex> lock(mu_);
         ++counters_.remote_hits;
         // Promote: the enveloped bytes land in the local tier at the next
-        // flush (and serve repeat loads from the pending buffer).
-        pending_[{kind, digest}] = PendingBlob{std::move(*blob), true};
+        // flush (and serve repeat loads from the pending buffer). A
+        // read-only store never flushes, so buffering there would only
+        // grow pending_ without bound — skip promotion entirely.
+        if (!options_.read_only)
+          pending_[{kind, digest}] = PendingBlob{std::move(*blob), true};
         return payload;
       }
       // The daemon sent bytes that fail validation: count it, fall
@@ -278,6 +298,10 @@ std::optional<std::vector<uint8_t>> ContentStore::load(const std::string& kind,
 std::optional<std::vector<uint8_t>> ContentStore::load_blob(
     const std::string& kind, uint64_t format_hash, uint64_t digest) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (!valid_kind(kind)) {
+    ++counters_.misses;
+    return std::nullopt;
+  }
   if (auto blob = local_blob_locked(kind, format_hash, digest)) {
     ++counters_.hits;
     return blob;
@@ -290,6 +314,7 @@ void ContentStore::store(const std::string& kind, uint64_t format_hash,
                          uint64_t digest, std::vector<uint8_t> payload) {
   if (options_.read_only) return;
   if (options_.dir.empty() && !remote_) return;
+  if (!valid_kind(kind)) return;  // dropped write, never a path component
   std::vector<uint8_t> blob = make_blob_envelope(format_hash, digest, payload);
   std::lock_guard<std::mutex> lock(mu_);
   pending_[{kind, digest}] = PendingBlob{std::move(blob), false};
@@ -299,12 +324,14 @@ void ContentStore::store_blob(const std::string& kind, uint64_t digest,
                               std::vector<uint8_t> blob) {
   if (options_.read_only) return;
   if (options_.dir.empty() && !remote_) return;
+  if (!valid_kind(kind)) return;  // dropped write, never a path component
   std::lock_guard<std::mutex> lock(mu_);
   pending_[{kind, digest}] = PendingBlob{std::move(blob), true};
 }
 
 void ContentStore::mark_corrupt(const std::string& kind, uint64_t digest) {
   if (options_.dir.empty() && !remote_) return;
+  if (!valid_kind(kind)) return;
   std::lock_guard<std::mutex> lock(mu_);
   pending_.erase({kind, digest});
   quarantine_locked(kind, digest);

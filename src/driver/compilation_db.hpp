@@ -173,6 +173,14 @@ public:
 
   static std::string hex_digest(uint64_t digest);
 
+  /// True iff `kind` is safe to embed in a blob path: non-empty, at most
+  /// 64 chars, only [A-Za-z0-9_.-], and not "." or "..". Everything else
+  /// — in particular anything containing '/' — is rejected before a path
+  /// is ever built from it, so a hostile peer of the cache daemon cannot
+  /// steer reads/writes/deletes outside the cache directory. Invalid
+  /// kinds read as misses and store as dropped writes.
+  static bool valid_kind(const std::string& kind);
+
 private:
   struct Entry {
     uint64_t size = 0;  // blob file size in bytes

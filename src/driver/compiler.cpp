@@ -215,6 +215,7 @@ std::string Compiler::cache_stats_json() const {
         << ",\"puts\":" << r.puts << ",\"errors\":" << r.errors
         << ",\"retries\":" << r.retries
         << ",\"reconnects\":" << r.reconnects
+        << ",\"oversize\":" << r.oversize
         << ",\"degraded\":" << (remote_store_->degraded() ? "true" : "false")
         << ",\"degraded_reason\":\""
         << escape(remote_store_->degraded_reason()) << "\"}";

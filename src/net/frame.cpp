@@ -2,8 +2,9 @@
 
 namespace fortd::net {
 
-void encode_frame(std::vector<uint8_t>& out,
+bool encode_frame(std::vector<uint8_t>& out,
                   const std::vector<uint8_t>& payload) {
+  if (payload.size() > kMaxFramePayload) return false;
   uint64_t v = payload.size();
   while (v >= 0x80) {
     out.push_back(static_cast<uint8_t>(v) | 0x80);
@@ -11,6 +12,7 @@ void encode_frame(std::vector<uint8_t>& out,
   }
   out.push_back(static_cast<uint8_t>(v));
   out.insert(out.end(), payload.begin(), payload.end());
+  return true;
 }
 
 void FrameDecoder::feed(const uint8_t* data, size_t n) {

@@ -21,8 +21,11 @@ namespace fortd::net {
 /// beyond this is corruption (or a hostile peer) by construction.
 constexpr uint64_t kMaxFramePayload = 64ull << 20;  // 64 MiB
 
-/// Append one frame (varint length + payload bytes) to `out`.
-void encode_frame(std::vector<uint8_t>& out, const std::vector<uint8_t>& payload);
+/// Append one frame (varint length + payload bytes) to `out`. A payload
+/// above kMaxFramePayload is refused (false, `out` untouched): sending it
+/// would only trip the receiver's decoder and kill the connection, so the
+/// caller must degrade (skip the PUT, answer a GET with a miss) instead.
+bool encode_frame(std::vector<uint8_t>& out, const std::vector<uint8_t>& payload);
 
 class FrameDecoder {
  public:

@@ -16,6 +16,19 @@ int ms_left(Clock::time_point deadline) {
   return left < 0 ? 0 : static_cast<int>(left);
 }
 
+/// Conservative upper bound on the encoded size of `m` (every varint
+/// costs at most 10 bytes, length-prefixed fields their raw bytes plus
+/// one varint). If this fits in a frame, the real encoding does too.
+uint64_t wire_size_bound(const WireMessage& m) {
+  uint64_t n = 1 + 3 * 10;  // type byte + format_hash/digest varints
+  n += m.kind.size() + 10;
+  n += m.blob.size() + 10;
+  n += m.text.size() + 10;
+  for (const auto& [kind, digest] : m.keys) n += kind.size() + 20;
+  for (const auto& [found, blob] : m.blobs) n += blob.size() + 11;
+  return n;
+}
+
 }  // namespace
 
 RemoteStore::RemoteStore(RemoteOptions options)
@@ -68,7 +81,12 @@ bool RemoteStore::ensure_connected_locked(std::string* why) {
 std::optional<WireMessage> RemoteStore::roundtrip_once_locked(
     const WireMessage& req, std::string* why) {
   std::vector<uint8_t> wire;
-  net::encode_frame(wire, encode_message(req));
+  if (!net::encode_frame(wire, encode_message(req))) {
+    // Unreachable after request()'s size pre-check; refuse rather than
+    // garble the stream.
+    *why = "request exceeds frame size limit";
+    return std::nullopt;
+  }
   const auto deadline =
       Clock::now() + std::chrono::milliseconds(options_.timeout_ms);
   auto st = sock_.send_all(wire.data(), wire.size(), options_.timeout_ms);
@@ -104,13 +122,35 @@ std::optional<WireMessage> RemoteStore::roundtrip_once_locked(
   }
 }
 
-std::optional<WireMessage> RemoteStore::request_locked(const WireMessage& req) {
+std::optional<WireMessage> RemoteStore::request(
+    std::unique_lock<std::mutex>& lock, const WireMessage& req) {
   if (breaker_open_) return std::nullopt;
+  // A request that cannot be framed must never reach the wire: the
+  // receiver's decoder would sticky-fail, the retries would all die the
+  // same way, and the breaker would open with a misleading "garbled
+  // reply" reason. An oversize artifact simply isn't cached remotely —
+  // counted, not an error, and the breaker stays untouched.
+  if (wire_size_bound(req) > net::kMaxFramePayload) {
+    ++counters_.oversize;
+    return std::nullopt;
+  }
   std::string why;
   for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
     if (attempt > 0) {
       ++counters_.retries;
-      backoff_locked(attempt);
+      const int ms = backoff_ms_locked(attempt);
+      if (ms > 0) {
+        // Nap with mu_ released: a worker backing off must not serialize
+        // every other codegen worker behind its sleep.
+        lock.unlock();
+        if (options_.sleep_fn)
+          options_.sleep_fn(ms);
+        else
+          std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        lock.lock();
+      }
+      // Another worker may have opened the breaker while we slept.
+      if (breaker_open_) return std::nullopt;
     }
     if (!ensure_connected_locked(&why)) {
       ++counters_.errors;
@@ -141,9 +181,10 @@ void RemoteStore::note_request_failed_locked(const std::string& why) {
     breaker_open_ = true;
 }
 
-void RemoteStore::backoff_locked(int attempt) {
+int RemoteStore::backoff_ms_locked(int attempt) {
   // Exponential base with deterministic xorshift jitter; the injectable
-  // sleep keeps tests wall-clock-free.
+  // sleep (applied by the caller, outside the mutex) keeps tests
+  // wall-clock-free.
   jitter_state_ ^= jitter_state_ << 13;
   jitter_state_ ^= jitter_state_ >> 7;
   jitter_state_ ^= jitter_state_ << 17;
@@ -153,23 +194,18 @@ void RemoteStore::backoff_locked(int attempt) {
           ? static_cast<int>(jitter_state_ %
                              static_cast<uint64_t>(options_.backoff_ms))
           : 0;
-  const int ms = base + jitter;
-  if (ms <= 0) return;
-  if (options_.sleep_fn)
-    options_.sleep_fn(ms);
-  else
-    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  return base + jitter;
 }
 
 std::optional<std::vector<uint8_t>> RemoteStore::get_blob(
     const std::string& kind, uint64_t format_hash, uint64_t digest) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   WireMessage req;
   req.type = MsgType::Get;
   req.kind = kind;
   req.format_hash = format_hash;
   req.digest = digest;
-  auto reply = request_locked(req);
+  auto reply = request(lock, req);
   if (!reply) return std::nullopt;
   ++counters_.gets;
   if (reply->type == MsgType::GetOk) {
@@ -181,13 +217,13 @@ std::optional<std::vector<uint8_t>> RemoteStore::get_blob(
 
 bool RemoteStore::put_blob(const std::string& kind, uint64_t digest,
                            const std::vector<uint8_t>& blob) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   WireMessage req;
   req.type = MsgType::Put;
   req.kind = kind;
   req.digest = digest;
   req.blob = blob;
-  auto reply = request_locked(req);
+  auto reply = request(lock, req);
   if (!reply) return false;
   if (reply->type != MsgType::PutOk) return false;  // denied: daemon healthy
   ++counters_.puts;
@@ -198,12 +234,12 @@ std::optional<std::vector<std::pair<bool, std::vector<uint8_t>>>>
 RemoteStore::batch_get(
     uint64_t format_hash,
     const std::vector<std::pair<std::string, uint64_t>>& keys) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   WireMessage req;
   req.type = MsgType::BatchGet;
   req.format_hash = format_hash;
   req.keys = keys;
-  auto reply = request_locked(req);
+  auto reply = request(lock, req);
   if (!reply || reply->type != MsgType::BatchGetOk ||
       reply->blobs.size() != keys.size())
     return std::nullopt;
@@ -214,10 +250,10 @@ RemoteStore::batch_get(
 }
 
 std::optional<std::string> RemoteStore::fetch_stats() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   WireMessage req;
   req.type = MsgType::Stats;
-  auto reply = request_locked(req);
+  auto reply = request(lock, req);
   if (!reply || reply->type != MsgType::StatsOk) return std::nullopt;
   return std::move(reply->text);
 }

@@ -12,7 +12,9 @@
 //
 // Thread safety: ContentStore calls get_blob/put_blob from codegen
 // workers concurrently; a mutex serializes the requests over the single
-// connection.
+// connection. Backoff sleeps run with the mutex *released* (and re-check
+// the breaker afterwards), so once the daemon is known-unhealthy other
+// workers fail fast instead of queueing behind a stalled request's naps.
 #pragma once
 
 #include <cstdint>
@@ -72,6 +74,7 @@ class RemoteStore : public StorageBackend {
     uint64_t errors = 0;     // failed attempts (timeout/disconnect/garbage)
     uint64_t retries = 0;    // attempts beyond the first, per request
     uint64_t reconnects = 0; // connections (re)established
+    uint64_t oversize = 0;   // requests beyond kMaxFramePayload, never sent
   };
   Counters counters() const;
 
@@ -93,11 +96,14 @@ class RemoteStore : public StorageBackend {
   /// Send one message, await one reply frame under the deadline.
   std::optional<WireMessage> roundtrip_once_locked(const WireMessage& req,
                                                    std::string* why);
-  /// Full request: retries, backoff, breaker accounting.
-  std::optional<WireMessage> request_locked(const WireMessage& req);
+  /// Full request: retries, backoff, breaker accounting. Enters and
+  /// leaves with `lock` held; releases it only across backoff sleeps.
+  std::optional<WireMessage> request(std::unique_lock<std::mutex>& lock,
+                                     const WireMessage& req);
   void drop_connection_locked();
   void note_request_failed_locked(const std::string& why);
-  void backoff_locked(int attempt);
+  /// The backoff duration for retry `attempt` (advances the jitter PRNG).
+  int backoff_ms_locked(int attempt);
 
   mutable std::mutex mu_;
   RemoteOptions options_;

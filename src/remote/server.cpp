@@ -10,6 +10,27 @@ namespace {
 
 std::string hex16(uint64_t v) { return ContentStore::hex_digest(v); }
 
+/// JSON string escaping for metrics_json: belt-and-braces — kinds that
+/// reach the counters have already passed ContentStore::valid_kind, but
+/// the dump must stay well-formed no matter what lands in the map.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20)
+      out += ' ';
+    else
+      out += c;
+  }
+  return out;
+}
+
+/// Would a reply carrying `blob_size` payload bytes still frame? The
+/// slack covers the message type byte and length varints.
+bool reply_fits_frame(uint64_t blob_size) {
+  return blob_size + 64 <= net::kMaxFramePayload;
+}
+
 }  // namespace
 
 CacheDaemon::CacheDaemon(ContentStore* store, ThreadPool* pool,
@@ -38,7 +59,12 @@ void CacheDaemon::stop() {
 
 void CacheDaemon::queue_reply(Conn& conn, const WireMessage& reply) {
   std::vector<uint8_t> wire;
-  net::encode_frame(wire, encode_message(reply));
+  if (!net::encode_frame(wire, encode_message(reply))) {
+    // Unframeable reply — prevented upstream (oversize GETs answer as
+    // misses); close rather than stall the client or garble the stream.
+    conn.closing = true;
+    return;
+  }
   conn.outbuf.append(reinterpret_cast<const char*>(wire.data()), wire.size());
 }
 
@@ -98,15 +124,25 @@ WireMessage CacheDaemon::handle(const WireMessage& req, bool* close_after) {
   WireMessage reply;
   switch (req.type) {
     case MsgType::Get: {
+      // A kind that is not a plain identifier never reaches the store
+      // (and never becomes a filesystem path component): plain miss.
+      if (!ContentStore::valid_kind(req.kind)) {
+        reply.type = MsgType::GetMiss;
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++invalid_kinds_;
+        break;
+      }
       auto blob = store_->load_blob(req.kind, req.format_hash, req.digest);
       std::lock_guard<std::mutex> lock(stats_mu_);
       auto& k = counters_[req.kind];
-      if (blob) {
+      if (blob && reply_fits_frame(blob->size())) {
         reply.type = MsgType::GetOk;
         k.bytes_out += blob->size();
         ++k.get_hits;
         reply.blob = std::move(*blob);
       } else {
+        // Absent — or too large to frame, which must degrade to a miss
+        // rather than kill the connection with an unframeable reply.
         reply.type = MsgType::GetMiss;
         ++k.get_misses;
       }
@@ -114,7 +150,14 @@ WireMessage CacheDaemon::handle(const WireMessage& req, bool* close_after) {
     }
     case MsgType::Put: {
       auto info = inspect_blob_envelope(req.blob);
-      if (!info || info->digest != req.digest) {
+      if (!ContentStore::valid_kind(req.kind)) {
+        // Never let a hostile kind near a path: ContentStore would drop
+        // it anyway (defense in depth), but deny loudly at the wire.
+        reply.type = MsgType::PutDenied;
+        reply.text = "invalid kind";
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++invalid_kinds_;
+      } else if (!info || info->digest != req.digest) {
         reply.type = MsgType::PutDenied;
         reply.text = "invalid blob envelope";
       } else if (store_->options().read_only) {
@@ -133,11 +176,20 @@ WireMessage CacheDaemon::handle(const WireMessage& req, bool* close_after) {
     case MsgType::BatchGet: {
       reply.type = MsgType::BatchGetOk;
       reply.blobs.reserve(req.keys.size());
+      uint64_t reply_bytes = 0;  // keep the whole batch frameable
       for (const auto& [kind, digest] : req.keys) {
+        if (!ContentStore::valid_kind(kind)) {
+          reply.blobs.emplace_back(false, std::vector<uint8_t>{});
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++invalid_kinds_;
+          continue;
+        }
         auto blob = store_->load_blob(kind, req.format_hash, digest);
         std::lock_guard<std::mutex> lock(stats_mu_);
         auto& k = counters_[kind];
-        if (blob) {
+        if (blob && reply_fits_frame(reply_bytes + blob->size() +
+                                     16 * req.keys.size())) {
+          reply_bytes += blob->size();
           ++k.get_hits;
           k.bytes_out += blob->size();
           reply.blobs.emplace_back(true, std::move(*blob));
@@ -268,12 +320,13 @@ std::string CacheDaemon::metrics_json() const {
   std::ostringstream out;
   out << "{\"connections_accepted\":" << connections_accepted_
       << ",\"handshake_rejects\":" << handshake_rejects_
-      << ",\"protocol_errors\":" << protocol_errors_ << ",\"kinds\":{";
+      << ",\"protocol_errors\":" << protocol_errors_
+      << ",\"invalid_kinds\":" << invalid_kinds_ << ",\"kinds\":{";
   bool first = true;
   for (const auto& [kind, k] : counters_) {
     if (!first) out << ",";
     first = false;
-    out << "\"" << kind << "\":{\"get_hits\":" << k.get_hits
+    out << "\"" << json_escape(kind) << "\":{\"get_hits\":" << k.get_hits
         << ",\"get_misses\":" << k.get_misses << ",\"puts\":" << k.puts
         << ",\"bytes_in\":" << k.bytes_in << ",\"bytes_out\":" << k.bytes_out
         << "}";

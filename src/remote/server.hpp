@@ -111,6 +111,7 @@ class CacheDaemon {
   uint64_t connections_accepted_ = 0;
   uint64_t handshake_rejects_ = 0;
   uint64_t protocol_errors_ = 0;
+  uint64_t invalid_kinds_ = 0;  // requests whose kind failed validation
 };
 
 }  // namespace fortd::remote

@@ -170,6 +170,18 @@ TEST(FrameCodec, CoalescedFramesDecodeInOrder) {
   EXPECT_FALSE(dec.next().has_value());
 }
 
+TEST(FrameCodec, EncodeRefusesOversizePayload) {
+  // The sender must enforce the same ceiling the decoder does: framing an
+  // oversize payload would only sticky-fail the receiver and kill the
+  // connection as a misleading "garbled reply".
+  std::vector<uint8_t> wire;
+  std::vector<uint8_t> big(net::kMaxFramePayload + 1);
+  EXPECT_FALSE(net::encode_frame(wire, big));
+  EXPECT_TRUE(wire.empty()) << "a refused frame must not emit bytes";
+  EXPECT_TRUE(net::encode_frame(wire, {1, 2, 3}));
+  EXPECT_FALSE(wire.empty());
+}
+
 TEST(FrameCodec, OversizedLengthFailsSticky) {
   // Varint for 1 GiB, far above kMaxFramePayload.
   std::vector<uint8_t> wire;
@@ -328,6 +340,107 @@ TEST(RemoteCache, ReadOnlyDaemonServesGetsAndDeniesPuts) {
   EXPECT_TRUE(client.get_blob("proc", 11, 42).has_value());
   EXPECT_FALSE(client.put_blob("proc", 43, make_blob_envelope(11, 43, {4})));
   daemon.stop();
+}
+
+TEST(RemoteCache, TraversalKindsNeverTouchTheFilesystem) {
+  // A hostile client must not steer blob paths outside the cache dir:
+  // kinds are validated at the wire (PutDenied/GetMiss) and again inside
+  // ContentStore, and a traversal kind never creates files or dirs.
+  TestDaemon td("traversal");
+  remote::RemoteStore client(client_options(td.daemon.port()));
+
+  const std::string evil = "../escaped";
+  std::vector<uint8_t> blob = make_blob_envelope(11, 42, {1, 2, 3});
+  EXPECT_FALSE(client.put_blob(evil, 42, blob));
+  EXPECT_FALSE(client.degraded()) << "a denial is not a network failure";
+  EXPECT_FALSE(client.get_blob(evil, 11, 42).has_value());
+
+  const fs::path outside = fs::path(::testing::TempDir()) / "escaped";
+  EXPECT_FALSE(fs::exists(outside))
+      << "traversal kind must not create paths outside the cache dir";
+  EXPECT_EQ(td.daemon.counters().count(evil), 0u)
+      << "invalid kinds must not pollute the per-kind counters";
+  auto stats = client.fetch_stats();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_NE(stats->find("\"invalid_kinds\":2"), std::string::npos) << *stats;
+  td.daemon.stop();
+}
+
+TEST(RemoteCache, ContentStoreValidatesKinds) {
+  EXPECT_TRUE(ContentStore::valid_kind("proc"));
+  EXPECT_TRUE(ContentStore::valid_kind("summary_v2.x-y"));
+  EXPECT_FALSE(ContentStore::valid_kind(""));
+  EXPECT_FALSE(ContentStore::valid_kind("."));
+  EXPECT_FALSE(ContentStore::valid_kind(".."));
+  EXPECT_FALSE(ContentStore::valid_kind("a/b"));
+  EXPECT_FALSE(ContentStore::valid_kind("../up"));
+  EXPECT_FALSE(ContentStore::valid_kind("quote\"kind"));
+  EXPECT_FALSE(ContentStore::valid_kind(std::string(65, 'a')));
+
+  const std::string dir = fresh_cache_dir("kind_validation");
+  ContentStore store({dir});
+  store.store_blob("../up", 7, make_blob_envelope(11, 7, {1}));
+  store.store("bad/slash", 11, 8, {2});
+  store.flush();
+  EXPECT_FALSE(store.load("../up", 11, 7).has_value());
+  EXPECT_FALSE(fs::exists(fs::path(dir).parent_path() / "up"));
+  EXPECT_FALSE(fs::exists(fs::path(dir) / "bad"));
+  EXPECT_EQ(store.counters().writes, 0u) << "hostile kinds are dropped writes";
+}
+
+TEST(RemoteCache, OversizePutIsSkippedWithoutDegrading) {
+  // A request beyond the frame ceiling is never sent: it reads as a
+  // dropped write with its own counter, and the breaker stays closed so
+  // the remote tier keeps serving normal traffic.
+  TestDaemon td("oversize");
+  remote::RemoteStore client(client_options(td.daemon.port()));
+
+  std::vector<uint8_t> huge(net::kMaxFramePayload + 1024, 0x5a);
+  EXPECT_FALSE(client.put_blob("proc", 9, huge));
+  EXPECT_EQ(client.counters().oversize, 1u);
+  EXPECT_EQ(client.counters().errors, 0u);
+  EXPECT_FALSE(client.degraded());
+
+  std::vector<uint8_t> blob = make_blob_envelope(11, 10, {1, 2});
+  EXPECT_TRUE(client.put_blob("proc", 10, blob));
+  EXPECT_TRUE(client.get_blob("proc", 11, 10).has_value());
+  td.daemon.stop();
+}
+
+TEST(RemoteCache, ReadOnlyStoreDoesNotBufferRemotePromotions) {
+  // A read-only ContentStore never flushes, so promoting remote hits into
+  // the pending buffer would grow it without bound — promotion is skipped
+  // and every load consults the remote tier again.
+  struct StubBackend : StorageBackend {
+    std::vector<uint8_t> blob;
+    int gets = 0;
+    std::optional<std::vector<uint8_t>> get_blob(const std::string&, uint64_t,
+                                                 uint64_t) override {
+      ++gets;
+      return blob;
+    }
+    bool put_blob(const std::string&, uint64_t,
+                  const std::vector<uint8_t>&) override {
+      return true;
+    }
+  };
+
+  CacheOptions opt{fresh_cache_dir("ro_promote")};
+  opt.read_only = true;
+  ContentStore store(opt);
+  StubBackend remote;
+  remote.blob = make_blob_envelope(11, 7, {1, 2, 3});
+  store.attach_remote(&remote);
+
+  for (int i = 1; i <= 3; ++i) {
+    auto p = store.load("proc", 11, 7);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, (std::vector<uint8_t>{1, 2, 3}));
+    EXPECT_EQ(store.size(), 0u)
+        << "read-only store must not accumulate pending promotions";
+    EXPECT_EQ(remote.gets, i);
+  }
+  EXPECT_EQ(store.counters().remote_hits, 3u);
 }
 
 TEST(RemoteCache, BatchGetMixesHitsAndMisses) {
