@@ -12,7 +12,14 @@
 //                         of asking),
 //   BM_DegradedLocal      the daemon is unreachable and the circuit
 //                         breaker is open: the floor the degradation
-//                         path must stay at (a purely local compile).
+//                         path must stay at (a purely local compile),
+//   BM_WavefrontPrefetch  a cold compiler against a warm daemon with the
+//                         wavefront BATCH_GET prefetcher on vs off — the
+//                         win of overlapping level k+1's fetches with
+//                         level k's codegen,
+//   BM_ShardedFleet       the same warm-fleet pull against 1 vs 3
+//                         daemons — what consistent-hash sharding costs
+//                         (or saves) at loopback latencies.
 #include <benchmark/benchmark.h>
 
 #include <filesystem>
@@ -110,11 +117,13 @@ void BM_DegradedLocal(benchmark::State& state) {
     // degraded path falls back to.
     fortd::Compiler compiler{fortd::CodegenOptions{}, {}, {},
                              remote_only(1)};
-    auto& opts = compiler.remote_store()->options_for_test();
-    opts.timeout_ms = 50;
-    opts.max_retries = 0;
-    opts.breaker_threshold = 1;
-    opts.sleep_fn = [](int) {};
+    for (size_t s = 0; s < compiler.remote_store()->shard_count(); ++s) {
+      auto& opts = compiler.remote_store()->shard(s)->options_for_test();
+      opts.timeout_ms = 50;
+      opts.max_retries = 0;
+      opts.breaker_threshold = 1;
+      opts.sleep_fn = [](int) {};
+    }
     auto r = compiler.compile_source(src);
     degraded = r.stats.remote_degraded;
     { auto sink = r.stats.generated; benchmark::DoNotOptimize(sink); }
@@ -122,10 +131,108 @@ void BM_DegradedLocal(benchmark::State& state) {
   state.counters["degraded"] = degraded ? 1.0 : 0.0;
 }
 
+/// One warm daemon, a cold 2-job compiler each iteration; range(0)
+/// toggles the wavefront prefetcher. A wide fan-out maximizes the keys
+/// per level, so prefetch-on collapses a level's worth of per-key GET
+/// round trips into one BATCH_GET (plus one for all the summaries).
+void BM_WavefrontPrefetch(benchmark::State& state) {
+  const bool prefetch = state.range(0) != 0;
+  const std::string src = fortd::bench::fan_out(32, 256);
+  const std::string dir =
+      scratch_dir(prefetch ? "prefetch_on" : "prefetch_off");
+
+  fortd::ContentStore store{fortd::CacheOptions{dir}};
+  fortd::ThreadPool pool(2);
+  fortd::remote::CacheDaemon daemon(&store, &pool, {});
+  if (!daemon.start()) {
+    state.SkipWithError("daemon failed to start");
+    return;
+  }
+  {
+    fortd::Compiler warmup{fortd::CodegenOptions{}, {}, {},
+                           remote_only(daemon.port())};
+    warmup.compile_source(src);
+  }
+
+  fortd::CodegenOptions copt;
+  copt.jobs = 2;
+  int issued = 0, hits = 0, generated = 0;
+  for (auto _ : state) {
+    fortd::CacheOptions cache = remote_only(daemon.port());
+    cache.prefetch = prefetch;
+    fortd::Compiler compiler{copt, {}, {}, cache};
+    auto r = compiler.compile_source(src);
+    issued = r.stats.prefetch_issued;
+    hits = r.stats.prefetch_hits;
+    generated = r.stats.generated;
+    { auto sink = r.stats.remote_hits; benchmark::DoNotOptimize(sink); }
+  }
+  state.counters["prefetch_issued"] = static_cast<double>(issued);
+  state.counters["prefetch_hits"] = static_cast<double>(hits);
+  state.counters["generated"] = static_cast<double>(generated);
+  daemon.stop();
+  fs::remove_all(dir);
+}
+
+/// Cold compiler against a warm fleet of range(0) daemons: what the
+/// consistent-hash spread costs (extra connections) or saves (parallel
+/// BATCH_GETs) versus one daemon holding everything.
+void BM_ShardedFleet(benchmark::State& state) {
+  const int n_shards = static_cast<int>(state.range(0));
+  const std::string src = fortd::bench::fan_out(32, 256);
+
+  struct Shard {
+    explicit Shard(const std::string& dir)
+        : store{fortd::CacheOptions{dir}}, pool(2),
+          daemon(&store, &pool, {}) {}
+    fortd::ContentStore store;
+    fortd::ThreadPool pool;
+    fortd::remote::CacheDaemon daemon;
+  };
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::string endpoints;
+  std::vector<std::string> dirs;
+  for (int s = 0; s < n_shards; ++s) {
+    dirs.push_back(scratch_dir("fleet" + std::to_string(n_shards) + "_" +
+                               std::to_string(s)));
+    shards.push_back(std::make_unique<Shard>(dirs.back()));
+    if (!shards.back()->daemon.start()) {
+      state.SkipWithError("daemon failed to start");
+      return;
+    }
+    if (!endpoints.empty()) endpoints += ",";
+    endpoints += "127.0.0.1:" + std::to_string(shards.back()->daemon.port());
+  }
+  fortd::CacheOptions cache;
+  cache.remote_endpoint = endpoints;
+  {
+    fortd::Compiler warmup{fortd::CodegenOptions{}, {}, {}, cache};
+    warmup.compile_source(src);
+  }
+
+  int remote_hits = 0, generated = 0;
+  for (auto _ : state) {
+    fortd::Compiler compiler{fortd::CodegenOptions{}, {}, {}, cache};
+    auto r = compiler.compile_source(src);
+    remote_hits = r.stats.remote_hits;
+    generated = r.stats.generated;
+    { auto sink = r.stats.remote_hits; benchmark::DoNotOptimize(sink); }
+  }
+  state.counters["remote_hits"] = static_cast<double>(remote_hits);
+  state.counters["generated"] = static_cast<double>(generated);
+  for (auto& s : shards) s->daemon.stop();
+  for (const auto& d : dirs) fs::remove_all(d);
+}
+
 }  // namespace
 
 BENCHMARK(BM_RemoteHit)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RemoteMissPenalty)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_DegradedLocal)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WavefrontPrefetch)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ShardedFleet)->Arg(1)->Arg(3)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -6,6 +6,11 @@
 // team (or a CI fleet) shares one warm cache — the first build of a
 // changed procedure anywhere makes it a cache hit everywhere.
 //
+// Daemons scale out by just starting more of them: clients given a
+// comma-separated `-cache-remote` list spread keys across the fleet by
+// consistent hashing, so shards need no configuration and never talk
+// to each other. Each should serve its own -dir.
+//
 //   fortd-cached -dir D [options]
 //     -dir D          cache directory to serve (required)
 //     -host H         bind address (default 127.0.0.1)

@@ -14,11 +14,19 @@
 //                   dirty
 //     -cache-max-bytes N  LRU size bound of the cache dir (default 256 MiB)
 //     -cache-clear  empty the cache directory before compiling
-//     -cache-remote HOST:PORT  consult a fortd-cached daemon after local
-//                   misses and write new artifacts through to it; any
-//                   network problem degrades to local-only compilation
-//                   with a single diagnostic, never a compile failure
+//     -cache-remote HOST:PORT[,HOST:PORT...]  consult a fortd-cached
+//                   fleet after local misses and write new artifacts
+//                   through to it. Keys spread over the endpoints by
+//                   consistent (rendezvous) hashing, so every fortdc
+//                   with the same list agrees on which daemon owns a
+//                   key. Each shard has its own circuit breaker: a dead
+//                   daemon degrades only its key range, and any network
+//                   problem degrades to local-only compilation with a
+//                   single diagnostic, never a compile failure
 //     -cache-remote-timeout-ms N  per-request deadline (default 250)
+//     -cache-no-prefetch  disable the wavefront prefetcher (one
+//                   BATCH_GET per shard for the next level's artifacts,
+//                   overlapped with this level's code generation)
 //     -cache-stats-json  print cumulative per-tier cache counters as JSON
 //                   to stdout after compiling
 //     -run          simulate after compiling and report metrics
@@ -80,6 +88,8 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "-cache-remote-timeout-ms") &&
                i + 1 < argc) {
       cache_options.remote_timeout_ms = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "-cache-no-prefetch")) {
+      cache_options.prefetch = false;
     } else if (!std::strcmp(argv[i], "-cache-stats-json")) {
       cache_stats_json = true;
     } else if (!std::strcmp(argv[i], "-cache-clear")) {
@@ -108,8 +118,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: fortdc [-p N] [-j N] [-s inter|intra|runtime] "
                  "[-O 0..3] [-cache-dir D] [-cache-max-bytes N] "
-                 "[-cache-clear] [-cache-remote HOST:PORT] "
-                 "[-cache-remote-timeout-ms N] [-cache-stats-json] [-run] "
+                 "[-cache-clear] [-cache-remote HOST:PORT[,HOST:PORT...]] "
+                 "[-cache-remote-timeout-ms N] [-cache-no-prefetch] "
+                 "[-cache-stats-json] [-run] "
                  "[-analyze] [-Werror] [-lint-json] [-timings] [-quiet] "
                  "file.fd\n");
     return 2;
@@ -160,9 +171,13 @@ int main(int argc, char** argv) {
     if (!cache_options.remote_endpoint.empty())
       std::fprintf(stderr,
                    "; remote: %d hit(s), %d put(s), %d error(s), "
-                   "%d retrie(s)%s",
+                   "%d retrie(s), %d/%d prefetched, %d shard(s)%s",
                    cs.remote_hits, cs.remote_puts, cs.remote_errors,
-                   cs.remote_retries, cs.remote_degraded ? ", DEGRADED" : "");
+                   cs.remote_retries, cs.prefetch_hits, cs.prefetch_issued,
+                   cs.remote_shards,
+                   cs.remote_degraded          ? ", DEGRADED"
+                   : cs.remote_shards_degraded ? ", PARTIALLY DEGRADED"
+                                               : "");
     std::fputc('\n', stderr);
     if (lint_options.analyze)
       std::fprintf(stderr,
@@ -172,14 +187,27 @@ int main(int argc, char** argv) {
                    cs.verify_ms, cs.verify_unmatched);
   };
 
-  // One diagnostic when the remote tier gave up — the compile itself
-  // succeeded from the local tiers; this only explains the slowdown.
+  // One diagnostic when the remote tier (or part of it) gave up — the
+  // compile itself succeeded from the local tiers; this only explains
+  // the slowdown.
   auto report_remote_degradation = [&] {
-    if (compiler.remote_store() && compiler.remote_store()->degraded())
+    auto* rs = compiler.remote_store();
+    if (!rs) return;
+    if (rs->degraded()) {
       std::fprintf(stderr,
                    "fortdc: warning: remote cache unavailable, continuing "
                    "with local tiers only (%s)\n",
-                   compiler.remote_store()->degraded_reason().c_str());
+                   rs->degraded_reason().c_str());
+    } else if (rs->any_degraded()) {
+      const auto down = rs->shard_degraded();
+      for (size_t s = 0; s < down.size(); ++s)
+        if (down[s])
+          std::fprintf(stderr,
+                       "fortdc: warning: cache shard %s unavailable, its "
+                       "key range regenerates locally (%s)\n",
+                       rs->shard_map().endpoint(s).c_str(),
+                       rs->degraded_reason().c_str());
+    }
   };
 
   try {

@@ -9,6 +9,7 @@
 #include "codegen/runtime_resolution.hpp"
 #include "codegen/storage.hpp"
 #include "driver/compilation_cache.hpp"
+#include "driver/compilation_db.hpp"
 #include "support/thread_pool.hpp"
 
 namespace fortd {
@@ -1887,10 +1888,53 @@ SpmdProgram CodeGenerator::generate() {
   ThreadPool* pool = pool_;           // borrowed (shared with IPA) ...
   std::unique_ptr<ThreadPool> local;  // ... or transient when none given
 
+  // Wavefront prefetch: §8's recompilation digests are exact, so the
+  // digests of the *next* level are computable as soon as this level's
+  // cache probes resolved its callee exports — one BATCH_GET per remote
+  // shard then warms the store while this level's procedures generate.
+  ContentStore* pstore = nullptr;
+  if (cache_ && cache_->store() && cache_->store()->has_remote() &&
+      cache_->store()->options().prefetch)
+    pstore = cache_->store();
+
+  // The digests of `level`'s procedures whose callee exports are all
+  // present in `exports` (a leaf level trivially qualifies); procedures
+  // with an unresolved callee are skipped — their digests would be wrong.
+  const auto level_digests =
+      [&](const std::vector<int>& level,
+          const std::map<std::string, ProcExports>& exports) {
+        std::vector<uint64_t> digests;
+        for (int idx : level) {
+          const Procedure& proc = *procs[static_cast<size_t>(idx)];
+          bool resolved = true;
+          for (const CallSiteInfo* site : ipa_.acg.calls_from(proc.name))
+            if (!exports.count(site->callee)) {
+              resolved = false;
+              break;
+            }
+          if (resolved)
+            digests.push_back(procedure_digest(proc, program_, ipa_,
+                                               overlaps_, options_, exports));
+        }
+        return digests;
+      };
+
   // Wavefront schedule over the reverse topological order: all of a
   // level's callees completed in earlier levels, so the level's
   // procedures are independent and may be generated concurrently.
-  for (const std::vector<int>& level : ipa_.acg.wavefront_levels()) {
+  const std::vector<std::vector<int>> levels = ipa_.acg.wavefront_levels();
+
+  // The first level has nothing to overlap with; fetch it up front so
+  // even the leaves' probes land on a warm memory tier.
+  if (pstore && !levels.empty()) {
+    for (const auto& group :
+         pstore->prefetch_groups(kProcArtifactKind,
+                                 level_digests(levels[0], exports_)))
+      pstore->prefetch(kProcArtifactKind, proc_artifact_format_hash(), group);
+  }
+
+  for (size_t li = 0; li < levels.size(); ++li) {
+    const std::vector<int>& level = levels[li];
     // Cache probe, serial: digests fold in callee exports, final since
     // the previous level's barrier.
     std::vector<int> pending;
@@ -1912,6 +1956,22 @@ SpmdProgram CodeGenerator::generate() {
       pending.push_back(idx);
     }
 
+    // Group the next level's known digests by shard before launching the
+    // batch: this level's cache hits already fixed their exports, so a
+    // caller all of whose callees hit is prefetchable right now, and the
+    // BATCH_GETs overlap with this level's code generation below.
+    std::vector<std::vector<uint64_t>> prefetch_groups;
+    if (pstore && li + 1 < levels.size()) {
+      std::map<std::string, ProcExports> resolved = exports_;
+      for (int idx : level) {
+        const ProcOut& out = outs[static_cast<size_t>(idx)];
+        if (out.from_cache)
+          resolved[procs[static_cast<size_t>(idx)]->name] = out.exports;
+      }
+      prefetch_groups = pstore->prefetch_groups(
+          kProcArtifactKind, level_digests(levels[li + 1], resolved));
+    }
+
     auto compile_one = [&](size_t k) {
       const int idx = pending[k];
       const Procedure& proc = *procs[static_cast<size_t>(idx)];
@@ -1921,13 +1981,28 @@ SpmdProgram CodeGenerator::generate() {
       out.stats = gen.stats();
       out.storage = compute_storage(*this, proc, out.exports, out.stats);
     };
-    if (jobs > 1 && pending.size() > 1) {
+    // Prefetch tasks ride the same batch as the level's procedures: the
+    // pool runs one batch at a time, so extra indices are the only way
+    // to overlap the network round trips with codegen.
+    auto task = [&](size_t k) {
+      if (k < pending.size())
+        compile_one(k);
+      else
+        pstore->prefetch(kProcArtifactKind, proc_artifact_format_hash(),
+                         prefetch_groups[k - pending.size()]);
+    };
+    const size_t n_tasks = pending.size() + prefetch_groups.size();
+    if (jobs > 1 && n_tasks > 1) {
       if (!pool) {
         local = std::make_unique<ThreadPool>(jobs - 1);
         pool = local.get();
       }
-      pool->parallel_for(pending.size(), compile_one);
+      pool->parallel_for(n_tasks, task);
     } else {
+      // Serial schedule: issue the batched fetches first (still one
+      // round trip per shard instead of one per next-level miss), then
+      // generate.
+      for (size_t k = pending.size(); k < n_tasks; ++k) task(k);
       for (size_t k = 0; k < pending.size(); ++k) compile_one(k);
     }
 

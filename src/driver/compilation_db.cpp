@@ -78,6 +78,24 @@ std::optional<uint64_t> parse_hex_digest(const std::string& name) {
 
 }  // namespace
 
+std::vector<std::pair<bool, std::vector<uint8_t>>>
+StorageBackend::batch_get_blobs(
+    uint64_t format_hash,
+    const std::vector<std::pair<std::string, uint64_t>>& keys) {
+  // Fallback for backends without a native bulk fetch: one round trip
+  // per key. RemoteStore/ShardedRemoteStore override with BATCH_GET.
+  std::vector<std::pair<bool, std::vector<uint8_t>>> out;
+  out.reserve(keys.size());
+  for (const auto& [kind, digest] : keys) {
+    auto blob = get_blob(kind, format_hash, digest);
+    if (blob)
+      out.emplace_back(true, std::move(*blob));
+    else
+      out.emplace_back(false, std::vector<uint8_t>{});
+  }
+  return out;
+}
+
 std::vector<uint8_t> make_blob_envelope(uint64_t format_hash, uint64_t digest,
                                         const std::vector<uint8_t>& payload) {
   std::vector<uint8_t> comp = compress_bytes(payload);
@@ -266,6 +284,22 @@ std::optional<std::vector<uint8_t>> ContentStore::load(const std::string& kind,
       ++counters_.misses;
       return std::nullopt;
     }
+    // A wavefront prefetch may have landed this blob already: consume it
+    // (count it as a remote hit — that is where the bytes came from) and
+    // promote it like a synchronous remote hit would be.
+    if (auto pf = prefetch_.find({kind, digest}); pf != prefetch_.end()) {
+      std::vector<uint8_t> blob = std::move(pf->second);
+      prefetch_.erase(pf);
+      if (auto payload = open_blob_envelope(blob, format_hash, digest)) {
+        ++counters_.remote_hits;
+        if (!options_.read_only)
+          pending_[{kind, digest}] = PendingBlob{std::move(blob), true};
+        return payload;
+      }
+      // Envelope was vetted at prefetch time, so only a decompression
+      // failure lands here; fall through to the synchronous remote path.
+      ++counters_.corrupt;
+    }
   }
 
   // Local miss: consult the remote tier outside the lock (a network
@@ -327,6 +361,69 @@ void ContentStore::store_blob(const std::string& kind, uint64_t digest,
   if (!valid_kind(kind)) return;  // dropped write, never a path component
   std::lock_guard<std::mutex> lock(mu_);
   pending_[{kind, digest}] = PendingBlob{std::move(blob), true};
+}
+
+bool ContentStore::has_remote() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return remote_ != nullptr;
+}
+
+std::vector<std::vector<uint64_t>> ContentStore::prefetch_groups(
+    const std::string& kind, const std::vector<uint64_t>& digests) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!remote_ || !valid_kind(kind)) return {};
+  std::vector<std::vector<uint64_t>> groups(remote_->shard_count());
+  for (uint64_t digest : digests) {
+    const Key key{kind, digest};
+    if (pending_.count(key) || prefetch_.count(key) || index_.count(key))
+      continue;  // a local tier already holds it
+    if (!prefetch_requested_.insert(key).second) continue;  // asked before
+    groups[remote_->shard_of(kind, digest)].push_back(digest);
+  }
+  // Drop empty shards so callers schedule exactly one task per BATCH_GET.
+  std::vector<std::vector<uint64_t>> out;
+  for (auto& g : groups)
+    if (!g.empty()) out.push_back(std::move(g));
+  return out;
+}
+
+size_t ContentStore::prefetch(const std::string& kind, uint64_t format_hash,
+                              const std::vector<uint64_t>& digests) {
+  if (digests.empty() || !valid_kind(kind)) return 0;
+  StorageBackend* remote;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!remote_) return 0;
+    remote = remote_;
+    counters_.prefetch_issued += digests.size();
+  }
+  std::vector<std::pair<std::string, uint64_t>> keys;
+  keys.reserve(digests.size());
+  for (uint64_t digest : digests) keys.emplace_back(kind, digest);
+
+  // The network round trip runs without mu_ so concurrent load()/store()
+  // (the level-k codegen this prefetch overlaps with) never stall on it.
+  auto results = remote->batch_get_blobs(format_hash, keys);
+  if (results.size() != keys.size()) return 0;
+
+  size_t landed = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto& [found, blob] = results[i];
+    if (!found) continue;
+    auto info = inspect_blob_envelope(blob);
+    if (!info || info->format_hash != format_hash ||
+        info->digest != keys[i].second) {
+      ++counters_.corrupt;  // wire damage or a confused daemon
+      continue;
+    }
+    const Key key{kind, keys[i].second};
+    if (pending_.count(key)) continue;  // raced with a synchronous load
+    prefetch_[key] = std::move(blob);
+    ++landed;
+  }
+  counters_.prefetch_hits += landed;
+  return landed;
 }
 
 void ContentStore::mark_corrupt(const std::string& kind, uint64_t digest) {
@@ -401,6 +498,8 @@ void ContentStore::clear() {
   if (options_.dir.empty()) {
     std::lock_guard<std::mutex> lock(mu_);
     pending_.clear();
+    prefetch_.clear();
+    prefetch_requested_.clear();
     return;
   }
   std::lock_guard<std::mutex> lock(mu_);
@@ -410,6 +509,8 @@ void ContentStore::clear() {
   fs::remove(index_path(), ec);
   index_.clear();
   pending_.clear();
+  prefetch_.clear();
+  prefetch_requested_.clear();
   index_dirty_ = false;
 }
 

@@ -41,7 +41,9 @@
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace fortd {
@@ -54,8 +56,11 @@ struct CacheOptions {
   std::string dir;                       // empty = no local disk tier
   uint64_t max_bytes = 256ull << 20;     // LRU GC bound (0 = unbounded)
   bool read_only = false;                // consult but never write/evict
-  std::string remote_endpoint{};         // "host:port" of a fortd-cached
+  /// Comma-separated "host:port" endpoints of fortd-cached daemons; more
+  /// than one forms a consistent-hash sharded fleet (remote/shard_map.hpp).
+  std::string remote_endpoint{};
   int remote_timeout_ms = 250;           // per-request network deadline
+  bool prefetch = true;                  // wavefront BATCH_GET prefetch
 };
 
 /// A composable blob tier under the ContentStore. Implementations
@@ -76,6 +81,21 @@ class StorageBackend {
   /// Persist an enveloped blob (best effort; false = dropped).
   virtual bool put_blob(const std::string& kind, uint64_t digest,
                         const std::vector<uint8_t>& blob) = 0;
+
+  /// Fetch many keys in as few round trips as the backend can manage:
+  /// per-key (found, enveloped blob) results parallel to `keys`. The
+  /// default loops get_blob; networked backends override with BATCH_GET.
+  virtual std::vector<std::pair<bool, std::vector<uint8_t>>> batch_get_blobs(
+      uint64_t format_hash,
+      const std::vector<std::pair<std::string, uint64_t>>& keys);
+
+  /// Sharding topology, so callers can group keys into one batch per
+  /// shard. A monolithic backend is one shard holding every key.
+  virtual size_t shard_count() const { return 1; }
+  virtual size_t shard_of(const std::string& /*kind*/,
+                          uint64_t /*digest*/) const {
+    return 0;
+  }
 };
 
 /// Build the FDCA on-disk/wire envelope around `payload`:
@@ -151,6 +171,28 @@ public:
   /// envelope check had failed.
   void mark_corrupt(const std::string& kind, uint64_t digest);
 
+  /// True when a remote tier is attached — combined with
+  /// options().prefetch this gates wavefront prefetching.
+  bool has_remote() const;
+
+  /// Split `digests` (all of one kind) into one digest-list per remote
+  /// shard, dropping digests already present locally or already
+  /// requested by an earlier prefetch (each surviving digest is reserved
+  /// so overlapping levels never ask twice). Pure bookkeeping — no I/O —
+  /// so the driver can compute the groups cheaply before scheduling one
+  /// prefetch() per group. Empty when no remote tier is attached.
+  std::vector<std::vector<uint64_t>> prefetch_groups(
+      const std::string& kind, const std::vector<uint64_t>& digests);
+
+  /// Issue one BATCH_GET for `digests` (normally one prefetch_groups()
+  /// entry, i.e. the keys of a single shard) and land validated results
+  /// in the in-memory prefetch buffer, where the next load() of that key
+  /// consumes them without touching the network. Runs concurrently with
+  /// load()/store() on other threads; returns the number of blobs that
+  /// landed.
+  size_t prefetch(const std::string& kind, uint64_t format_hash,
+                  const std::vector<uint64_t>& digests);
+
   /// Write pending blobs and the index to disk, then enforce max_bytes by
   /// LRU eviction. No-op in read-only mode.
   void flush();
@@ -165,6 +207,8 @@ public:
     uint64_t evictions = 0;    // blobs removed by LRU GC
     uint64_t corrupt = 0;      // envelope/codec validation failures
     uint64_t remote_hits = 0;  // served by the remote tier (and promoted)
+    uint64_t prefetch_issued = 0;  // keys requested by wavefront prefetch
+    uint64_t prefetch_hits = 0;    // prefetched blobs that landed
   };
   Counters counters() const;
 
@@ -208,6 +252,13 @@ private:
   StorageBackend* remote_ = nullptr;
   std::map<Key, Entry> index_;
   std::map<Key, PendingBlob> pending_;
+  /// Enveloped blobs landed by prefetch(), consumed (and promoted into
+  /// pending_ unless read-only) by the next load() of their key. Kept
+  /// separate from pending_ so a read-only store never flushes them.
+  std::map<Key, std::vector<uint8_t>> prefetch_;
+  /// Keys a prefetch has already requested (hit or miss) — dedups
+  /// overlapping wavefront levels so a digest is asked for at most once.
+  std::set<Key> prefetch_requested_;
   uint64_t next_tick_ = 1;
   Counters counters_;
   bool index_dirty_ = false;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "frontend/parser.hpp"
+#include "ipa/summaries.hpp"
 
 namespace fortd {
 
@@ -18,31 +19,6 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
 
 }  // namespace
 
-namespace {
-
-/// Split "host:port" (host defaults to 127.0.0.1 for a bare ":port" or
-/// plain port string). Returns false on an unparseable port.
-bool parse_endpoint(const std::string& endpoint, std::string* host,
-                    int* port) {
-  const size_t colon = endpoint.rfind(':');
-  std::string host_part =
-      colon == std::string::npos ? "" : endpoint.substr(0, colon);
-  const std::string port_part =
-      colon == std::string::npos ? endpoint : endpoint.substr(colon + 1);
-  if (port_part.empty()) return false;
-  int p = 0;
-  for (char c : port_part) {
-    if (c < '0' || c > '9') return false;
-    p = p * 10 + (c - '0');
-    if (p > 65535) return false;
-  }
-  *host = host_part.empty() ? "127.0.0.1" : host_part;
-  *port = p;
-  return p > 0;
-}
-
-}  // namespace
-
 Compiler::Compiler(CodegenOptions options, IpaOptions ipa_options,
                    LintOptions lint_options, CacheOptions cache_options)
     : options_(options), ipa_options_(ipa_options),
@@ -50,11 +26,14 @@ Compiler::Compiler(CodegenOptions options, IpaOptions ipa_options,
   if (!cache_options.remote_endpoint.empty()) {
     remote::RemoteOptions ropts;
     ropts.timeout_ms = cache_options.remote_timeout_ms;
-    if (parse_endpoint(cache_options.remote_endpoint, &ropts.host,
-                       &ropts.port))
-      remote_store_ = std::make_unique<remote::RemoteStore>(ropts);
-    // An unparseable endpoint degrades to local-only, consistent with the
-    // remote tier's never-fail-the-compile contract.
+    auto endpoints =
+        remote::split_endpoint_list(cache_options.remote_endpoint);
+    if (!endpoints.empty())
+      remote_store_ =
+          std::make_unique<remote::ShardedRemoteStore>(endpoints, ropts);
+    // An empty/unparseable endpoint list degrades to local-only,
+    // consistent with the remote tier's never-fail-the-compile contract
+    // (individual bad endpoints degrade as shards, inside the store).
   }
   if (!cache_options.dir.empty() || remote_store_) {
     store_ = std::make_unique<ContentStore>(std::move(cache_options));
@@ -114,6 +93,10 @@ CompileResult Compiler::compile(SourceProgram ast) {
           static_cast<int>(d.evictions - disk0.evictions);
       result.stats.remote_hits =
           static_cast<int>(d.remote_hits - disk0.remote_hits);
+      result.stats.prefetch_issued =
+          static_cast<int>(d.prefetch_issued - disk0.prefetch_issued);
+      result.stats.prefetch_hits =
+          static_cast<int>(d.prefetch_hits - disk0.prefetch_hits);
     }
     if (remote_store_) {
       const remote::RemoteStore::Counters r = remote_store_->counters();
@@ -122,6 +105,11 @@ CompileResult Compiler::compile(SourceProgram ast) {
       result.stats.remote_retries =
           static_cast<int>(r.retries - remote0.retries);
       result.stats.remote_degraded = remote_store_->degraded();
+      result.stats.remote_shards =
+          static_cast<int>(remote_store_->shard_count());
+      int down = 0;
+      for (bool d : remote_store_->shard_degraded()) down += d ? 1 : 0;
+      result.stats.remote_shards_degraded = down;
     }
     stats_ = result.stats;
   };
@@ -132,6 +120,7 @@ CompileResult Compiler::compile(SourceProgram ast) {
     result.stats.bind_ms = ms_since(t);
 
     t = std::chrono::steady_clock::now();
+    prefetch_summaries(result.program);
     result.ipa = run_ipa(result.program, ipa_options_, pool(), &summary_cache_);
     result.stats.ipa_ms = ms_since(t);
 
@@ -183,6 +172,31 @@ CompileResult Compiler::compile(SourceProgram ast) {
   return result;
 }
 
+void Compiler::prefetch_summaries(const BoundProgram& program) {
+  // Warm the summary tier in one BATCH_GET per shard before local
+  // analysis probes it procedure by procedure. The structural hashes are
+  // computable right after binding (no interprocedural inputs), so this
+  // replaces up to |procedures| synchronous remote round trips with
+  // |shards| batched ones.
+  if (!store_ || !store_->has_remote() || !store_->options().prefetch) return;
+  std::vector<uint64_t> hashes;
+  hashes.reserve(program.ast.procedures.size());
+  for (const auto& proc : program.ast.procedures)
+    hashes.push_back(hash_procedure(*proc));
+  auto groups = store_->prefetch_groups(kSummaryArtifactKind, hashes);
+  if (groups.empty()) return;
+  const uint64_t fh = summary_artifact_format_hash();
+  if (groups.size() > 1 && options_.jobs > 1) {
+    // Shards are independent daemons: fetch them concurrently.
+    pool()->parallel_for(groups.size(), [&](size_t i) {
+      store_->prefetch(kSummaryArtifactKind, fh, groups[i]);
+    });
+  } else {
+    for (const auto& g : groups)
+      store_->prefetch(kSummaryArtifactKind, fh, g);
+  }
+}
+
 std::string Compiler::cache_stats_json() const {
   const auto escape = [](const std::string& s) {
     std::string out;
@@ -207,7 +221,9 @@ std::string Compiler::cache_stats_json() const {
     out << ",\"disk\":{\"hits\":" << d.hits << ",\"misses\":" << d.misses
         << ",\"writes\":" << d.writes << ",\"evictions\":" << d.evictions
         << ",\"corrupt\":" << d.corrupt
-        << ",\"remote_hits\":" << d.remote_hits << "}";
+        << ",\"remote_hits\":" << d.remote_hits
+        << ",\"prefetch_issued\":" << d.prefetch_issued
+        << ",\"prefetch_hits\":" << d.prefetch_hits << "}";
   }
   if (remote_store_) {
     const remote::RemoteStore::Counters r = remote_store_->counters();
@@ -218,7 +234,16 @@ std::string Compiler::cache_stats_json() const {
         << ",\"oversize\":" << r.oversize
         << ",\"degraded\":" << (remote_store_->degraded() ? "true" : "false")
         << ",\"degraded_reason\":\""
-        << escape(remote_store_->degraded_reason()) << "\"}";
+        << escape(remote_store_->degraded_reason()) << "\""
+        << ",\"shards\":[";
+    const auto down = remote_store_->shard_degraded();
+    for (size_t i = 0; i < remote_store_->shard_count(); ++i) {
+      if (i) out << ",";
+      out << "{\"endpoint\":\""
+          << escape(remote_store_->shard_map().endpoint(i)) << "\""
+          << ",\"degraded\":" << (down[i] ? "true" : "false") << "}";
+    }
+    out << "]}";
   }
   out << "}";
   return out.str();

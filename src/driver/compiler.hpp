@@ -28,7 +28,7 @@
 #include "ipa/recompilation.hpp"
 #include "ipa/summary_cache.hpp"
 #include "machine/simulator.hpp"
-#include "remote/client.hpp"
+#include "remote/shard_map.hpp"
 #include "support/thread_pool.hpp"
 
 namespace fortd {
@@ -72,11 +72,17 @@ struct CompilerStats {
 
   // Remote cache tier (zero unless CacheOptions.remote_endpoint is set):
   // counter deltas for this compile().
-  int remote_hits = 0;     // artifacts served by the daemon (and promoted)
-  int remote_puts = 0;     // artifacts written through to the daemon
+  int remote_hits = 0;     // artifacts served by the fleet (and promoted)
+  int remote_puts = 0;     // artifacts written through to the fleet
   int remote_errors = 0;   // failed request attempts (timeouts, resets)
   int remote_retries = 0;  // attempts beyond the first, per request
-  bool remote_degraded = false;  // circuit breaker open: local-only now
+  bool remote_degraded = false;  // EVERY shard's breaker open: local-only
+
+  // Sharded fleet + wavefront prefetch (PR 6).
+  int remote_shards = 0;           // endpoints in the -cache-remote list
+  int remote_shards_degraded = 0;  // shards whose breaker is open
+  int prefetch_issued = 0;         // keys requested ahead of their level
+  int prefetch_hits = 0;           // prefetched blobs that landed
 };
 
 struct CompileResult {
@@ -128,10 +134,10 @@ public:
   ContentStore* content_store() { return store_.get(); }
   const ContentStore* content_store() const { return store_.get(); }
 
-  /// The remote cache tier, or nullptr when CacheOptions left
-  /// remote_endpoint empty.
-  remote::RemoteStore* remote_store() { return remote_store_.get(); }
-  const remote::RemoteStore* remote_store() const {
+  /// The remote cache tier — a one-or-many-shard fleet client — or
+  /// nullptr when CacheOptions left remote_endpoint empty.
+  remote::ShardedRemoteStore* remote_store() { return remote_store_.get(); }
+  const remote::ShardedRemoteStore* remote_store() const {
     return remote_store_.get();
   }
 
@@ -157,13 +163,18 @@ public:
   const LintReport& last_lint_report() const { return last_lint_; }
 
 private:
+  /// Warm the summary tier with one BATCH_GET per shard (structural
+  /// hashes are known right after binding). No-op without a remote tier
+  /// or with CacheOptions.prefetch off.
+  void prefetch_summaries(const BoundProgram& program);
+
   CodegenOptions options_;
   IpaOptions ipa_options_;
   LintOptions lint_options_;
   LintReport last_lint_;
   // Declared before store_: ~ContentStore flushes pending writes through
   // the remote tier, so the client must be destroyed after the store.
-  std::unique_ptr<remote::RemoteStore> remote_store_;
+  std::unique_ptr<remote::ShardedRemoteStore> remote_store_;
   std::unique_ptr<ContentStore> store_;  // null when both tiers disabled
   CompilationCache cache_;
   IpaSummaryCache summary_cache_;

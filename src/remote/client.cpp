@@ -1,5 +1,6 @@
 #include "remote/client.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -36,6 +37,16 @@ RemoteStore::RemoteStore(RemoteOptions options)
       jitter_state_(options_.jitter_seed ? options_.jitter_seed : 1) {}
 
 bool RemoteStore::ensure_connected_locked(std::string* why) {
+  if (conn_bad_) {
+    // A send failed while a reader was draining the old socket. Only
+    // the reader may drop it (it still recv's with the mutex released);
+    // until it exits, this attempt fails fast and retries after backoff.
+    if (reader_active_) {
+      *why = "connection lost during send";
+      return false;
+    }
+    drop_connection_locked();
+  }
   if (sock_.valid() && hello_done_) return true;
   drop_connection_locked();
 
@@ -157,16 +168,142 @@ std::optional<WireMessage> RemoteStore::request(
       if (breaker_open_) return std::nullopt;  // handshake reject
       continue;
     }
-    auto reply = roundtrip_once_locked(req, &why);
+    auto reply = attempt_once(lock, req, &why);
     if (reply) {
       consecutive_failures_ = 0;
       return reply;
     }
     ++counters_.errors;
-    drop_connection_locked();  // the stream is unsynchronized; start over
+    // Unlike the serial protocol, a failed attempt does not tear the
+    // connection down: request ids keep the stream synchronized, so a
+    // timed-out request is simply abandoned (its late reply, if any, is
+    // discarded by id) and the retry reuses the live connection. Stream
+    // corruption and send failures drop it inside attempt_once instead.
   }
   note_request_failed_locked(why);
   return std::nullopt;
+}
+
+std::optional<WireMessage> RemoteStore::attempt_once(
+    std::unique_lock<std::mutex>& lock, WireMessage req, std::string* why) {
+  const uint64_t id = next_request_id_++;
+  req.request_id = id;
+  std::vector<uint8_t> wire;
+  if (!net::encode_frame(wire, encode_message(req))) {
+    // Unreachable after request()'s size pre-check; refuse rather than
+    // garble the stream.
+    *why = "request exceeds frame size limit";
+    return std::nullopt;
+  }
+
+  // Send under the mutex so concurrent requests' frames never interleave.
+  auto st = sock_.send_all(wire.data(), wire.size(), options_.timeout_ms);
+  if (st != net::IoStatus::Ok) {
+    *why = st == net::IoStatus::Timeout ? "send timed out"
+                                        : "connection lost during send";
+    if (reader_active_)
+      conn_bad_ = true;  // the reader owns the socket; it cleans up
+    else
+      fail_stream_locked(*why);
+    return std::nullopt;
+  }
+
+  pending_.emplace(id, PendingReply{});
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(options_.timeout_ms);
+  while (true) {
+    auto it = pending_.find(id);
+    if (it->second.done) {
+      if (it->second.failed) {
+        *why = it->second.why;
+        pending_.erase(it);
+        return std::nullopt;
+      }
+      auto reply = std::move(it->second.reply);
+      pending_.erase(it);
+      return reply;
+    }
+    if (Clock::now() >= deadline) {
+      // Abandon the id; the connection stays up and whoever is reading
+      // discards the late reply when (if) it arrives.
+      pending_.erase(it);
+      *why = "reply timed out";
+      return std::nullopt;
+    }
+    if (!reader_active_) {
+      reader_active_ = true;
+      read_replies(lock, id, deadline);
+      reader_active_ = false;
+      // Hand the reader role (and any deposited replies) to the others.
+      cv_.notify_all();
+      continue;
+    }
+    cv_.wait_until(lock, std::min(deadline, Clock::now() +
+                                                std::chrono::milliseconds(50)));
+  }
+}
+
+void RemoteStore::read_replies(std::unique_lock<std::mutex>& lock,
+                               uint64_t my_id, Clock::time_point my_deadline) {
+  while (true) {
+    while (auto frame = decoder_.next()) {
+      auto msg = decode_message(*frame);
+      if (!msg) {
+        fail_stream_locked("undecodable reply");
+        return;
+      }
+      auto it = pending_.find(msg->request_id);
+      if (it != pending_.end() && !it->second.done) {
+        it->second.done = true;
+        it->second.reply = std::move(*msg);
+        cv_.notify_all();
+      }
+      // Unknown id: the reply outlived a timed-out request — discard.
+    }
+    if (decoder_.failed()) {
+      fail_stream_locked("garbled reply stream");
+      return;
+    }
+    auto own = pending_.find(my_id);
+    if (own == pending_.end() || own->second.done) return;
+    const int left = ms_left(my_deadline);
+    if (left <= 0) return;  // our caller times the request out
+    uint8_t chunk[65536];
+    size_t got = 0;
+    // Bounded recv slice with the mutex released so senders (and the
+    // conn_bad_ signal) make progress while we block on the socket.
+    const int slice = std::min(left, 25);
+    lock.unlock();
+    auto st = sock_.recv_some(chunk, sizeof(chunk), got, slice);
+    lock.lock();
+    if (conn_bad_) {
+      // A sender hit a send failure while we were out: the connection
+      // is broken even if this recv happened to succeed.
+      fail_stream_locked("connection lost during send");
+      return;
+    }
+    if (st == net::IoStatus::Ok) {
+      decoder_.feed(chunk, got);
+      continue;
+    }
+    if (st == net::IoStatus::Timeout) continue;  // re-check deadline above
+    fail_stream_locked(st == net::IoStatus::Closed
+                           ? "daemon closed the connection"
+                           : "socket error awaiting reply");
+    return;
+  }
+}
+
+void RemoteStore::fail_stream_locked(const std::string& why) {
+  drop_connection_locked();
+  conn_bad_ = false;
+  for (auto& [id, slot] : pending_) {
+    if (slot.done) continue;
+    slot.done = true;
+    slot.failed = true;
+    slot.why = why;
+  }
+  cv_.notify_all();
 }
 
 void RemoteStore::drop_connection_locked() {
@@ -247,6 +384,13 @@ RemoteStore::batch_get(
   for (const auto& [found, blob] : reply->blobs)
     if (found) ++counters_.hits;
   return std::move(reply->blobs);
+}
+
+std::vector<std::pair<bool, std::vector<uint8_t>>> RemoteStore::batch_get_blobs(
+    uint64_t format_hash,
+    const std::vector<std::pair<std::string, uint64_t>>& keys) {
+  if (auto results = batch_get(format_hash, keys)) return std::move(*results);
+  return std::vector<std::pair<bool, std::vector<uint8_t>>>(keys.size());
 }
 
 std::optional<std::string> RemoteStore::fetch_stats() {

@@ -11,14 +11,26 @@
 // build, reported as one diagnostic line (degraded_reason()).
 //
 // Thread safety: ContentStore calls get_blob/put_blob from codegen
-// workers concurrently; a mutex serializes the requests over the single
-// connection. Backoff sleeps run with the mutex *released* (and re-check
-// the breaker afterwards), so once the daemon is known-unhealthy other
-// workers fail fast instead of queueing behind a stalled request's naps.
+// workers concurrently, and since protocol v2 the connection is
+// *pipelined* rather than serialized. Each request carries a fresh
+// request id; sends are interleaved under the mutex, and whichever
+// waiter finds no reader active becomes the reader, draining reply
+// frames and depositing each into its request's slot by id (a
+// shared-reader multiplexer). A reply that outlives its request's
+// deadline is discarded by id, so a timeout abandons one request
+// without desynchronizing — and without dropping — the connection;
+// only stream corruption, EOF, or a failed send forces a reconnect.
+// Backoff sleeps run with the mutex *released* (and re-check the
+// breaker afterwards), so once the daemon is known-unhealthy other
+// workers fail fast instead of queueing behind a stalled request's
+// naps.
 #pragma once
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -64,6 +76,12 @@ class RemoteStore : public StorageBackend {
       uint64_t format_hash,
       const std::vector<std::pair<std::string, uint64_t>>& keys);
 
+  /// StorageBackend bulk fetch: batch_get with failure degraded to
+  /// all-miss (prefetching is best-effort by design).
+  std::vector<std::pair<bool, std::vector<uint8_t>>> batch_get_blobs(
+      uint64_t format_hash,
+      const std::vector<std::pair<std::string, uint64_t>>& keys) override;
+
   /// One STATS round trip: the daemon's metrics JSON, or nullopt.
   std::optional<std::string> fetch_stats();
 
@@ -90,26 +108,57 @@ class RemoteStore : public StorageBackend {
   RemoteOptions& options_for_test() { return options_; }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
+  /// One in-flight request, keyed by id in pending_. The owning waiter
+  /// erases its own entry; the reader only deposits into it.
+  struct PendingReply {
+    bool done = false;    // reply landed or the stream failed
+    bool failed = false;  // done via stream failure, not a reply
+    std::string why;      // failure reason when failed
+    std::optional<WireMessage> reply;
+  };
+
   /// Connection + HELLO handshake; false (with reason) on failure. A
   /// HELLO_REJECT opens the breaker immediately — skew is permanent.
+  /// Never called while a reader holds the connection.
   bool ensure_connected_locked(std::string* why);
-  /// Send one message, await one reply frame under the deadline.
+  /// Serial send + single-reply receive, used only for the handshake
+  /// (a fresh connection has no other traffic to multiplex with).
   std::optional<WireMessage> roundtrip_once_locked(const WireMessage& req,
                                                    std::string* why);
   /// Full request: retries, backoff, breaker accounting. Enters and
-  /// leaves with `lock` held; releases it only across backoff sleeps.
+  /// leaves with `lock` held; releases it only across backoff sleeps
+  /// and recv slices while acting as the reader.
   std::optional<WireMessage> request(std::unique_lock<std::mutex>& lock,
                                      const WireMessage& req);
+  /// One attempt: register id, send, await the reply (possibly serving
+  /// as the shared reader). Nullopt with `why` set on failure.
+  std::optional<WireMessage> attempt_once(std::unique_lock<std::mutex>& lock,
+                                          WireMessage req, std::string* why);
+  /// Drain reply frames into pending slots until our own reply lands,
+  /// our deadline passes, or the stream dies. Runs as the sole reader;
+  /// releases `lock` only across bounded recv slices.
+  void read_replies(std::unique_lock<std::mutex>& lock, uint64_t my_id,
+                    Clock::time_point my_deadline);
+  /// The stream is unrecoverable: drop the connection and fail every
+  /// pending request so its waiter stops waiting.
+  void fail_stream_locked(const std::string& why);
   void drop_connection_locked();
   void note_request_failed_locked(const std::string& why);
   /// The backoff duration for retry `attempt` (advances the jitter PRNG).
   int backoff_ms_locked(int attempt);
 
   mutable std::mutex mu_;
+  std::condition_variable cv_;
   RemoteOptions options_;
   net::Socket sock_;
   net::FrameDecoder decoder_;
   bool hello_done_ = false;
+  bool reader_active_ = false;  // exactly one waiter drains the socket
+  bool conn_bad_ = false;       // send failed under an active reader
+  uint64_t next_request_id_ = 1;
+  std::map<uint64_t, PendingReply> pending_;
   int consecutive_failures_ = 0;
   bool breaker_open_ = false;
   std::string degraded_reason_;

@@ -14,6 +14,7 @@ uint64_t remote_wire_format_hash() {
 std::vector<uint8_t> encode_message(const WireMessage& m) {
   BinaryWriter w;
   w.u8(static_cast<uint8_t>(m.type));
+  w.u64(m.request_id);
   switch (m.type) {
     case MsgType::Hello:
       w.u64(m.format_hash);
@@ -69,6 +70,7 @@ std::optional<WireMessage> decode_message(const std::vector<uint8_t>& frame) {
       type > static_cast<uint8_t>(MsgType::Error))
     return std::nullopt;
   m.type = static_cast<MsgType>(type);
+  m.request_id = r.u64();
   switch (m.type) {
     case MsgType::Hello:
       m.format_hash = r.u64();

@@ -1,13 +1,22 @@
 // Wire protocol for the remote compilation-cache service (fortd-cached).
 //
 // Every message travels as one frame (net/frame.hpp) whose payload is a
-// BinaryWriter encoding: a one-byte message type followed by type-specific
-// fields. A connection opens with HELLO carrying the client's wire format
-// hash — a fingerprint of the protocol version plus every serialization
-// and compression format version involved — and the daemon answers
-// HELLO_OK only on an exact match. Version skew between a compiler and a
-// long-running daemon is therefore detected at the handshake, before any
-// artifact bytes move, and the client degrades to local-only operation.
+// BinaryWriter encoding: a one-byte message type, a request-id varint,
+// and then type-specific fields. A connection opens with HELLO carrying
+// the client's wire format hash — a fingerprint of the protocol version
+// plus every serialization and compression format version involved — and
+// the daemon answers HELLO_OK only on an exact match. Version skew
+// between a compiler and a long-running daemon is therefore detected at
+// the handshake, before any artifact bytes move, and the client degrades
+// to local-only operation.
+//
+// The request id tags every request a client sends and is echoed
+// verbatim in the reply, so several requests may be in flight on one
+// connection at once (pipelining): concurrent compiler workers multiplex
+// the persistent connection instead of head-of-line blocking behind one
+// slow reply, and a reply that arrives after its request's deadline
+// passed is simply discarded by id — a timeout no longer forces the
+// connection down.
 //
 // GET/PUT exchange complete FDCA-enveloped blobs
 // (driver/compilation_db.hpp), never decoded payloads: the checksum that
@@ -25,7 +34,8 @@
 namespace fortd::remote {
 
 /// Bump on any wire-visible protocol change.
-constexpr uint32_t kProtocolVersion = 1;
+/// v2: request-id varint after the type byte (pipelined connections).
+constexpr uint32_t kProtocolVersion = 2;
 
 /// The handshake fingerprint: protocol version mixed with the artifact
 /// serialization and compression format versions. Any of the three
@@ -55,6 +65,7 @@ enum class MsgType : uint8_t {
 /// exactly the fields each type defines.
 struct WireMessage {
   MsgType type = MsgType::Error;
+  uint64_t request_id = 0;  // echoed verbatim in the reply; 0 in handshake
   uint64_t format_hash = 0;
   std::string kind;
   uint64_t digest = 0;

@@ -90,6 +90,7 @@ bool CacheDaemon::read_conn(Conn& conn, std::vector<WireMessage>& requests) {
                                     ? options_.format_hash_override
                                     : remote_wire_format_hash();
       WireMessage reply;
+      reply.request_id = msg->request_id;
       if (msg->format_hash == expected) {
         reply.type = MsgType::HelloOk;
         conn.hello_done = true;
@@ -122,6 +123,9 @@ bool CacheDaemon::read_conn(Conn& conn, std::vector<WireMessage>& requests) {
 
 WireMessage CacheDaemon::handle(const WireMessage& req, bool* close_after) {
   WireMessage reply;
+  // Echo the id so a pipelining client can match this reply to its
+  // request regardless of interleaving.
+  reply.request_id = req.request_id;
   switch (req.type) {
     case MsgType::Get: {
       // A kind that is not a plain identifier never reaches the store
@@ -176,6 +180,11 @@ WireMessage CacheDaemon::handle(const WireMessage& req, bool* close_after) {
     case MsgType::BatchGet: {
       reply.type = MsgType::BatchGetOk;
       reply.blobs.reserve(req.keys.size());
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++batch_gets_;
+        batch_keys_ += req.keys.size();
+      }
       uint64_t reply_bytes = 0;  // keep the whole batch frameable
       for (const auto& [kind, digest] : req.keys) {
         if (!ContentStore::valid_kind(kind)) {
@@ -321,7 +330,9 @@ std::string CacheDaemon::metrics_json() const {
   out << "{\"connections_accepted\":" << connections_accepted_
       << ",\"handshake_rejects\":" << handshake_rejects_
       << ",\"protocol_errors\":" << protocol_errors_
-      << ",\"invalid_kinds\":" << invalid_kinds_ << ",\"kinds\":{";
+      << ",\"invalid_kinds\":" << invalid_kinds_
+      << ",\"batch_gets\":" << batch_gets_
+      << ",\"batch_keys\":" << batch_keys_ << ",\"kinds\":{";
   bool first = true;
   for (const auto& [kind, k] : counters_) {
     if (!first) out << ",";

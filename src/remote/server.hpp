@@ -112,6 +112,8 @@ class CacheDaemon {
   uint64_t handshake_rejects_ = 0;
   uint64_t protocol_errors_ = 0;
   uint64_t invalid_kinds_ = 0;  // requests whose kind failed validation
+  uint64_t batch_gets_ = 0;     // BATCH_GET requests served
+  uint64_t batch_keys_ = 0;     // keys across all BATCH_GETs
 };
 
 }  // namespace fortd::remote

@@ -1,0 +1,180 @@
+#include "remote/shard_map.hpp"
+
+#include <cstdlib>
+
+#include "support/serialize.hpp"
+
+namespace fortd::remote {
+
+namespace {
+
+/// splitmix64 finalizer: a cheap full-avalanche mix so nearby digests
+/// spread uniformly across shards.
+uint64_t mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+uint64_t hash_string(const std::string& s) {
+  return fnv1a(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+}  // namespace
+
+ShardMap::ShardMap(std::vector<std::string> endpoints)
+    : endpoints_(std::move(endpoints)) {
+  endpoint_hashes_.reserve(endpoints_.size());
+  for (const auto& ep : endpoints_) endpoint_hashes_.push_back(hash_string(ep));
+}
+
+size_t ShardMap::shard_for(const std::string& kind, uint64_t digest) const {
+  // Rendezvous: every endpoint scores the key; the key lives on the
+  // highest score. Ties are broken by index, but with 64-bit scores a
+  // tie between distinct endpoints is effectively impossible.
+  const uint64_t key = mix64(hash_string(kind) ^ mix64(digest));
+  size_t best = 0;
+  uint64_t best_score = 0;
+  for (size_t i = 0; i < endpoint_hashes_.size(); ++i) {
+    const uint64_t score = mix64(endpoint_hashes_[i] ^ key);
+    if (i == 0 || score > best_score) {
+      best = i;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+std::vector<std::string> split_endpoint_list(const std::string& list) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start <= list.size()) {
+    size_t comma = list.find(',', start);
+    if (comma == std::string::npos) comma = list.size();
+    std::string item = list.substr(start, comma - start);
+    size_t b = item.find_first_not_of(" \t");
+    size_t e = item.find_last_not_of(" \t");
+    if (b != std::string::npos) out.push_back(item.substr(b, e - b + 1));
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool parse_endpoint(const std::string& endpoint, std::string* host,
+                    int* port) {
+  std::string port_str;
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos) {
+    *host = "127.0.0.1";
+    port_str = endpoint;
+  } else {
+    *host = endpoint.substr(0, colon);
+    port_str = endpoint.substr(colon + 1);
+  }
+  if (port_str.empty()) return false;
+  char* end = nullptr;
+  const long v = std::strtol(port_str.c_str(), &end, 10);
+  if (*end != '\0' || v <= 0 || v > 65535) return false;
+  *port = static_cast<int>(v);
+  return true;
+}
+
+ShardedRemoteStore::ShardedRemoteStore(std::vector<std::string> endpoints,
+                                       const RemoteOptions& base)
+    : map_(std::move(endpoints)) {
+  shards_.reserve(map_.size());
+  for (size_t i = 0; i < map_.size(); ++i) {
+    RemoteOptions opts = base;
+    if (!parse_endpoint(map_.endpoint(i), &opts.host, &opts.port))
+      opts.port = 0;  // unparseable endpoint: the shard degrades on use
+    // Decorrelate the shards' backoff jitter streams.
+    opts.jitter_seed = (base.jitter_seed ? base.jitter_seed : 1) + i;
+    shards_.push_back(std::make_unique<RemoteStore>(std::move(opts)));
+  }
+}
+
+std::optional<std::vector<uint8_t>> ShardedRemoteStore::get_blob(
+    const std::string& kind, uint64_t format_hash, uint64_t digest) {
+  if (shards_.empty()) return std::nullopt;
+  return shards_[map_.shard_for(kind, digest)]->get_blob(kind, format_hash,
+                                                         digest);
+}
+
+bool ShardedRemoteStore::put_blob(const std::string& kind, uint64_t digest,
+                                  const std::vector<uint8_t>& blob) {
+  if (shards_.empty()) return false;
+  return shards_[map_.shard_for(kind, digest)]->put_blob(kind, digest, blob);
+}
+
+std::vector<std::pair<bool, std::vector<uint8_t>>>
+ShardedRemoteStore::batch_get_blobs(
+    uint64_t format_hash,
+    const std::vector<std::pair<std::string, uint64_t>>& keys) {
+  std::vector<std::pair<bool, std::vector<uint8_t>>> out(keys.size());
+  if (shards_.empty()) return out;
+  // One BATCH_GET per shard that owns any of the keys; results scatter
+  // back to their original positions. A failed shard leaves its keys as
+  // misses — partial fleet loss must stay invisible above this layer.
+  std::vector<std::vector<size_t>> by_shard(shards_.size());
+  for (size_t i = 0; i < keys.size(); ++i)
+    by_shard[map_.shard_for(keys[i].first, keys[i].second)].push_back(i);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    std::vector<std::pair<std::string, uint64_t>> shard_keys;
+    shard_keys.reserve(by_shard[s].size());
+    for (size_t i : by_shard[s]) shard_keys.push_back(keys[i]);
+    auto results = shards_[s]->batch_get(format_hash, shard_keys);
+    if (!results) continue;
+    for (size_t j = 0; j < by_shard[s].size(); ++j)
+      out[by_shard[s][j]] = std::move((*results)[j]);
+  }
+  return out;
+}
+
+bool ShardedRemoteStore::degraded() const {
+  if (shards_.empty()) return true;
+  for (const auto& shard : shards_)
+    if (!shard->degraded()) return false;
+  return true;
+}
+
+bool ShardedRemoteStore::any_degraded() const {
+  for (const auto& shard : shards_)
+    if (shard->degraded()) return true;
+  return false;
+}
+
+std::vector<bool> ShardedRemoteStore::shard_degraded() const {
+  std::vector<bool> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) out.push_back(shard->degraded());
+  return out;
+}
+
+std::string ShardedRemoteStore::degraded_reason() const {
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::string why = shards_[i]->degraded_reason();
+    if (!why.empty()) return map_.endpoint(i) + ": " + why;
+  }
+  return {};
+}
+
+RemoteStore::Counters ShardedRemoteStore::counters() const {
+  RemoteStore::Counters sum;
+  for (const auto& shard : shards_) {
+    const auto c = shard->counters();
+    sum.gets += c.gets;
+    sum.hits += c.hits;
+    sum.puts += c.puts;
+    sum.errors += c.errors;
+    sum.retries += c.retries;
+    sum.reconnects += c.reconnects;
+    sum.oversize += c.oversize;
+  }
+  return sum;
+}
+
+}  // namespace fortd::remote

@@ -1,0 +1,107 @@
+// ShardMap + ShardedRemoteStore — the fleet side of the remote cache.
+//
+// A single fortd-cached daemon is both a single point of failure and a
+// NIC bottleneck for a build farm. `-cache-remote` therefore accepts a
+// comma-separated endpoint list; ShardMap routes every (kind, digest)
+// key to exactly one endpoint by rendezvous (highest-random-weight)
+// hashing: each endpoint's score for a key is a deterministic mix of the
+// endpoint name and the key, and the key lives on the highest-scoring
+// endpoint. The routing is a pure function of the strings and integers
+// involved — every compiler process on every machine, whatever order it
+// lists the endpoints in, sends a given artifact to the same daemon —
+// and removing one endpoint from the list only remaps the keys that
+// lived there (the consistent-hashing property; no ring positions to
+// maintain).
+//
+// ShardedRemoteStore composes one RemoteStore per endpoint behind the
+// StorageBackend interface. Each shard keeps its own connection, retry
+// budget, and circuit breaker, so one dead daemon degrades only its key
+// range: gets of those keys read as misses, puts are dropped, and every
+// other shard keeps serving. The store as a whole reports degraded()
+// only when every shard's breaker is open — the "remote tier is gone"
+// signal the driver surfaces as one diagnostic — while per-shard state
+// (shard_degraded()) feeds -cache-stats-json.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "remote/client.hpp"
+
+namespace fortd::remote {
+
+/// Deterministic rendezvous hash over a fixed endpoint list.
+class ShardMap {
+ public:
+  explicit ShardMap(std::vector<std::string> endpoints);
+
+  size_t size() const { return endpoints_.size(); }
+  const std::string& endpoint(size_t shard) const { return endpoints_[shard]; }
+
+  /// The shard holding (kind, digest). Requires size() > 0.
+  size_t shard_for(const std::string& kind, uint64_t digest) const;
+
+ private:
+  std::vector<std::string> endpoints_;
+  std::vector<uint64_t> endpoint_hashes_;  // precomputed fnv1a per endpoint
+};
+
+/// Split a comma-separated `-cache-remote` value into its endpoints
+/// (whitespace trimmed, empty entries dropped).
+std::vector<std::string> split_endpoint_list(const std::string& list);
+
+/// Parse one "host:port" (or bare "port" → 127.0.0.1). False when the
+/// port is absent or not a number.
+bool parse_endpoint(const std::string& endpoint, std::string* host,
+                    int* port);
+
+/// One RemoteStore per endpoint, routed by ShardMap. Thread-safe like
+/// its shards; all failure handling lives in them.
+class ShardedRemoteStore : public StorageBackend {
+ public:
+  /// `base` supplies every knob except host/port, which come from
+  /// `endpoints` ("host:port" each; a bare "port" means 127.0.0.1).
+  ShardedRemoteStore(std::vector<std::string> endpoints,
+                     const RemoteOptions& base);
+
+  std::optional<std::vector<uint8_t>> get_blob(const std::string& kind,
+                                               uint64_t format_hash,
+                                               uint64_t digest) override;
+  bool put_blob(const std::string& kind, uint64_t digest,
+                const std::vector<uint8_t>& blob) override;
+  /// Regroups `keys` by shard, one BATCH_GET per shard, results
+  /// reassembled parallel to `keys` (failed shards read as misses).
+  std::vector<std::pair<bool, std::vector<uint8_t>>> batch_get_blobs(
+      uint64_t format_hash,
+      const std::vector<std::pair<std::string, uint64_t>>& keys) override;
+  size_t shard_count() const override { return shards_.size(); }
+  size_t shard_of(const std::string& kind, uint64_t digest) const override {
+    return map_.shard_for(kind, digest);
+  }
+
+  const ShardMap& shard_map() const { return map_; }
+  RemoteStore* shard(size_t i) { return shards_[i].get(); }
+  const RemoteStore* shard(size_t i) const { return shards_[i].get(); }
+
+  /// True only when EVERY shard's breaker is open — the whole tier is
+  /// local-only. Partial fleet loss is not full degradation.
+  bool degraded() const;
+  /// True when at least one shard degraded (partial or full).
+  bool any_degraded() const;
+  /// Per-shard breaker state, indexed like the endpoint list.
+  std::vector<bool> shard_degraded() const;
+  /// First shard failure reason (empty until one degraded), prefixed
+  /// with its endpoint so the diagnostic names the dead daemon.
+  std::string degraded_reason() const;
+
+  /// Counters summed across shards.
+  RemoteStore::Counters counters() const;
+
+ private:
+  ShardMap map_;
+  std::vector<std::unique_ptr<RemoteStore>> shards_;
+};
+
+}  // namespace fortd::remote

@@ -1,0 +1,120 @@
+// Shared loopback-daemon harness for the remote-cache and fleet tests.
+//
+// TestDaemon spawns one fortd-cached-equivalent CacheDaemon over a fresh
+// cache directory; TestFleet spawns N of them and renders the
+// comma-separated `-cache-remote` endpoint list a Compiler consumes.
+// Both tear down in their destructors, and killing an individual fleet
+// member mid-test (TestFleet::kill) is how the partial-degradation tests
+// simulate a dead shard. Helpers configure clients for test time: no
+// backoff naps, short deadlines, hair-trigger breakers.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "driver/compilation_db.hpp"
+#include "net/socket.hpp"
+#include "remote/server.hpp"
+#include "remote/shard_map.hpp"
+#include "support/thread_pool.hpp"
+
+namespace fortd::fleet_test {
+
+inline std::string fresh_cache_dir(const std::string& name) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::path(::testing::TempDir()) / ("fortd_remote_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// A daemon over a fresh directory with its own pool (ThreadPool batches
+/// are single-owner, so the daemon must never share a compiler's pool).
+struct TestDaemon {
+  explicit TestDaemon(const std::string& tag,
+                      remote::DaemonOptions options = {})
+      : store({fresh_cache_dir(tag)}), pool(2),
+        daemon(&store, &pool, std::move(options)) {
+    std::string err;
+    started = daemon.start(&err);
+    EXPECT_TRUE(started) << err;
+  }
+  std::string endpoint() const {
+    return "127.0.0.1:" + std::to_string(daemon.port());
+  }
+
+  ContentStore store;
+  ThreadPool pool;
+  remote::CacheDaemon daemon;
+  bool started = false;
+};
+
+/// N independent loopback daemons — one cache fleet. endpoints() is the
+/// comma-separated list `-cache-remote` takes.
+struct TestFleet {
+  TestFleet(const std::string& tag, size_t n) {
+    for (size_t i = 0; i < n; ++i)
+      daemons.push_back(std::make_unique<TestDaemon>(
+          tag + "_shard" + std::to_string(i)));
+  }
+
+  size_t size() const { return daemons.size(); }
+  TestDaemon& shard(size_t i) { return *daemons[i]; }
+
+  std::string endpoints() const {
+    std::string out;
+    for (const auto& d : daemons) {
+      if (!out.empty()) out += ",";
+      out += d->endpoint();
+    }
+    return out;
+  }
+
+  /// Stop shard `i`'s daemon, as a mid-compile crash would — then park a
+  /// never-accepting listener on its port. Without the tombstone the
+  /// freed ephemeral port could be handed to a *concurrently running
+  /// test's* daemon, resurrecting an endpoint this test assumes dead;
+  /// with it, connects complete but no reply ever comes, so impatient
+  /// clients (make_impatient) time out deterministically.
+  void kill(size_t i) {
+    const int port = daemons[i]->daemon.port();
+    daemons[i]->daemon.stop();
+    auto tombstone = std::make_unique<net::Listener>();
+    if (tombstone->listen_on("127.0.0.1", port))
+      tombstones.push_back(std::move(tombstone));
+  }
+
+  std::vector<std::unique_ptr<TestDaemon>> daemons;
+  std::vector<std::unique_ptr<net::Listener>> tombstones;
+};
+
+inline remote::RemoteOptions client_options(int port) {
+  remote::RemoteOptions opt;
+  opt.host = "127.0.0.1";
+  opt.port = port;
+  opt.timeout_ms = 2000;  // generous: loopback, but CI machines stall
+  opt.sleep_fn = [](int) {};
+  return opt;
+}
+
+/// Make a remote tier fail fast and without wall-clock sleeps: short
+/// deadlines, no backoff naps, a hair-trigger breaker.
+inline void make_impatient(remote::RemoteStore* rs) {
+  ASSERT_NE(rs, nullptr);
+  rs->options_for_test().timeout_ms = 50;
+  rs->options_for_test().max_retries = 1;
+  rs->options_for_test().breaker_threshold = 1;
+  rs->options_for_test().sleep_fn = [](int) {};
+}
+
+/// Fleet-wide impatience: every shard fails fast independently.
+inline void make_impatient(remote::ShardedRemoteStore* rs) {
+  ASSERT_NE(rs, nullptr);
+  for (size_t i = 0; i < rs->shard_count(); ++i) make_impatient(rs->shard(i));
+}
+
+}  // namespace fortd::fleet_test

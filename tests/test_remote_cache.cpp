@@ -23,6 +23,7 @@
 #include "../bench/programs.hpp"
 #include "codegen/spmd_printer.hpp"
 #include "driver/compiler.hpp"
+#include "fleet_harness.hpp"
 #include "net/frame.hpp"
 #include "remote/client.hpp"
 #include "remote/server.hpp"
@@ -33,52 +34,10 @@ namespace fs = std::filesystem;
 namespace fortd {
 namespace {
 
-std::string fresh_cache_dir(const std::string& name) {
-  fs::path dir = fs::path(::testing::TempDir()) / ("fortd_remote_" + name);
-  fs::remove_all(dir);
-  fs::create_directories(dir);
-  return dir.string();
-}
-
-/// A daemon over a fresh directory with its own pool (ThreadPool batches
-/// are single-owner, so the daemon must never share a compiler's pool).
-struct TestDaemon {
-  explicit TestDaemon(const std::string& tag,
-                      remote::DaemonOptions options = {})
-      : store({fresh_cache_dir(tag)}), pool(2),
-        daemon(&store, &pool, std::move(options)) {
-    std::string err;
-    started = daemon.start(&err);
-    EXPECT_TRUE(started) << err;
-  }
-  std::string endpoint() const {
-    return "127.0.0.1:" + std::to_string(daemon.port());
-  }
-
-  ContentStore store;
-  ThreadPool pool;
-  remote::CacheDaemon daemon;
-  bool started = false;
-};
-
-remote::RemoteOptions client_options(int port) {
-  remote::RemoteOptions opt;
-  opt.host = "127.0.0.1";
-  opt.port = port;
-  opt.timeout_ms = 2000;  // generous: loopback, but CI machines stall
-  opt.sleep_fn = [](int) {};
-  return opt;
-}
-
-/// Make the compiler's remote tier fail fast and without wall-clock
-/// sleeps: short deadlines, no backoff naps, a hair-trigger breaker.
-void make_impatient(remote::RemoteStore* rs) {
-  ASSERT_NE(rs, nullptr);
-  rs->options_for_test().timeout_ms = 50;
-  rs->options_for_test().max_retries = 1;
-  rs->options_for_test().breaker_threshold = 1;
-  rs->options_for_test().sleep_fn = [](int) {};
-}
+using fleet_test::TestDaemon;
+using fleet_test::client_options;
+using fleet_test::fresh_cache_dir;
+using fleet_test::make_impatient;
 
 // ---------------------------------------------------------------------------
 // Compression codec
@@ -262,11 +221,17 @@ TEST(RemoteProtocol, RoundTripsEveryMessageType) {
     messages.push_back(m);
   }
 
+  // Every message carries a request id (the pipelining tag); ids must
+  // survive the codec for every type.
+  for (size_t i = 0; i < messages.size(); ++i)
+    messages[i].request_id = i * 1000003 + 1;
+
   for (const auto& m : messages) {
     auto decoded = remote::decode_message(remote::encode_message(m));
     ASSERT_TRUE(decoded.has_value())
         << "type " << static_cast<int>(m.type);
     EXPECT_EQ(decoded->type, m.type);
+    EXPECT_EQ(decoded->request_id, m.request_id);
     EXPECT_EQ(decoded->format_hash, m.format_hash);
     EXPECT_EQ(decoded->kind, m.kind);
     EXPECT_EQ(decoded->digest, m.digest);

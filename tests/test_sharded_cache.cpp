@@ -1,0 +1,345 @@
+// The sharded cache fleet, wavefront prefetch, and pipelined client:
+//   * ShardMap determinism (endpoint-order independence, full coverage,
+//     minimal remapping when an endpoint leaves the list),
+//   * `-cache-remote host:p1,host:p2,host:p3` end to end: a cold client
+//     against a warm 3-daemon fleet generates nothing, with artifacts
+//     spread across every shard,
+//   * wavefront BATCH_GET prefetch counters (issued/hit, and the
+//     -cache-no-prefetch off switch),
+//   * partial degradation: killing one of three shards mid-test degrades
+//     only its key range — compile succeeds, output byte-identical, the
+//     two healthy shards keep serving,
+//   * protocol v2 pipelining: one shared RemoteStore multiplexed by 4
+//     concurrent workers (run under FORTD_SANITIZE=thread), and a
+//     stalled reply that times out without costing the connection.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "../bench/programs.hpp"
+#include "codegen/spmd_printer.hpp"
+#include "driver/compiler.hpp"
+#include "fleet_harness.hpp"
+#include "remote/shard_map.hpp"
+
+namespace fortd {
+namespace {
+
+using fleet_test::TestFleet;
+using fleet_test::client_options;
+using fleet_test::fresh_cache_dir;
+using fleet_test::make_impatient;
+
+// ---------------------------------------------------------------------------
+// ShardMap
+// ---------------------------------------------------------------------------
+
+TEST(ShardMap, RoutingIsIndependentOfEndpointOrder) {
+  const std::vector<std::string> a = {"h1:1", "h2:2", "h3:3"};
+  const std::vector<std::string> b = {"h3:3", "h1:1", "h2:2"};
+  remote::ShardMap ma(a), mb(b);
+  for (uint64_t d = 0; d < 500; ++d) {
+    for (const char* kind : {"proc", "summary"}) {
+      EXPECT_EQ(a[ma.shard_for(kind, d)], b[mb.shard_for(kind, d)])
+          << "key (" << kind << ", " << d
+          << ") must live on the same endpoint whatever the list order";
+    }
+  }
+}
+
+TEST(ShardMap, SpreadsKeysAcrossEveryShard) {
+  remote::ShardMap map({"h1:1", "h2:2", "h3:3"});
+  std::vector<int> hits(3, 0);
+  for (uint64_t d = 0; d < 600; ++d) ++hits[map.shard_for("proc", d)];
+  for (int h : hits) EXPECT_GT(h, 600 / 10) << "grossly unbalanced routing";
+}
+
+TEST(ShardMap, RemovingAnEndpointOnlyRemapsItsKeys) {
+  // The consistent-hashing property rendezvous hashing guarantees: keys
+  // that did not live on the removed endpoint stay where they were.
+  const std::vector<std::string> full = {"h1:1", "h2:2", "h3:3"};
+  const std::vector<std::string> less = {"h1:1", "h3:3"};
+  remote::ShardMap mf(full), ml(less);
+  for (uint64_t d = 0; d < 500; ++d) {
+    const std::string& before = full[mf.shard_for("proc", d)];
+    if (before == "h2:2") continue;  // its keys must move somewhere
+    EXPECT_EQ(less[ml.shard_for("proc", d)], before)
+        << "key " << d << " lived on a surviving endpoint and must not move";
+  }
+}
+
+TEST(ShardMap, EndpointListParsing) {
+  using remote::split_endpoint_list;
+  EXPECT_EQ(split_endpoint_list("a:1"), (std::vector<std::string>{"a:1"}));
+  EXPECT_EQ(split_endpoint_list("a:1,b:2, c:3 "),
+            (std::vector<std::string>{"a:1", "b:2", "c:3"}));
+  EXPECT_EQ(split_endpoint_list(",a:1,,"),
+            (std::vector<std::string>{"a:1"}));
+  EXPECT_TRUE(split_endpoint_list("").empty());
+
+  std::string host;
+  int port = 0;
+  EXPECT_TRUE(remote::parse_endpoint("example:4815", &host, &port));
+  EXPECT_EQ(host, "example");
+  EXPECT_EQ(port, 4815);
+  EXPECT_TRUE(remote::parse_endpoint("4815", &host, &port));
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_FALSE(remote::parse_endpoint("example:", &host, &port));
+  EXPECT_FALSE(remote::parse_endpoint("example:notaport", &host, &port));
+  EXPECT_FALSE(remote::parse_endpoint("example:99999", &host, &port));
+}
+
+// ---------------------------------------------------------------------------
+// Fleet end to end
+// ---------------------------------------------------------------------------
+
+CompileResult compile_fleet(const std::string& src, const std::string& dir,
+                            const std::string& endpoints, int jobs,
+                            std::string* spmd = nullptr,
+                            bool prefetch = true) {
+  CodegenOptions opt;
+  opt.n_procs = 4;
+  opt.jobs = jobs;
+  CacheOptions copt;
+  copt.dir = dir;
+  copt.remote_endpoint = endpoints;
+  copt.prefetch = prefetch;
+  Compiler compiler(opt, {}, {}, copt);
+  CompileResult r = compiler.compile_source(src);
+  EXPECT_FALSE(compiler.remote_store()->any_degraded())
+      << compiler.remote_store()->degraded_reason();
+  if (spmd) *spmd = print_spmd(r.spmd);
+  return r;
+}
+
+TEST(ShardedFleet, ColdClientAgainstWarmFleetGeneratesNothing) {
+  TestFleet fleet("fleet3", 3);
+  const std::string src = bench::fan_out(32, 64);
+
+  std::string warm_spmd;
+  CompileResult warm = compile_fleet(src, fresh_cache_dir("fleet3_warm"),
+                                     fleet.endpoints(), 1, &warm_spmd);
+  EXPECT_EQ(warm.stats.generated, 33);
+  EXPECT_EQ(warm.stats.remote_shards, 3);
+  EXPECT_GT(warm.stats.remote_puts, 0);
+
+  // Consistent hashing must have spread the artifacts: with 33 proc and
+  // 33 summary blobs, every one of three daemons should hold some.
+  for (size_t s = 0; s < fleet.size(); ++s)
+    EXPECT_GT(fleet.shard(s).store.size(), 0u)
+        << "shard " << s << " received no artifacts";
+
+  std::string cold_spmd;
+  CompileResult cold = compile_fleet(src, fresh_cache_dir("fleet3_cold"),
+                                     fleet.endpoints(), 1, &cold_spmd);
+  EXPECT_EQ(cold.stats.generated, 0);
+  EXPECT_EQ(cold.stats.summaries_computed, 0);
+  EXPECT_GT(cold.stats.remote_hits, 0);
+  EXPECT_EQ(cold_spmd, warm_spmd) << "fleet hits must be byte-identical";
+}
+
+TEST(ShardedFleet, WavefrontPrefetchLandsNextLevelAhead) {
+  TestFleet fleet("prefetch", 2);
+  // A deep call chain maximizes the number of levels whose digests are
+  // prefetchable one level early.
+  const std::string src = bench::call_chain(8, 48);
+  compile_fleet(src, fresh_cache_dir("prefetch_warm"), fleet.endpoints(), 1);
+
+  CompileResult cold = compile_fleet(src, fresh_cache_dir("prefetch_cold"),
+                                     fleet.endpoints(), 2);
+  EXPECT_EQ(cold.stats.generated, 0);
+  EXPECT_GT(cold.stats.prefetch_issued, 0)
+      << "a cold compile against a warm fleet must prefetch";
+  EXPECT_GT(cold.stats.prefetch_hits, 0);
+  EXPECT_LE(cold.stats.prefetch_hits, cold.stats.prefetch_issued);
+  // Everything the prefetcher landed was consumed as a remote hit.
+  EXPECT_GE(cold.stats.remote_hits, cold.stats.prefetch_hits);
+
+  CompileResult off =
+      compile_fleet(src, fresh_cache_dir("prefetch_off"), fleet.endpoints(),
+                    2, nullptr, /*prefetch=*/false);
+  EXPECT_EQ(off.stats.generated, 0);
+  EXPECT_EQ(off.stats.prefetch_issued, 0) << "-cache-no-prefetch must stick";
+  EXPECT_EQ(off.stats.prefetch_hits, 0);
+}
+
+TEST(ShardedFleet, KillingOneShardDegradesOnlyItsKeyRange) {
+  TestFleet fleet("kill", 3);
+  const std::string src = bench::fan_out(24, 64);
+
+  std::string warm_spmd;
+  compile_fleet(src, fresh_cache_dir("kill_warm"), fleet.endpoints(), 1,
+                &warm_spmd);
+
+  // One daemon dies. A cold client must still compile — the dead shard's
+  // keys regenerate locally, the survivors' keys arrive over the wire —
+  // and produce byte-identical output.
+  fleet.kill(1);
+
+  CodegenOptions opt;
+  opt.n_procs = 4;
+  CacheOptions copt;
+  copt.dir = fresh_cache_dir("kill_cold");
+  copt.remote_endpoint = fleet.endpoints();
+  Compiler compiler(opt, {}, {}, copt);
+  make_impatient(compiler.remote_store());
+
+  CompileResult r = compiler.compile_source(src);
+  EXPECT_EQ(print_spmd(r.spmd), warm_spmd)
+      << "partial fleet loss must not change the generated program";
+  EXPECT_GT(r.stats.remote_hits, 0) << "healthy shards must keep serving";
+  EXPECT_LT(r.stats.generated, r.stats.procedures)
+      << "only the dead shard's key range should regenerate";
+  EXPECT_GT(r.stats.generated, 0) << "the dead shard's keys must regenerate";
+
+  EXPECT_FALSE(compiler.remote_store()->degraded())
+      << "one dead shard of three must not declare the tier gone";
+  EXPECT_TRUE(compiler.remote_store()->any_degraded());
+  EXPECT_EQ(r.stats.remote_shards, 3);
+  EXPECT_EQ(r.stats.remote_shards_degraded, 1);
+  const auto down = compiler.remote_store()->shard_degraded();
+  EXPECT_FALSE(down[0]);
+  EXPECT_TRUE(down[1]);
+  EXPECT_FALSE(down[2]);
+  EXPECT_NE(compiler.remote_store()->degraded_reason().find(
+                fleet.shard(1).endpoint()),
+            std::string::npos)
+      << "the diagnostic must name the dead endpoint: "
+      << compiler.remote_store()->degraded_reason();
+
+  const std::string json = compiler.cache_stats_json();
+  EXPECT_NE(json.find("\"shards\":["), std::string::npos) << json;
+  EXPECT_NE(json.find("\"degraded\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"degraded\":false"), std::string::npos) << json;
+}
+
+TEST(ShardedFleet, WholeFleetDownStillCompilesLocally) {
+  // All three endpoints dead: the tier as a whole degrades, the compile
+  // still succeeds on local tiers — the PR-5 contract, fleet edition.
+  TestFleet fleet("alldead", 3);
+  const std::string endpoints = fleet.endpoints();
+  for (size_t s = 0; s < fleet.size(); ++s) fleet.kill(s);
+
+  CodegenOptions opt;
+  opt.n_procs = 4;
+  CacheOptions copt;
+  copt.dir = fresh_cache_dir("alldead_client");
+  copt.remote_endpoint = endpoints;
+  Compiler compiler(opt, {}, {}, copt);
+  make_impatient(compiler.remote_store());
+
+  // 25 procedures = 50 keys: rendezvous routing (which depends on the
+  // ephemeral port numbers) leaves every shard owning some keys, so
+  // every breaker sees traffic and trips. A tiny program could leave a
+  // shard with no keys at all — untouched breakers never open.
+  CompileResult r = compiler.compile_source(bench::fan_out(24, 64));
+  EXPECT_EQ(r.stats.generated, 25) << "local compile must complete";
+  EXPECT_TRUE(r.stats.remote_degraded);
+  EXPECT_EQ(r.stats.remote_shards_degraded, 3);
+  EXPECT_TRUE(compiler.remote_store()->degraded());
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined client (protocol v2)
+// ---------------------------------------------------------------------------
+
+TEST(PipelinedClient, FourWorkersMultiplexOneConnection) {
+  // One *shared* RemoteStore hammered by 4 threads: requests interleave
+  // on a single connection and replies land by id. Run under
+  // FORTD_SANITIZE=thread to vet the multiplexer's locking.
+  fleet_test::TestDaemon td("pipeline");
+  remote::RemoteStore client(client_options(td.daemon.port()));
+  constexpr int kWorkers = 4;
+  constexpr int kOps = 32;
+  constexpr uint64_t kFormat = 11;
+
+  const auto payload_for = [](uint64_t digest) {
+    std::vector<uint8_t> p(64 + digest % 256);
+    for (size_t i = 0; i < p.size(); ++i)
+      p[i] = static_cast<uint8_t>(digest * 131 + i * 17);
+    return p;
+  };
+  for (uint64_t d = 1; d <= 8; ++d)
+    ASSERT_TRUE(client.put_blob("proc", d,
+                                make_blob_envelope(kFormat, d, payload_for(d))));
+
+  std::vector<std::thread> workers;
+  std::vector<int> failures(kWorkers, 0);
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      for (int i = 0; i < kOps; ++i) {
+        const uint64_t mine = 100 + static_cast<uint64_t>(w) * 1000 +
+                              static_cast<uint64_t>(i);
+        const auto blob = make_blob_envelope(kFormat, mine, payload_for(mine));
+        if (!client.put_blob("summary", mine, blob)) ++failures[w];
+        auto got = client.get_blob("summary", kFormat, mine);
+        if (!got || *got != blob) ++failures[w];
+        const uint64_t shared = 1 + static_cast<uint64_t>(i) % 8;
+        auto s = client.get_blob("proc", kFormat, shared);
+        if (!s ||
+            *s != make_blob_envelope(kFormat, shared, payload_for(shared)))
+          ++failures[w];
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  for (int w = 0; w < kWorkers; ++w) EXPECT_EQ(failures[w], 0) << "worker " << w;
+  EXPECT_FALSE(client.degraded()) << client.degraded_reason();
+  EXPECT_EQ(client.counters().reconnects, 1u)
+      << "4 workers must share one pipelined connection";
+  td.daemon.stop();
+}
+
+TEST(PipelinedClient, TimedOutRequestDoesNotCostTheConnection) {
+  // The daemon swallows replies for digest 42. Under the serial protocol
+  // a timeout forced a reconnect (the stream was unsynchronized); with
+  // tagged ids the late/never reply is simply discarded and the same
+  // connection keeps serving.
+  remote::DaemonOptions dopt;
+  dopt.stall_reply = [](const remote::WireMessage& m) {
+    return m.type == remote::MsgType::Get && m.digest == 42;
+  };
+  fleet_test::TestDaemon td("stall42", dopt);
+
+  remote::RemoteOptions opt = client_options(td.daemon.port());
+  opt.timeout_ms = 200;
+  opt.max_retries = 0;
+  remote::RemoteStore client(opt);
+
+  std::vector<uint8_t> blob = make_blob_envelope(11, 7, {1, 2, 3});
+  ASSERT_TRUE(client.put_blob("proc", 7, blob));
+
+  EXPECT_FALSE(client.get_blob("proc", 11, 42).has_value());
+  EXPECT_EQ(client.counters().errors, 1u);
+  EXPECT_FALSE(client.degraded());
+
+  auto got = client.get_blob("proc", 11, 7);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, blob);
+  EXPECT_EQ(client.counters().reconnects, 1u)
+      << "a reply timeout must not drop the pipelined connection";
+  td.daemon.stop();
+}
+
+TEST(PipelinedClient, BatchGetBlobsDegradesToAllMiss) {
+  // StorageBackend::batch_get_blobs on a dead endpoint: every key reads
+  // as a miss, no throw, breaker accounting as usual.
+  net::Listener probe;
+  ASSERT_TRUE(probe.listen_on("127.0.0.1", 0));
+  const int dead_port = probe.port();
+  probe.close();
+
+  remote::RemoteOptions opt = client_options(dead_port);
+  remote::RemoteStore client(opt);
+  make_impatient(&client);
+
+  auto results = client.batch_get_blobs(11, {{"proc", 1}, {"proc", 2}});
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].first);
+  EXPECT_FALSE(results[1].first);
+  EXPECT_TRUE(client.degraded());
+}
+
+}  // namespace
+}  // namespace fortd
