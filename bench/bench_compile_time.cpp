@@ -93,6 +93,38 @@ void BM_ParallelIpa(benchmark::State& state) {
   state.counters["jobs"] = jobs;
 }
 
+void BM_WorkStealingVsWavefront(benchmark::State& state) {
+  // The barrier cost itself: an 8-deep call chain next to 24 independent
+  // leaves at jobs=4. The wavefront generates the wide leaf level, then
+  // walks the chain one barrier-separated level at a time with three
+  // workers idle; work-stealing overlaps the chain with the leaf pool,
+  // so its span is max(chain, leaves/4) instead of the sum. The win
+  // needs free cores — on a core-starved machine the two schedules tie
+  // and the stolen/idle counters are what to read.
+  const bool wavefront = state.range(0) != 0;
+  std::string src = fortd::bench::chain_fanout(8, 24, 256);
+  fortd::BoundProgram bp = fortd::parse_and_bind(src);
+  fortd::IpaContext ctx = fortd::run_ipa(bp);
+  fortd::CodegenOptions opt;
+  opt.n_procs = 8;
+  opt.jobs = 4;
+  opt.scheduler = wavefront ? fortd::Scheduler::Wavefront
+                            : fortd::Scheduler::WorkStealing;
+  fortd::ThreadPool pool(opt.jobs - 1);
+  fortd::TaskGraphStats sched;
+  for (auto _ : state) {
+    fortd::CodeGenerator gen(bp, ctx, opt, nullptr, nullptr, &pool);
+    fortd::SpmdProgram spmd = gen.generate();
+    sched = gen.scheduler_stats();
+    { auto sink = spmd.ast.procedures.size(); benchmark::DoNotOptimize(sink); }
+  }
+  state.counters["procs"] = 33;
+  state.counters["stolen"] = static_cast<double>(sched.stolen);
+  state.counters["ready_peak"] = static_cast<double>(sched.ready_peak);
+  state.counters["critical_path"] = static_cast<double>(sched.critical_path);
+  state.counters["idle_ms"] = sched.idle_ms;
+}
+
 void BM_IncrementalClone(benchmark::State& state) {
   // Cloning fixed point over a hub with 4 conflicting decompositions plus
   // 24 untouched leaves: the incremental rounds re-analyze only the new
@@ -182,6 +214,8 @@ BENCHMARK(BM_ParallelCodegen)->ArgName("jobs")->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 BENCHMARK(BM_ParallelIpa)->ArgNames({"jobs", "shape"})
     ->Args({1, 0})->Args({2, 0})->Args({4, 0})->Args({1, 1})->Args({4, 1})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_WorkStealingVsWavefront)->ArgName("wavefront")->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 BENCHMARK(BM_IncrementalClone)->ArgName("incremental")->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);

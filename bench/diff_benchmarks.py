@@ -10,6 +10,13 @@ normalized to nanoseconds). The script exits 1 when any benchmark's new
 wall time exceeds baseline * (1 + threshold) — default threshold 0.25,
 i.e. a >25% regression fails CI.
 
+Individual benchmarks may carry a wider threshold via PER_BENCH_THRESHOLD
+(matched by longest prefix of the benchmark name): scheduler and
+remote-cache microbenches time thread handoffs and socket round trips,
+which jitter far beyond 25% on loaded CI machines without any code
+change. --threshold only moves the global default; the per-bench
+overrides always win where they are wider.
+
 Benchmarks or whole files present on only one side are reported but never
 fail the diff: adding a benchmark (or retiring one) is not a regression.
 A fresh BENCH_<name>.json with no committed baseline (a newly added bench
@@ -38,6 +45,37 @@ import pathlib
 import sys
 
 TIME_UNITS_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+# Benchmark-name prefix -> allowed fractional slowdown. Used when wider
+# than the global --threshold; longest matching prefix wins. These are
+# the benches whose timed region is dominated by thread scheduling or
+# loopback sockets rather than compiler code.
+PER_BENCH_THRESHOLD = {
+    "BM_WorkStealingVsWavefront": 0.60,  # 33-proc graph, µs-scale tasks
+    "BM_ParallelCodegen": 0.50,          # thread handoff dominated
+    "BM_ParallelIpa": 0.50,
+    "BM_CodeGeneration": 0.50,           # ms-scale; ±30% run-to-run jitter
+    "BM_FullCompile": 0.50,
+    "BM_CachedRecompile": 0.50,
+    "BM_ParseAndBind": 0.50,             # µs-scale; timer-granularity bound
+    "BM_VectorizationAblation": 0.60,    # Iterations(1): single-shot timing
+    "BM_RemoteHit": 0.60,                # loopback socket latency
+    "BM_RemoteMissPenalty": 0.60,
+    "BM_WavefrontPrefetch": 0.60,
+    "BM_ShardedFleet": 0.60,
+}
+
+
+def threshold_for(name, default):
+    """Per-benchmark threshold: the widest of the global default and the
+    longest PER_BENCH_THRESHOLD prefix matching `name`."""
+    best_len = -1
+    best = default
+    for prefix, frac in PER_BENCH_THRESHOLD.items():
+        if name.startswith(prefix) and len(prefix) > best_len:
+            best_len = len(prefix)
+            best = max(frac, default)
+    return best
 
 
 def load_timings(path):
@@ -117,10 +155,13 @@ def main():
                 continue
             compared += 1
             ratio = new[name] / base[name] if base[name] > 0 else 1.0
-            marker = "REGRESSION" if ratio > 1 + args.threshold else "ok"
+            limit = threshold_for(name, args.threshold)
+            marker = "REGRESSION" if ratio > 1 + limit else "ok"
+            note = f" [limit {limit * 100:.0f}%]" if limit != args.threshold \
+                else ""
             print(f"{marker:>10}  {name}: {fmt_ns(base[name])} -> "
-                  f"{fmt_ns(new[name])}  ({(ratio - 1) * 100:+.1f}%)")
-            if ratio > 1 + args.threshold:
+                  f"{fmt_ns(new[name])}  ({(ratio - 1) * 100:+.1f}%){note}")
+            if ratio > 1 + limit:
                 regressions.append((name, ratio))
         for name in sorted(set(new) - set(base)):
             print(f"       new  {name}: {fmt_ns(new[name])} (no baseline)")

@@ -241,6 +241,50 @@ inline std::string fan_out(int width, int64_t n, int edited_leaf = 0) {
   return src;
 }
 
+/// A serial call chain of `depth` procedures next to `width` independent
+/// leaves, all called from the program — the shape that separates the
+/// barrier-free scheduler from the depth-leveled wavefront. The ACG has
+/// depth+1 levels; every leaf sits at the chain's deepest level, so the
+/// wavefront generates the wide leaf level first, then pays a one-
+/// procedure barrier per chain link with every other worker idle. The
+/// work-stealing schedule overlaps the chain with the leaves: its span
+/// is max(chain, leaves/jobs) instead of their sum.
+inline std::string chain_fanout(int depth, int width, int64_t n) {
+  std::string N = std::to_string(n);
+  std::string src = R"(
+      program p
+      real x()" + N + R"()
+      integer i
+      distribute x(block)
+      do i = 1, )" + N + R"(
+        x(i) = i*1.0
+      enddo
+      call chain1(x)
+)";
+  for (int d = 1; d <= width; ++d)
+    src += "      call wide" + std::to_string(d) + "(x)\n";
+  src += "      end\n";
+  for (int d = 1; d <= depth; ++d) {
+    src += "\n      subroutine chain" + std::to_string(d) + "(a)\n";
+    src += "      real a(" + N + ")\n      integer i\n";
+    src += "      do i = 1, " + N + " - 2\n";
+    src += "        a(i) = 0.5*a(i+" + std::to_string(1 + d % 2) + ")\n";
+    src += "      enddo\n";
+    if (d < depth)
+      src += "      call chain" + std::to_string(d + 1) + "(a)\n";
+    src += "      end\n";
+  }
+  for (int d = 1; d <= width; ++d) {
+    std::string shift = std::to_string(1 + d % 3);
+    src += "\n      subroutine wide" + std::to_string(d) + "(a)\n";
+    src += "      real a(" + N + ")\n      integer i\n";
+    src += "      do i = 1, " + N + " - 3\n";
+    src += "        a(i) = 0.5*a(i+" + shift + ")\n";
+    src += "      enddo\n      end\n";
+  }
+  return src;
+}
+
 /// A hub procedure invoked with `variants` distinct decompositions —
 /// drives the cloning-growth study.
 inline std::string cloning_hub(int variants, int64_t n) {

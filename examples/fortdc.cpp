@@ -34,7 +34,15 @@
 //                   communication verifier; print findings to stderr
 //     -Werror       with -analyze: exit 3 when any finding is reported
 //     -lint-json    with -analyze: print lint findings as JSON to stdout
-//     -timings      report per-phase wall-clock timings
+//     -sched S      steal | wavefront: schedule of the parallel codegen
+//                   and IPA passes (default steal — barrier-free
+//                   work-stealing over the call graph; wavefront keeps
+//                   the depth-leveled baseline). Output is
+//                   byte-identical either way
+//     -timings      report per-phase wall-clock timings and, under the
+//                   work-stealing schedule, scheduler counters (tasks
+//                   executed/stolen, ready-queue peak, critical path,
+//                   per-pass idle time)
 //     -quiet        suppress the generated-code listing
 //
 // Exit codes: 0 success, 1 compile/simulation error, 2 usage,
@@ -78,6 +86,16 @@ int main(int argc, char** argv) {
                            : lvl == 1 ? DynDecompOpt::Live
                            : lvl == 2 ? DynDecompOpt::LiveInvariant
                                       : DynDecompOpt::Full;
+    } else if (!std::strcmp(argv[i], "-sched") && i + 1 < argc) {
+      const char* s = argv[++i];
+      if (!std::strcmp(s, "wavefront")) {
+        options.scheduler = Scheduler::Wavefront;
+      } else if (!std::strcmp(s, "steal")) {
+        options.scheduler = Scheduler::WorkStealing;
+      } else {
+        std::fprintf(stderr, "fortdc: -sched expects steal|wavefront\n");
+        return 2;
+      }
     } else if (!std::strcmp(argv[i], "-cache-dir") && i + 1 < argc) {
       cache_options.dir = argv[++i];
     } else if (!std::strcmp(argv[i], "-cache-max-bytes") && i + 1 < argc) {
@@ -117,7 +135,8 @@ int main(int argc, char** argv) {
   if (!path) {
     std::fprintf(stderr,
                  "usage: fortdc [-p N] [-j N] [-s inter|intra|runtime] "
-                 "[-O 0..3] [-cache-dir D] [-cache-max-bytes N] "
+                 "[-O 0..3] [-sched steal|wavefront] "
+                 "[-cache-dir D] [-cache-max-bytes N] "
                  "[-cache-clear] [-cache-remote HOST:PORT[,HOST:PORT...]] "
                  "[-cache-remote-timeout-ms N] [-cache-no-prefetch] "
                  "[-cache-stats-json] [-run] "
@@ -139,7 +158,9 @@ int main(int argc, char** argv) {
   buf << in.rdbuf();
 
   int findings = 0;
-  Compiler compiler(options, {}, lint_options, cache_options);
+  IpaOptions ipa_options;
+  ipa_options.scheduler = options.scheduler;  // one -sched flag, both phases
+  Compiler compiler(options, ipa_options, lint_options, cache_options);
   if (cache_clear) compiler.content_store()->clear();
 
   // Timings survive a CompileError (Compiler fills last_stats() before the
@@ -179,6 +200,14 @@ int main(int argc, char** argv) {
                    : cs.remote_shards_degraded ? ", PARTIALLY DEGRADED"
                                                : "");
     std::fputc('\n', stderr);
+    if (options.scheduler == Scheduler::WorkStealing)
+      std::fprintf(stderr,
+                   "fortdc: sched: %ld task(s) (%ld stolen, %ld prefetch), "
+                   "ready peak %d, critical path %d, idle codegen "
+                   "%.2fms / ipa %.2fms\n",
+                   cs.sched_tasks, cs.sched_stolen, cs.sched_prefetch_tasks,
+                   cs.sched_ready_peak, cs.sched_critical_path,
+                   cs.sched_idle_codegen_ms, cs.sched_idle_ipa_ms);
     if (lint_options.analyze)
       std::fprintf(stderr,
                    "fortdc: lint %.2fms (%d warning(s), %d note(s)), "

@@ -1834,8 +1834,6 @@ std::unique_ptr<Procedure> ProcGen::run(ProcExports& exports) {
 // CodeGenerator
 // ===========================================================================
 
-namespace {
-
 /// One procedure's full contribution to the compiled program, produced
 /// either by ProcGen or by a cache hit.
 struct ProcOut {
@@ -1846,6 +1844,8 @@ struct ProcOut {
   uint64_t digest = 0;
   bool from_cache = false;
 };
+
+namespace {
 
 void accumulate(CompileStats& into, const CompileStats& d) {
   into.vectorized_messages += d.vectorized_messages;
@@ -1881,21 +1881,78 @@ SpmdProgram CodeGenerator::generate() {
   result_.stats.clones_created = ipa_.clones_created;
   exports_.clear();
   last_generated_.clear();
+  sched_stats_ = TaskGraphStats{};
 
   const auto& procs = program_.ast.procedures;
   std::vector<ProcOut> outs(procs.size());
-  const int jobs = std::max(1, options_.jobs);
-  ThreadPool* pool = pool_;           // borrowed (shared with IPA) ...
-  std::unique_ptr<ThreadPool> local;  // ... or transient when none given
 
-  // Wavefront prefetch: §8's recompilation digests are exact, so the
-  // digests of the *next* level are computable as soon as this level's
-  // cache probes resolved its callee exports — one BATCH_GET per remote
-  // shard then warms the store while this level's procedures generate.
+  // Readiness-driven prefetch: §8's recompilation digests are exact, so
+  // a procedure's digest is computable the moment its callee exports
+  // resolved — one BATCH_GET per remote shard then warms the store
+  // while other procedures generate.
   ContentStore* pstore = nullptr;
   if (cache_ && cache_->store() && cache_->store()->has_remote() &&
       cache_->store()->options().prefetch)
     pstore = cache_->store();
+
+  if (options_.scheduler == Scheduler::Wavefront)
+    schedule_wavefront(outs, pstore);
+  else
+    schedule_work_stealing(outs, pstore);
+
+  // Merge per-procedure results. Counters accumulate in reverse
+  // topological order (the serial emission order); the output AST is
+  // assembled directly in topological (source) order, which the serial
+  // walk used to reach with a post-hoc reverse.
+  for (int idx : ipa_.acg.reverse_topological_indices()) {
+    ProcOut& out = outs[static_cast<size_t>(idx)];
+    accumulate(result_.stats, out.stats);
+    result_.storage[procs[static_cast<size_t>(idx)]->name] =
+        std::move(out.storage);
+  }
+  for (int idx : ipa_.acg.topological_indices())
+    result_.ast.procedures.push_back(
+        std::move(outs[static_cast<size_t>(idx)].compiled));
+
+  // Dynamic data decomposition optimization (Fig. 16/17). Array-kill
+  // summaries: arrays a procedure fully overwrites before any use.
+  std::map<std::string, ArrayKillSummary> kills;
+  for (const auto& proc : program_.ast.procedures) {
+    const SymbolTable& st = program_.symtab(proc->name);
+    auto dit = ipa_.effects.gdefs.find(proc->name);
+    if (dit == ipa_.effects.gdefs.end()) continue;
+    auto uit = ipa_.effects.guses.find(proc->name);
+    for (const auto& [arr, defs] : dit->second) {
+      const Symbol* sym = st.lookup(arr);
+      if (!sym || !sym->is_array() || !sym->dims_const) continue;
+      bool covers = false;
+      for (const Rsd& r : defs.sections())
+        if (r.contains(sym->full_section())) covers = true;
+      bool used = uit != ipa_.effects.guses.end() && uit->second.count(arr) &&
+                  !uit->second.at(arr).empty();
+      if (covers && !used) {
+        if (sym->formal_index >= 0)
+          kills[proc->name].killed_formals.insert(sym->formal_index);
+        else if (sym->is_global())
+          kills[proc->name].killed_globals.insert(arr);
+      }
+    }
+  }
+  optimize_dynamic_decomps(result_, options_.dyn_decomp, kills);
+  return std::move(result_);
+}
+
+/// The depth-leveled schedule of PR 1/6, kept behind
+/// Scheduler::Wavefront as the measurable barrier baseline: per-level
+/// serial cache probes, one parallel_for per level (prefetch of the
+/// next level's known digests riding the same batch), and a barrier
+/// that publishes exports/cache entries in level order.
+void CodeGenerator::schedule_wavefront(std::vector<ProcOut>& outs,
+                                       ContentStore* pstore) {
+  const auto& procs = program_.ast.procedures;
+  const int jobs = std::max(1, options_.jobs);
+  ThreadPool* pool = pool_;           // borrowed (shared with IPA) ...
+  std::unique_ptr<ThreadPool> local;  // ... or transient when none given
 
   // The digests of `level`'s procedures whose callee exports are all
   // present in `exports` (a leaf level trivially qualifies); procedures
@@ -2023,47 +2080,116 @@ SpmdProgram CodeGenerator::generate() {
       }
     }
   }
+}
 
-  // Merge per-procedure results. Counters accumulate in reverse
-  // topological order (the serial emission order); the output AST is
-  // assembled directly in topological (source) order, which the serial
-  // walk used to reach with a post-hoc reverse.
-  for (int idx : ipa_.acg.reverse_topological_indices()) {
-    ProcOut& out = outs[static_cast<size_t>(idx)];
-    accumulate(result_.stats, out.stats);
-    result_.storage[procs[static_cast<size_t>(idx)]->name] =
-        std::move(out.storage);
+/// The barrier-free schedule (default): a TaskGraph node per procedure
+/// in reverse topological order, dependency edges to callees, and a
+/// work-stealing run on the shared pool. A procedure's cache probe and
+/// generation start the moment its own callees finish. The ready hook
+/// finalizes digests (a node is ready exactly when its last callee
+/// export resolved) and spawns per-shard prefetch batches as auxiliary
+/// tasks — readiness-driven lookahead, deeper than the wavefront's
+/// one-level window. Exports publish into pre-sized map slots as tasks
+/// finish (ordered by the dependency edges); everything
+/// order-sensitive — last_generated_, cache inserts — is committed
+/// after the run in fixed reverse topological order, so output and
+/// digest semantics are byte-identical to the serial walk.
+void CodeGenerator::schedule_work_stealing(std::vector<ProcOut>& outs,
+                                           ContentStore* pstore) {
+  const auto& procs = program_.ast.procedures;
+  const int jobs = std::max(1, options_.jobs);
+  ThreadPool* pool = jobs > 1 ? pool_ : nullptr;
+  std::unique_ptr<ThreadPool> local;  // transient when none was borrowed
+  if (jobs > 1 && !pool && procs.size() > 1) {
+    local = std::make_unique<ThreadPool>(jobs - 1);
+    pool = local.get();
   }
-  for (int idx : ipa_.acg.topological_indices())
-    result_.ast.procedures.push_back(
-        std::move(outs[static_cast<size_t>(idx)].compiled));
 
-  // Dynamic data decomposition optimization (Fig. 16/17). Array-kill
-  // summaries: arrays a procedure fully overwrites before any use.
-  std::map<std::string, ArrayKillSummary> kills;
-  for (const auto& proc : program_.ast.procedures) {
-    const SymbolTable& st = program_.symtab(proc->name);
-    auto dit = ipa_.effects.gdefs.find(proc->name);
-    if (dit == ipa_.effects.gdefs.end()) continue;
-    auto uit = ipa_.effects.guses.find(proc->name);
-    for (const auto& [arr, defs] : dit->second) {
-      const Symbol* sym = st.lookup(arr);
-      if (!sym || !sym->is_array() || !sym->dims_const) continue;
-      bool covers = false;
-      for (const Rsd& r : defs.sections())
-        if (r.contains(sym->full_section())) covers = true;
-      bool used = uit != ipa_.effects.guses.end() && uit->second.count(arr) &&
-                  !uit->second.at(arr).empty();
-      if (covers && !used) {
-        if (sym->formal_index >= 0)
-          kills[proc->name].killed_formals.insert(sym->formal_index);
-        else if (sym->is_global())
-          kills[proc->name].killed_globals.insert(arr);
-      }
+  const std::vector<int> order = ipa_.acg.reverse_topological_indices();
+  std::vector<size_t> node_of(procs.size(), 0);
+  for (size_t k = 0; k < order.size(); ++k)
+    node_of[static_cast<size_t>(order[k])] = k;
+
+  TaskGraph graph(order.size());
+  for (size_t k = 0; k < order.size(); ++k) {
+    const std::string& name = procs[static_cast<size_t>(order[k])]->name;
+    for (const CallSiteInfo* site : ipa_.acg.calls_from(name)) {
+      const int callee = ipa_.acg.procedure_index(site->callee);
+      if (callee >= 0)
+        graph.add_dependency(k, node_of[static_cast<size_t>(callee)]);
     }
   }
-  optimize_dynamic_decomps(result_, options_.dyn_decomp, kills);
-  return std::move(result_);
+
+  // Pre-size exports_ so tasks publish by assigning mapped values only.
+  // Digest-neutral: procedure_digest and ProcGen consult exports_ by
+  // callee name, and every real callee's value is final before its
+  // callers run.
+  for (const auto& proc : procs) exports_[proc->name];
+
+  graph.set_ready_hook([&](const std::vector<size_t>& ready) {
+    if (!cache_) return;
+    // All callee exports of `ready` are final: their digests are exact.
+    std::vector<uint64_t> digests;
+    digests.reserve(ready.size());
+    for (size_t k : ready) {
+      ProcOut& out = outs[static_cast<size_t>(order[k])];
+      out.digest =
+          procedure_digest(*procs[static_cast<size_t>(order[k])], program_,
+                           ipa_, overlaps_, options_, exports_);
+      digests.push_back(out.digest);
+    }
+    if (!pstore) return;
+    // One BATCH_GET per owning shard, issued right now as idle-worker
+    // tasks. A probe can race its own in-flight prefetch and fall
+    // through to a direct GET — correct (the store dedups promotion),
+    // merely redundant; the prefetch_requested_ ledger keeps each
+    // digest fetched at most once.
+    for (auto& group : pstore->prefetch_groups(kProcArtifactKind, digests))
+      graph.spawn_aux([pstore, group = std::move(group)] {
+        pstore->prefetch(kProcArtifactKind, proc_artifact_format_hash(),
+                         group);
+      });
+  });
+
+  graph.run(pool, [&](size_t k) {
+    const int idx = order[k];
+    const Procedure& proc = *procs[static_cast<size_t>(idx)];
+    ProcOut& out = outs[static_cast<size_t>(idx)];
+    if (cache_) {
+      if (auto hit = cache_->lookup(out.digest)) {
+        out.compiled = hit->compiled->clone_as(hit->compiled->name);
+        out.exports = hit->exports;
+        out.storage = hit->storage;
+        out.stats = hit->stats;
+        out.from_cache = true;
+      }
+    }
+    if (!out.from_cache) {
+      ProcGen gen(*this, proc);
+      out.compiled = gen.run(out.exports);
+      out.stats = gen.stats();
+      out.storage = compute_storage(*this, proc, out.exports, out.stats);
+    }
+    exports_[proc.name] = out.exports;
+  });
+  sched_stats_ += graph.stats();
+
+  // Deterministic commit: everything whose order the serial walk fixed
+  // is published in reverse topological order, regardless of the order
+  // the schedule completed nodes in.
+  for (size_t k = 0; k < order.size(); ++k) {
+    ProcOut& out = outs[static_cast<size_t>(order[k])];
+    if (out.from_cache) continue;
+    last_generated_.push_back(procs[static_cast<size_t>(order[k])]->name);
+    if (cache_) {
+      CachedProcedure entry;
+      entry.compiled = out.compiled->clone_as(out.compiled->name);
+      entry.exports = out.exports;
+      entry.storage = out.storage;
+      entry.stats = out.stats;
+      cache_->insert(out.digest, std::move(entry));
+    }
+  }
 }
 
 const ProcExports* CodeGenerator::exports_of(const std::string& proc) const {

@@ -3,14 +3,17 @@
 // instantiation of the computation partition, communication, and dynamic
 // data decomposition so callers can optimize across procedure boundaries.
 //
-// The reverse topological walk is scheduled as *wavefronts*: all
-// procedures whose callees are fully generated form one level and are
-// independent of each other, so a level's procedures can be generated
-// concurrently (options.jobs > 1) with byte-identical output — each
-// ProcGen touches only its own state, and per-level results are merged in
-// deterministic procedure order at a barrier. An optional content-hashed
-// CompilationCache short-circuits generation of procedures whose §8
-// recompilation-test inputs are unchanged since a previous compile.
+// The reverse topological walk is scheduled barrier-free by default: a
+// TaskGraph node per procedure, dependency edges to its callees, and a
+// work-stealing run over the shared ThreadPool (options.jobs > 1) — a
+// caller starts the moment its own callees finish. Each ProcGen touches
+// only its own state; results are committed in fixed reverse topological
+// order after the run, so output is byte-identical to the serial walk
+// regardless of completion order. Scheduler::Wavefront keeps the
+// depth-leveled schedule of PR 1 (a barrier per ACG level) as the
+// measurable baseline. An optional content-hashed CompilationCache
+// short-circuits generation of procedures whose §8 recompilation-test
+// inputs are unchanged since a previous compile.
 #pragma once
 
 #include <map>
@@ -28,6 +31,8 @@
 namespace fortd {
 
 class CompilationCache;
+class ContentStore;
+struct ProcOut;  // internal per-procedure result slot (codegen.cpp)
 
 /// Everything a compiled procedure exports to its (not yet compiled)
 /// callers — the concrete realization of "delayed instantiation".
@@ -70,10 +75,15 @@ public:
                 const OverlapEstimates* overlaps = nullptr,
                 ThreadPool* pool = nullptr);
 
-  /// Compile the whole program (one pass per procedure), level by level
-  /// over the ACG wavefronts. Parallel schedules (options.jobs > 1)
+  /// Compile the whole program (one pass per procedure) over the ACG
+  /// dependency graph — work-stealing by default, depth-leveled under
+  /// Scheduler::Wavefront. Parallel schedules (options.jobs > 1)
   /// produce output byte-identical to the serial walk.
   SpmdProgram generate();
+
+  /// Work-stealing scheduler counters of the last generate() (all zero
+  /// under Scheduler::Wavefront or for an empty program).
+  const TaskGraphStats& scheduler_stats() const { return sched_stats_; }
 
   /// Exports of an already compiled procedure (test/bench introspection).
   const ProcExports* exports_of(const std::string& proc) const;
@@ -93,16 +103,28 @@ public:
 private:
   friend class ProcGen;
 
+  /// The two schedules. Both fill `outs` (indexed by procedure index),
+  /// publish exports_, append last_generated_, and insert cache entries
+  /// in the same deterministic reverse topological order.
+  void schedule_wavefront(std::vector<ProcOut>& outs, ContentStore* pstore);
+  void schedule_work_stealing(std::vector<ProcOut>& outs,
+                              ContentStore* pstore);
+
   const BoundProgram& program_;
   const IpaContext& ipa_;
   CodegenOptions options_;
   OverlapEstimates overlaps_;
   CompilationCache* cache_ = nullptr;
   ThreadPool* pool_ = nullptr;  // borrowed; may be null
-  /// Exports of completed procedures. Mutated only at level barriers;
-  /// workers read entries of earlier levels concurrently.
+  /// Exports of completed procedures. Wavefront: mutated only at level
+  /// barriers, workers read entries of earlier levels. Work-stealing:
+  /// pre-sized with every procedure name before the run, then tasks
+  /// assign mapped values in place — map structure is never mutated
+  /// concurrently, and a dependency edge orders each callee's write
+  /// before any caller's read.
   std::map<std::string, ProcExports> exports_;
   std::vector<std::string> last_generated_;
+  TaskGraphStats sched_stats_;
   SpmdProgram result_;
 };
 

@@ -2,6 +2,8 @@
 // levels the paper's evaluation compares.
 #pragma once
 
+#include "support/task_graph.hpp"  // Scheduler
+
 namespace fortd {
 
 /// Overall compilation strategy.
@@ -28,10 +30,16 @@ enum class DynDecompOpt {
 
 struct CodegenOptions {
   int n_procs = 4;
-  /// Worker threads for wavefront-parallel code generation (1 = serial).
+  /// Worker threads for parallel code generation (1 = serial).
   /// Affects only the schedule: generated code is byte-identical for any
   /// value, and the field is excluded from procedure cache digests.
   int jobs = 1;
+  /// How the per-procedure schedule is driven: barrier-free
+  /// work-stealing over the ACG dependency graph (default), or the
+  /// depth-leveled wavefronts with a barrier per level (the measurable
+  /// baseline). Like jobs, schedule-only: byte-identical output, and
+  /// excluded from cache digests.
+  Scheduler scheduler = Scheduler::WorkStealing;
   Strategy strategy = Strategy::Interprocedural;
   DynDecompOpt dyn_decomp = DynDecompOpt::Full;
   /// Store nonlocal data in buffers instead of overlap regions when the

@@ -83,6 +83,15 @@ CompileResult Compiler::compile(SourceProgram ast) {
     result.stats.summaries_reused = is.summaries_reused;
     result.stats.effects_reused = is.effects_reused;
     result.stats.reaching_reused = is.reaching_reused;
+    // Scheduler counters: the IPA share lands here (codegen's was added
+    // right after generate(), which a CompileError may have skipped).
+    result.stats.sched_tasks += static_cast<long>(is.sched.executed);
+    result.stats.sched_stolen += static_cast<long>(is.sched.stolen);
+    result.stats.sched_prefetch_tasks +=
+        static_cast<long>(is.sched.aux_executed);
+    if (static_cast<int>(is.sched.ready_peak) > result.stats.sched_ready_peak)
+      result.stats.sched_ready_peak = static_cast<int>(is.sched.ready_peak);
+    result.stats.sched_idle_ipa_ms = is.sched.idle_ms;
     if (store_) {
       store_->flush();
       const ContentStore::Counters d = store_->counters();
@@ -148,6 +157,13 @@ CompileResult Compiler::compile(SourceProgram ast) {
     result.spmd = generator.generate();
     result.regenerated = generator.generated_procedures();
     result.stats.codegen_ms = ms_since(t);
+    const TaskGraphStats& cg = generator.scheduler_stats();
+    result.stats.sched_tasks = static_cast<long>(cg.executed);
+    result.stats.sched_stolen = static_cast<long>(cg.stolen);
+    result.stats.sched_prefetch_tasks = static_cast<long>(cg.aux_executed);
+    result.stats.sched_ready_peak = static_cast<int>(cg.ready_peak);
+    result.stats.sched_critical_path = static_cast<int>(cg.critical_path);
+    result.stats.sched_idle_codegen_ms = cg.idle_ms;
 
     if (lint_options_.verify_spmd) {
       t = std::chrono::steady_clock::now();
@@ -245,6 +261,16 @@ std::string Compiler::cache_stats_json() const {
     }
     out << "]}";
   }
+  // Unlike the cache tiers (cumulative), the scheduler section reports
+  // the most recent compile(): per-compile graphs are what the counters
+  // describe.
+  out << ",\"scheduler\":{\"tasks\":" << stats_.sched_tasks
+      << ",\"stolen\":" << stats_.sched_stolen
+      << ",\"prefetch_tasks\":" << stats_.sched_prefetch_tasks
+      << ",\"ready_peak\":" << stats_.sched_ready_peak
+      << ",\"critical_path\":" << stats_.sched_critical_path
+      << ",\"idle_codegen_ms\":" << stats_.sched_idle_codegen_ms
+      << ",\"idle_ipa_ms\":" << stats_.sched_idle_ipa_ms << "}";
   out << "}";
   return out.str();
 }

@@ -78,11 +78,22 @@ struct CompilerStats {
   int remote_retries = 0;  // attempts beyond the first, per request
   bool remote_degraded = false;  // EVERY shard's breaker open: local-only
 
-  // Sharded fleet + wavefront prefetch (PR 6).
+  // Sharded fleet + readiness-driven prefetch (PR 6/7).
   int remote_shards = 0;           // endpoints in the -cache-remote list
   int remote_shards_degraded = 0;  // shards whose breaker is open
-  int prefetch_issued = 0;         // keys requested ahead of their level
+  int prefetch_issued = 0;         // keys requested ahead of their need
   int prefetch_hits = 0;           // prefetched blobs that landed
+
+  // Work-stealing scheduler counters (zero under Scheduler::Wavefront or
+  // jobs == 1 inline runs of some passes): codegen + both IPA
+  // propagation passes summed, except the per-pass idle split.
+  long sched_tasks = 0;         // graph nodes executed
+  long sched_stolen = 0;        // nodes taken from another worker's deque
+  long sched_prefetch_tasks = 0;  // auxiliary prefetch batches executed
+  int sched_ready_peak = 0;     // ready-queue high-water mark (any pass)
+  int sched_critical_path = 0;  // longest dependency chain (codegen graph)
+  double sched_idle_codegen_ms = 0.0;  // worker wait time, codegen graph
+  double sched_idle_ipa_ms = 0.0;      // worker wait time, IPA graphs
 };
 
 struct CompileResult {

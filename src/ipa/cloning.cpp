@@ -141,10 +141,11 @@ IpaContext run_ipa(BoundProgram& program, const IpaOptions& options,
       for (const auto& proc : program.ast.procedures) all.insert(proc->name);
       ctx.effects = SideEffects{};
       update_side_effects(program, ctx.acg, ctx.summaries, all, ctx.effects,
-                          pool);
+                          pool, options.scheduler, &ctx.stats.sched);
       ctx.reaching = ReachingDecomps{};
       update_reaching_decomps(program, ctx.acg, ctx.summaries, all,
-                              ctx.reaching, pool);
+                              ctx.reaching, pool, options.scheduler,
+                              &ctx.stats.sched);
     } else {
       ++ctx.stats.rounds_incremental;
       // Summaries: only bodies of new clones and retargeted callers
@@ -174,7 +175,8 @@ IpaContext run_ipa(BoundProgram& program, const IpaOptions& options,
       }
       ctx.stats.effects_reused += n - static_cast<int>(dirty_fx.size());
       update_side_effects(program, ctx.acg, ctx.summaries, dirty_fx,
-                          ctx.effects, pool);
+                          ctx.effects, pool, options.scheduler,
+                          &ctx.stats.sched);
 
       // Reaching flows top-down: seed with the text-changed procedures
       // plus originals that lost sites to a clone (the retargeted edge is
@@ -187,7 +189,8 @@ IpaContext run_ipa(BoundProgram& program, const IpaOptions& options,
                       delta.cloned_origins.end());
       ctx.stats.reaching_reused +=
           n - update_reaching_decomps(program, ctx.acg, ctx.summaries,
-                                      dirty_rd, ctx.reaching, pool);
+                                      dirty_rd, ctx.reaching, pool,
+                                      options.scheduler, &ctx.stats.sched);
     }
     ctx.stats.summaries_computed += sum_stats.computed;
     ctx.stats.summaries_cached += sum_stats.cached;

@@ -28,6 +28,10 @@ struct IpaOptions {
   /// all of IPA. Results are identical either way; set to false to force
   /// full recomputation every round (tests compare the two).
   bool incremental = true;
+  /// Schedule for the parallel propagation passes (side effects,
+  /// reaching decomps): barrier-free work-stealing (default) or the
+  /// depth-leveled wavefront baseline. Results are identical either way.
+  Scheduler scheduler = Scheduler::WorkStealing;
 };
 
 /// What one cloning pass changed — the seed of the incremental dirty sets.
@@ -51,6 +55,9 @@ struct IpaStats {
   int summaries_reused = 0;    // carried over unchanged between rounds
   int effects_reused = 0;      // side-effect entries carried over
   int reaching_reused = 0;     // reaching entries carried over
+  /// Work-stealing scheduler counters summed over both propagation
+  /// passes and every cloning round (zero under Scheduler::Wavefront).
+  TaskGraphStats sched;
 };
 
 /// Everything the interprocedural propagation phase produces; the input

@@ -84,16 +84,17 @@ std::map<std::string, std::set<DecompSpec>> pull_reaching(
   return target;
 }
 
-int update_reaching_decomps(const BoundProgram& program,
-                            const AugmentedCallGraph& acg,
-                            const std::map<std::string, ProcSummary>& summaries,
-                            const std::set<std::string>& dirty,
-                            ReachingDecomps& rd, ThreadPool* pool) {
-  (void)summaries;
-  // Top-down wavefronts (caller-before-callee levels): a level's callers
-  // were all published by earlier levels, so the level's pending procedures
-  // pull independently. Slots are published at the level barrier in level
-  // order — identical maps for every schedule.
+namespace {
+
+/// The depth-leveled baseline (PR 2), kept behind Scheduler::Wavefront.
+/// Top-down wavefronts (caller-before-callee levels): a level's callers
+/// were all published by earlier levels, so the level's pending
+/// procedures pull independently. Slots are published at the level
+/// barrier in level order — identical maps for every schedule.
+int update_reaching_decomps_wavefront(
+    const BoundProgram& program, const AugmentedCallGraph& acg,
+    const std::set<std::string>& dirty, ReachingDecomps& rd,
+    ThreadPool* pool) {
   const auto& procs = program.ast.procedures;
   struct Slot {
     std::map<std::string, std::set<DecompSpec>> reaching;
@@ -151,13 +152,111 @@ int update_reaching_decomps(const BoundProgram& program,
   return static_cast<int>(recomputed.size());
 }
 
+}  // namespace
+
+int update_reaching_decomps(const BoundProgram& program,
+                            const AugmentedCallGraph& acg,
+                            const std::map<std::string, ProcSummary>& summaries,
+                            const std::set<std::string>& dirty,
+                            ReachingDecomps& rd, ThreadPool* pool,
+                            Scheduler scheduler,
+                            TaskGraphStats* sched_stats) {
+  (void)summaries;
+  if (scheduler == Scheduler::Wavefront)
+    return update_reaching_decomps_wavefront(program, acg, dirty, rd, pool);
+
+  // Barrier-free, dual edge direction to the bottom-up passes: one node
+  // per procedure in topological order (callers precede callees), each
+  // node depending on its *callers* — a procedure re-pulls the moment
+  // its own callers resolved, not when a whole depth level did.
+  //
+  // Publication is in place: rd.reaching/rd.at_stmt are pre-sized with
+  // an entry per procedure before the run, so a task assigns mapped
+  // values without mutating map structure, and caller reads
+  // (pull_reaching's const finds) are ordered after the caller's write
+  // by the dependency edge. Whether a node is a candidate (dirty, or a
+  // caller actually republished) and whether it hits the change cutoff
+  // are pure functions of its callers' outcomes, so the candidate and
+  // recomputed sets — and therefore the final maps — match the
+  // wavefront and serial schedules exactly. Pre-sized entries of nodes
+  // that never published and had no prior entry are erased afterwards:
+  // §8 recompilation hashes are sensitive to entry *presence*
+  // (hash_recompilation mixes Reaching(P) only when the entry exists),
+  // so a lingering empty entry would perturb digests.
+  const auto& procs = program.ast.procedures;
+  const std::vector<int>& order = acg.topological_indices();
+  std::vector<size_t> node_of(procs.size(), 0);
+  for (size_t k = 0; k < order.size(); ++k)
+    node_of[static_cast<size_t>(order[k])] = k;
+
+  TaskGraph graph(order.size());
+  for (size_t k = 0; k < order.size(); ++k) {
+    const std::string& name = procs[static_cast<size_t>(order[k])]->name;
+    for (const CallSiteInfo* site : acg.calls_to(name)) {
+      const int caller = acg.procedure_index(site->caller);
+      if (caller >= 0)
+        graph.add_dependency(k, node_of[static_cast<size_t>(caller)]);
+    }
+  }
+
+  // had[k]: a stored entry predates this update — the change cutoff must
+  // distinguish a genuine prior fixed point from the pre-sized
+  // placeholder (an empty placeholder would spuriously equal an empty
+  // pulled set and skip LocalReaching resolution).
+  std::vector<char> had(order.size(), 0);
+  std::vector<char> published(order.size(), 0);
+  for (size_t k = 0; k < order.size(); ++k) {
+    const std::string& name = procs[static_cast<size_t>(order[k])]->name;
+    had[k] = rd.reaching.count(name) ? 1 : 0;
+    rd.reaching[name];
+    rd.at_stmt[name];
+  }
+
+  graph.run(pool, [&](size_t k) {
+    const Procedure& proc = *procs[static_cast<size_t>(order[k])];
+    bool candidate = dirty.count(proc.name) > 0;
+    if (!candidate)
+      for (const CallSiteInfo* site : acg.calls_to(proc.name)) {
+        const int caller = acg.procedure_index(site->caller);
+        if (caller >= 0 && published[node_of[static_cast<size_t>(caller)]]) {
+          candidate = true;
+          break;
+        }
+      }
+    if (!candidate) return;
+    auto pulled = pull_reaching(program, acg, rd, proc.name);
+    // Change cutoff: text unchanged + identical pulled input ⇒ the
+    // stored Reaching/at_stmt entries are still the fixed point.
+    if (!dirty.count(proc.name) && had[k] &&
+        rd.reaching[proc.name] == pulled)
+      return;
+    rd.at_stmt[proc.name] = compute_local_reaching(program, proc, pulled);
+    rd.reaching[proc.name] = std::move(pulled);
+    published[k] = 1;
+  });
+  if (sched_stats) *sched_stats += graph.stats();
+
+  int recomputed = 0;
+  for (size_t k = 0; k < order.size(); ++k) {
+    if (published[k]) {
+      ++recomputed;
+    } else if (!had[k]) {
+      const std::string& name = procs[static_cast<size_t>(order[k])]->name;
+      rd.reaching.erase(name);
+      rd.at_stmt.erase(name);
+    }
+  }
+  return recomputed;
+}
+
 ReachingDecomps compute_reaching_decomps(
     const BoundProgram& program, const AugmentedCallGraph& acg,
-    const std::map<std::string, ProcSummary>& summaries, ThreadPool* pool) {
+    const std::map<std::string, ProcSummary>& summaries, ThreadPool* pool,
+    Scheduler scheduler) {
   ReachingDecomps rd;
   std::set<std::string> all;
   for (const auto& proc : program.ast.procedures) all.insert(proc->name);
-  update_reaching_decomps(program, acg, summaries, all, rd, pool);
+  update_reaching_decomps(program, acg, summaries, all, rd, pool, scheduler);
   return rd;
 }
 

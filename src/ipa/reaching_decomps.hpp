@@ -13,6 +13,7 @@
 
 #include "ipa/call_graph.hpp"
 #include "ipa/summaries.hpp"
+#include "support/task_graph.hpp"
 
 namespace fortd {
 
@@ -56,8 +57,10 @@ std::map<std::string, std::set<DecompSpec>> pull_reaching(
     const ReachingDecomps& rd, const std::string& callee);
 
 /// Recompute Reaching and at_stmt top-down over the caller-before-callee
-/// wavefront levels (a level's pending procedures run concurrently on
-/// `pool` when given), reusing everything else already in `rd`.
+/// dependency order (pending procedures run concurrently on `pool` when
+/// given — work-stealing by default, depth levels with barriers under
+/// Scheduler::Wavefront; identical maps either way), reusing everything
+/// else already in `rd`.
 ///
 /// `dirty` seeds the procedures whose *text* changed (they are always
 /// recomputed). Caller changes propagate with a change cutoff: a callee of
@@ -70,11 +73,14 @@ int update_reaching_decomps(const BoundProgram& program,
                             const AugmentedCallGraph& acg,
                             const std::map<std::string, ProcSummary>& summaries,
                             const std::set<std::string>& dirty,
-                            ReachingDecomps& rd, ThreadPool* pool = nullptr);
+                            ReachingDecomps& rd, ThreadPool* pool = nullptr,
+                            Scheduler scheduler = Scheduler::WorkStealing,
+                            TaskGraphStats* sched_stats = nullptr);
 
 ReachingDecomps compute_reaching_decomps(
     const BoundProgram& program, const AugmentedCallGraph& acg,
     const std::map<std::string, ProcSummary>& summaries,
-    ThreadPool* pool = nullptr);
+    ThreadPool* pool = nullptr,
+    Scheduler scheduler = Scheduler::WorkStealing);
 
 }  // namespace fortd

@@ -102,15 +102,17 @@ ProcEffects compute_proc_effects(
   return out;
 }
 
-void update_side_effects(const BoundProgram& program,
-                         const AugmentedCallGraph& acg,
-                         const std::map<std::string, ProcSummary>& summaries,
-                         const std::set<std::string>& dirty, SideEffects& fx,
-                         ThreadPool* pool) {
-  // Bottom-up wavefronts: a level's callees were all published by earlier
-  // levels, so the level's dirty procedures are independent. Results go
-  // into slots and are published at the level barrier in level order, so
-  // any schedule (including jobs=1) produces identical maps.
+namespace {
+
+/// The depth-leveled baseline (PR 2): a level's callees were all
+/// published by earlier levels, so the level's dirty procedures are
+/// independent. Results go into slots and are published at the level
+/// barrier in level order. Kept behind Scheduler::Wavefront as the
+/// measurable barrier baseline and the parity reference.
+void update_side_effects_wavefront(
+    const BoundProgram& program, const AugmentedCallGraph& acg,
+    const std::map<std::string, ProcSummary>& summaries,
+    const std::set<std::string>& dirty, SideEffects& fx, ThreadPool* pool) {
   const auto& procs = program.ast.procedures;
   for (const std::vector<int>& level : acg.wavefront_levels()) {
     std::vector<int> pending;
@@ -139,13 +141,71 @@ void update_side_effects(const BoundProgram& program,
   }
 }
 
+}  // namespace
+
+void update_side_effects(const BoundProgram& program,
+                         const AugmentedCallGraph& acg,
+                         const std::map<std::string, ProcSummary>& summaries,
+                         const std::set<std::string>& dirty, SideEffects& fx,
+                         ThreadPool* pool, Scheduler scheduler,
+                         TaskGraphStats* sched_stats) {
+  if (scheduler == Scheduler::Wavefront) {
+    update_side_effects_wavefront(program, acg, summaries, dirty, fx, pool);
+    return;
+  }
+  // Barrier-free: one graph node per procedure in reverse topological
+  // order (a valid topological order of the callee→caller dependency
+  // edges), each dirty node recomputing its entries the moment its own
+  // callees are published — not when a whole depth level is. The four
+  // maps are pre-sized with every dirty name before the run, so a task
+  // publishes by assigning mapped values in place: concurrent tasks
+  // touch disjoint entries and never mutate map structure, and callee
+  // reads (const find in compute_proc_effects) are ordered after the
+  // callee's write by the dependency edge. The final maps are a
+  // per-procedure function of the callee entries, so every schedule —
+  // including the serial index-order walk — produces identical maps.
+  const auto& procs = program.ast.procedures;
+  const std::vector<int> order = acg.reverse_topological_indices();
+  std::vector<size_t> node_of(procs.size(), 0);
+  for (size_t k = 0; k < order.size(); ++k)
+    node_of[static_cast<size_t>(order[k])] = k;
+
+  TaskGraph graph(order.size());
+  for (size_t k = 0; k < order.size(); ++k) {
+    const std::string& name = procs[static_cast<size_t>(order[k])]->name;
+    for (const CallSiteInfo* site : acg.calls_from(name)) {
+      const int callee = acg.procedure_index(site->callee);
+      if (callee >= 0)
+        graph.add_dependency(k, node_of[static_cast<size_t>(callee)]);
+    }
+  }
+  for (const auto& proc : procs) {
+    if (!dirty.count(proc->name)) continue;
+    fx.gmod[proc->name];
+    fx.gref[proc->name];
+    fx.gdefs[proc->name];
+    fx.guses[proc->name];
+  }
+  graph.run(pool, [&](size_t k) {
+    const std::string& name = procs[static_cast<size_t>(order[k])]->name;
+    if (!dirty.count(name)) return;  // carried over unchanged
+    ProcEffects e = compute_proc_effects(program, acg, summaries, fx, name);
+    fx.gmod[name] = std::move(e.mod);
+    fx.gref[name] = std::move(e.ref);
+    fx.gdefs[name] = std::move(e.defs);
+    fx.guses[name] = std::move(e.uses);
+  });
+  if (sched_stats) *sched_stats += graph.stats();
+}
+
 SideEffects compute_side_effects(
     const BoundProgram& program, const AugmentedCallGraph& acg,
-    const std::map<std::string, ProcSummary>& summaries, ThreadPool* pool) {
+    const std::map<std::string, ProcSummary>& summaries, ThreadPool* pool,
+    Scheduler scheduler) {
   SideEffects fx;
   std::set<std::string> all;
   for (const auto& proc : program.ast.procedures) all.insert(proc->name);
-  update_side_effects(program, acg, summaries, all, fx, pool);
+  update_side_effects(program, acg, summaries, all, fx, pool, scheduler);
   return fx;
 }
 

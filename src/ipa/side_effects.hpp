@@ -15,6 +15,7 @@
 
 #include "ipa/call_graph.hpp"
 #include "ipa/summaries.hpp"
+#include "support/task_graph.hpp"
 
 namespace fortd {
 
@@ -55,18 +56,25 @@ ProcEffects compute_proc_effects(const BoundProgram& program,
                                  const SideEffects& fx, const std::string& name);
 
 /// Recompute the entries of every procedure in `dirty` bottom-up over the
-/// ACG wavefront levels (procedures of a level run concurrently on `pool`
-/// when given), reusing all other entries already in `fx`. `dirty` must be
-/// closed upward: a procedure whose callee is dirty must itself be dirty.
+/// ACG (callee-before-caller dependency order; dirty procedures run
+/// concurrently on `pool` when given — work-stealing by default, depth
+/// levels with barriers under Scheduler::Wavefront), reusing all other
+/// entries already in `fx`. `dirty` must be closed upward: a procedure
+/// whose callee is dirty must itself be dirty. Resulting maps are
+/// identical for every schedule and jobs count. `sched_stats`, when
+/// non-null, accumulates the work-stealing run's counters.
 void update_side_effects(const BoundProgram& program,
                          const AugmentedCallGraph& acg,
                          const std::map<std::string, ProcSummary>& summaries,
                          const std::set<std::string>& dirty, SideEffects& fx,
-                         ThreadPool* pool = nullptr);
+                         ThreadPool* pool = nullptr,
+                         Scheduler scheduler = Scheduler::WorkStealing,
+                         TaskGraphStats* sched_stats = nullptr);
 
 SideEffects compute_side_effects(const BoundProgram& program,
                                  const AugmentedCallGraph& acg,
                                  const std::map<std::string, ProcSummary>& summaries,
-                                 ThreadPool* pool = nullptr);
+                                 ThreadPool* pool = nullptr,
+                                 Scheduler scheduler = Scheduler::WorkStealing);
 
 }  // namespace fortd

@@ -1,5 +1,7 @@
 #include "support/thread_pool.hpp"
 
+#include <cassert>
+
 namespace fortd {
 
 ThreadPool::ThreadPool(int threads) {
@@ -10,6 +12,12 @@ ThreadPool::ThreadPool(int threads) {
 }
 
 void ThreadPool::ensure_workers(int threads) {
+  {
+    // Growing workers_ races the lockless reads in parallel_for/size();
+    // catching a mid-batch call here turns a heisenbug into an abort.
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(!batch_active_ && "ensure_workers must not race parallel_for");
+  }
   while (static_cast<int>(workers_.size()) < threads)
     workers_.emplace_back([this] { worker_loop(); });
 }
@@ -66,7 +74,7 @@ void ThreadPool::drain_batch() {
 }
 
 void ThreadPool::parallel_for(size_t n, const std::function<void(size_t)>& fn) {
-  if (n == 0) return;
+  if (n == 0) return;  // guaranteed no-op: batch state untouched
   if (workers_.empty() || n == 1) {
     // Inline: still capture-and-rethrow so behaviour matches the pool.
     for (size_t i = 0; i < n; ++i) fn(i);
@@ -74,6 +82,7 @@ void ThreadPool::parallel_for(size_t n, const std::function<void(size_t)>& fn) {
   }
   {
     std::lock_guard<std::mutex> lock(mu_);
+    batch_active_ = true;
     fn_ = &fn;
     next_ = 0;
     total_ = n;
@@ -88,6 +97,7 @@ void ThreadPool::parallel_for(size_t n, const std::function<void(size_t)>& fn) {
     std::unique_lock<std::mutex> lock(mu_);
     done_cv_.wait(lock, [&] { return completed_ == total_; });
     fn_ = nullptr;
+    batch_active_ = false;
     errors = std::move(errors_);
     errors_.clear();
   }

@@ -30,13 +30,20 @@ public:
   /// Grow the pool to at least `threads` workers (never shrinks). The
   /// machine simulator needs this: processor bodies block on each other
   /// (barriers, receives), so they deadlock unless the batch concurrency
-  /// (workers + caller) covers every processor. Must not be called
-  /// concurrently with parallel_for.
+  /// (workers + caller) covers every processor.
+  ///
+  /// Invariant: must not run while a batch is in flight — workers_ is
+  /// read locklessly by parallel_for/size(), and a mid-batch append
+  /// would race them. Debug builds assert this; callers must sequence
+  /// ensure_workers strictly between batches (the simulator grows the
+  /// pool before machine start-up, never from a processor body).
   void ensure_workers(int threads);
 
   /// Run fn(i) for every i in [0, n). The caller participates in the
   /// batch, so a pool of k workers applies k+1 threads. Blocks until all
   /// indices finished; rethrows the lowest-index captured exception.
+  /// n == 0 is guaranteed to be a no-op that never touches batch state
+  /// (no lock, no generation bump, no worker wake-up).
   void parallel_for(size_t n, const std::function<void(size_t)>& fn);
 
 private:
@@ -51,6 +58,7 @@ private:
   bool stop_ = false;
 
   // Current batch (guarded by mu_).
+  bool batch_active_ = false;  // set for the whole parallel_for span
   const std::function<void(size_t)>* fn_ = nullptr;
   size_t next_ = 0;
   size_t total_ = 0;

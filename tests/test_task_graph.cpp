@@ -1,0 +1,448 @@
+// The barrier-free work-stealing scheduler (TaskGraph) and its three
+// consumers:
+//   * TaskGraph shape tests — chain, diamond, fan — respect dependency
+//     order under stealing, fire the ready hook before each body, and
+//     account executed/stolen/ready-peak/critical-path,
+//   * exception policy: dependents of a failed node are cancelled, every
+//     independent node still runs, the lowest-index failure is rethrown
+//     (the serial first-failure), and the pool survives for reuse,
+//   * byte-identity: serial, wavefront, and work-stealing schedules
+//     print identical SPMD programs with identical cache hit/miss
+//     counts across jobs 1/2/4,
+//   * both IPA propagation passes produce identical maps under either
+//     scheduler,
+//   * readiness-driven prefetch accounting against a warm daemon fleet,
+//   * ThreadPool satellites: parallel_for(0) never touches batch state,
+//     ensure_workers grows the pool between batches.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "../bench/programs.hpp"
+#include "codegen/spmd_printer.hpp"
+#include "driver/compiler.hpp"
+#include "fleet_harness.hpp"
+#include "frontend/parser.hpp"
+#include "support/task_graph.hpp"
+#include "support/thread_pool.hpp"
+
+namespace fortd {
+namespace {
+
+using fleet_test::TestFleet;
+using fleet_test::fresh_cache_dir;
+
+// ---------------------------------------------------------------------------
+// TaskGraph shapes
+// ---------------------------------------------------------------------------
+
+/// Records completion order and asserts every dependency finished before
+/// its dependent started.
+struct OrderRecorder {
+  std::mutex mu;
+  std::vector<size_t> done;
+  std::vector<char> finished;
+
+  explicit OrderRecorder(size_t n) : finished(n, 0) {}
+
+  void body(size_t i, const std::vector<std::pair<size_t, size_t>>& edges) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto& [node, dep] : edges)
+      if (node == i)
+        EXPECT_TRUE(finished[dep]) << "node " << i << " ran before dep " << dep;
+    finished[i] = 1;
+    done.push_back(i);
+  }
+};
+
+void run_shape(size_t n, const std::vector<std::pair<size_t, size_t>>& edges,
+               ThreadPool* pool, size_t expect_critical_path) {
+  TaskGraph graph(n);
+  for (const auto& [node, dep] : edges) graph.add_dependency(node, dep);
+  OrderRecorder rec(n);
+  graph.run(pool, [&](size_t i) { rec.body(i, edges); });
+  EXPECT_EQ(rec.done.size(), n);
+  EXPECT_EQ(graph.stats().executed, n);
+  EXPECT_EQ(graph.stats().cancelled, 0u);
+  EXPECT_EQ(graph.stats().critical_path, expect_critical_path);
+  EXPECT_GE(graph.stats().ready_peak, 1u);
+}
+
+TEST(TaskGraph, ChainDiamondAndFanRespectDependencies) {
+  ThreadPool pool(3);
+  // Chain 0 -> 1 -> 2 -> 3 (edges point dep -> dependent).
+  run_shape(4, {{1, 0}, {2, 1}, {3, 2}}, &pool, 4);
+  // Diamond: 1 and 2 depend on 0; 3 joins them.
+  run_shape(4, {{1, 0}, {2, 0}, {3, 1}, {3, 2}}, &pool, 3);
+  // Fan: 8 leaves feeding one root.
+  {
+    std::vector<std::pair<size_t, size_t>> edges;
+    for (size_t leaf = 0; leaf < 8; ++leaf) edges.push_back({8, leaf});
+    run_shape(9, edges, &pool, 2);
+  }
+  // Inline (no pool) runs in index order.
+  {
+    TaskGraph graph(5);
+    graph.add_dependency(4, 1);
+    std::vector<size_t> order;
+    graph.run(nullptr, [&](size_t i) { order.push_back(i); });
+    EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+  }
+}
+
+TEST(TaskGraph, ReadyHookFiresOnceBeforeEachBody) {
+  ThreadPool pool(3);
+  const size_t n = 16;
+  TaskGraph graph(n);
+  for (size_t i = 1; i < n; ++i) graph.add_dependency(i, i / 2);  // tree
+  std::mutex mu;
+  std::vector<int> hooked(n, 0);
+  graph.set_ready_hook([&](const std::vector<size_t>& ready) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (size_t r : ready) hooked[r]++;
+  });
+  graph.run(&pool, [&](size_t i) {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_EQ(hooked[i], 1) << "body " << i << " ran before its ready hook";
+  });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(hooked[i], 1);
+}
+
+TEST(TaskGraph, AuxTasksRunOnIdleSlotsAndDropAtTermination) {
+  ThreadPool pool(3);
+  TaskGraph graph(4);
+  std::atomic<int> aux_ran{0};
+  graph.set_ready_hook([&](const std::vector<size_t>& ready) {
+    for (size_t r = 0; r < ready.size(); ++r)
+      graph.spawn_aux([&] { aux_ran++; });
+  });
+  graph.run(&pool, [](size_t) {});
+  const auto& st = graph.stats();
+  EXPECT_EQ(st.aux_executed + st.aux_dropped, 4u);
+  EXPECT_EQ(static_cast<uint64_t>(aux_ran.load()), st.aux_executed);
+
+  // Inline: spawn_aux executes at the spawn point, nothing dropped.
+  TaskGraph inline_graph(2);
+  std::vector<int> trace;
+  inline_graph.set_ready_hook([&](const std::vector<size_t>& ready) {
+    for (size_t r = 0; r < ready.size(); ++r)
+      inline_graph.spawn_aux([&] { trace.push_back(-1); });
+  });
+  inline_graph.run(nullptr, [&](size_t i) { trace.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(trace, (std::vector<int>{-1, -1, 0, 1}));
+  EXPECT_EQ(inline_graph.stats().aux_dropped, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Exceptions
+// ---------------------------------------------------------------------------
+
+TEST(TaskGraph, LowestIndexFailureWinsAndPoolSurvives) {
+  ThreadPool pool(3);
+  // 8 independent nodes; 3 and 5 throw. Serial index order reports 3
+  // first, so the parallel run must too — and nodes 0..7 except none
+  // are cancelled (no dependents).
+  TaskGraph graph(8);
+  std::atomic<int> ran{0};
+  try {
+    graph.run(&pool, [&](size_t i) {
+      ran++;
+      if (i == 3) throw std::runtime_error("node3");
+      if (i == 5) throw std::runtime_error("node5");
+    });
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "node3");
+  }
+  EXPECT_EQ(ran.load(), 8);
+  EXPECT_EQ(graph.stats().cancelled, 0u);
+
+  // Dependents of a failed node are cancelled transitively; siblings run.
+  TaskGraph chain(4);
+  chain.add_dependency(1, 0);
+  chain.add_dependency(2, 1);
+  chain.add_dependency(3, 0);  // sibling branch, must still run
+  std::atomic<int> ran2{0};
+  try {
+    chain.run(&pool, [&](size_t i) {
+      ran2++;
+      if (i == 1) throw std::runtime_error("mid");
+    });
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "mid");
+  }
+  EXPECT_EQ(ran2.load(), 3);  // 0, 1, 3; node 2 cancelled
+  EXPECT_EQ(chain.stats().cancelled, 1u);
+
+  // The pool is reusable after both throws.
+  std::atomic<int> after{0};
+  pool.parallel_for(16, [&](size_t) { after++; });
+  EXPECT_EQ(after.load(), 16);
+}
+
+TEST(TaskGraph, InlineThrowMatchesSerialFirstFailure) {
+  TaskGraph graph(4);
+  std::vector<size_t> ran;
+  EXPECT_THROW(graph.run(nullptr,
+                         [&](size_t i) {
+                           ran.push_back(i);
+                           if (i == 2) throw std::runtime_error("x");
+                         }),
+               std::runtime_error);
+  EXPECT_EQ(ran, (std::vector<size_t>{0, 1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Byte-identity across schedulers
+// ---------------------------------------------------------------------------
+
+std::string compile_sched(const std::string& src, Scheduler sched, int jobs,
+                          CompilerStats* stats = nullptr) {
+  CodegenOptions opt;
+  opt.n_procs = 4;
+  opt.jobs = jobs;
+  opt.scheduler = sched;
+  IpaOptions iopt;
+  iopt.scheduler = sched;
+  Compiler compiler(opt, iopt);
+  CompileResult r = compiler.compile_source(src);
+  if (stats) *stats = r.stats;
+  return print_spmd(r.spmd);
+}
+
+class SchedulerDeterminism
+    : public ::testing::TestWithParam<std::pair<const char*, std::string>> {};
+
+TEST_P(SchedulerDeterminism, AllSchedulesPrintIdentically) {
+  const std::string& src = GetParam().second;
+  CompilerStats serial_stats;
+  std::string serial =
+      compile_sched(src, Scheduler::Wavefront, 1, &serial_stats);
+  ASSERT_FALSE(serial.empty());
+  for (int jobs : {1, 2, 4}) {
+    CompilerStats ws;
+    EXPECT_EQ(serial, compile_sched(src, Scheduler::WorkStealing, jobs, &ws))
+        << "work-stealing jobs=" << jobs;
+    EXPECT_EQ(serial_stats.cache_hits, ws.cache_hits) << "jobs=" << jobs;
+    EXPECT_EQ(serial_stats.cache_misses, ws.cache_misses) << "jobs=" << jobs;
+    EXPECT_EQ(serial_stats.generated, ws.generated) << "jobs=" << jobs;
+    CompilerStats wf;
+    EXPECT_EQ(serial, compile_sched(src, Scheduler::Wavefront, jobs, &wf))
+        << "wavefront jobs=" << jobs;
+    EXPECT_EQ(serial_stats.cache_misses, wf.cache_misses) << "jobs=" << jobs;
+  }
+}
+
+const char* kJacobi = R"(
+      program jacobi
+      real u(256)
+      real unew(256)
+      integer i, t
+      distribute u(block)
+      distribute unew(block)
+      do i = 1, 256
+        u(i) = modp(i*13, 97) * 1.0
+      enddo
+      do t = 1, 20
+        do i = 2, 255
+          unew(i) = 0.5 * (u(i-1) + u(i+1))
+        enddo
+        do i = 2, 255
+          u(i) = unew(i)
+        enddo
+      enddo
+      end
+)";
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloads, SchedulerDeterminism,
+    ::testing::Values(
+        std::make_pair("jacobi", std::string(kJacobi)),
+        std::make_pair("dgefa", bench::dgefa(16)),
+        std::make_pair("cloning_fanout", bench::cloning_fanout(8, 4, 32)),
+        std::make_pair("chain_fanout", bench::chain_fanout(6, 8, 64))),
+    [](const auto& info) { return info.param.first; });
+
+TEST(SchedulerDeterminism, RecompileRegeneratesTheSameSetUnderBothSchedules) {
+  // Warm compile + one-leaf edit: the cache must regenerate exactly the
+  // same procedures whichever schedule probes it.
+  const std::string base = bench::fan_out(12, 64);
+  const std::string edited = bench::fan_out(12, 64, /*edited_leaf=*/5);
+  std::vector<std::vector<std::string>> regenerated;
+  for (Scheduler sched : {Scheduler::WorkStealing, Scheduler::Wavefront}) {
+    CodegenOptions opt;
+    opt.n_procs = 4;
+    opt.jobs = 4;
+    opt.scheduler = sched;
+    IpaOptions iopt;
+    iopt.scheduler = sched;
+    Compiler compiler(opt, iopt);
+    compiler.compile_source(base);
+    CompileResult r = compiler.compile_source(edited);
+    regenerated.push_back(r.regenerated);
+  }
+  EXPECT_EQ(regenerated[0], (std::vector<std::string>{"leaf5"}));
+  EXPECT_EQ(regenerated[0], regenerated[1]);
+}
+
+// ---------------------------------------------------------------------------
+// IPA passes under both schedulers
+// ---------------------------------------------------------------------------
+
+std::string dump_effects(const SideEffects& fx) {
+  std::ostringstream os;
+  auto names = [&](const char* tag,
+                   const std::map<std::string, std::set<std::string>>& m) {
+    for (const auto& [proc, vars] : m) {
+      os << tag << " " << proc << ":";
+      for (const auto& v : vars) os << " " << v;
+      os << "\n";
+    }
+  };
+  names("gmod", fx.gmod);
+  names("gref", fx.gref);
+  auto sections =
+      [&](const char* tag,
+          const std::map<std::string, std::map<std::string, RsdList>>& m) {
+        for (const auto& [proc, arrays] : m) {
+          os << tag << " " << proc << ":";
+          for (const auto& [a, list] : arrays) os << " " << a << "=" << list.str();
+          os << "\n";
+        }
+      };
+  sections("gdefs", fx.gdefs);
+  sections("guses", fx.guses);
+  return os.str();
+}
+
+TEST(SchedulerDeterminism, IpaPassesMatchAcrossSchedulers) {
+  for (const std::string& src :
+       {bench::dgefa(16), bench::chain_fanout(6, 8, 64),
+        bench::cloning_fanout(8, 4, 32)}) {
+    // One bound program, so statement pointers are comparable across runs.
+    BoundProgram bp = parse_and_bind(src);
+    AugmentedCallGraph acg = AugmentedCallGraph::build(bp);
+    auto summaries = compute_all_summaries(bp);
+    ThreadPool pool(3);
+
+    SideEffects fx_wave = compute_side_effects(bp, acg, summaries, nullptr,
+                                               Scheduler::Wavefront);
+    SideEffects fx_steal = compute_side_effects(bp, acg, summaries, &pool,
+                                                Scheduler::WorkStealing);
+    EXPECT_EQ(dump_effects(fx_wave), dump_effects(fx_steal));
+
+    ReachingDecomps rd_wave = compute_reaching_decomps(
+        bp, acg, summaries, nullptr, Scheduler::Wavefront);
+    ReachingDecomps rd_steal = compute_reaching_decomps(
+        bp, acg, summaries, &pool, Scheduler::WorkStealing);
+    EXPECT_EQ(rd_wave.reaching, rd_steal.reaching);
+    EXPECT_EQ(rd_wave.at_stmt, rd_steal.at_stmt);
+
+    // Entry presence must match too (§8 digests hash presence): the
+    // work-stealing pre-size/erase dance must not leave placeholders.
+    EXPECT_EQ(rd_wave.reaching.size(), rd_steal.reaching.size());
+  }
+}
+
+TEST(SchedulerDeterminism, SchedulerChoiceDoesNotPerturbDigests) {
+  // Same program compiled by two Compilers that differ only in
+  // scheduler: the second must hit the first's artifacts through a
+  // shared cache directory — digests exclude the schedule.
+  const std::string dir = fresh_cache_dir("sched_digest");
+  const std::string src = bench::chain_fanout(5, 6, 64);
+  auto compile_into = [&](Scheduler sched) {
+    CodegenOptions opt;
+    opt.n_procs = 4;
+    opt.jobs = 2;
+    opt.scheduler = sched;
+    CacheOptions copt;
+    copt.dir = dir;
+    Compiler compiler(opt, {}, {}, copt);
+    return compiler.compile_source(src);
+  };
+  CompileResult warm = compile_into(Scheduler::Wavefront);
+  EXPECT_EQ(warm.stats.generated, 12);
+  CompileResult cold = compile_into(Scheduler::WorkStealing);
+  EXPECT_EQ(cold.stats.generated, 0)
+      << "work-stealing digests must match wavefront digests";
+}
+
+// ---------------------------------------------------------------------------
+// Readiness-driven prefetch against a warm fleet
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerDeterminism, ReadinessPrefetchLandsAgainstWarmFleet) {
+  TestFleet fleet("sched_prefetch", 2);
+  const std::string src = bench::chain_fanout(6, 8, 64);
+  auto compile_fleet = [&](const std::string& dir, int jobs,
+                           Scheduler sched) {
+    CodegenOptions opt;
+    opt.n_procs = 4;
+    opt.jobs = jobs;
+    opt.scheduler = sched;
+    IpaOptions iopt;
+    iopt.scheduler = sched;
+    CacheOptions copt;
+    copt.dir = dir;
+    copt.remote_endpoint = fleet.endpoints();
+    Compiler compiler(opt, iopt, {}, copt);
+    CompileResult r = compiler.compile_source(src);
+    EXPECT_FALSE(compiler.remote_store()->any_degraded())
+        << compiler.remote_store()->degraded_reason();
+    return r;
+  };
+
+  compile_fleet(fresh_cache_dir("sp_warm"), 1, Scheduler::WorkStealing);
+
+  // Cold work-stealing compile: every digest is finalized by the ready
+  // hook and batch-prefetched, so nothing should be generated and the
+  // prefetcher must have done real work — serial and parallel alike.
+  for (int jobs : {1, 2}) {
+    CompileResult cold = compile_fleet(
+        fresh_cache_dir("sp_cold" + std::to_string(jobs)), jobs,
+        Scheduler::WorkStealing);
+    EXPECT_EQ(cold.stats.generated, 0) << "jobs=" << jobs;
+    EXPECT_GT(cold.stats.prefetch_issued, 0) << "jobs=" << jobs;
+    EXPECT_GT(cold.stats.prefetch_hits, 0) << "jobs=" << jobs;
+    EXPECT_LE(cold.stats.prefetch_hits, cold.stats.prefetch_issued);
+    EXPECT_GE(cold.stats.remote_hits, cold.stats.prefetch_hits);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool satellites
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, EmptyBatchIsANoOp) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+  // Batch state untouched: ensure_workers (asserts no batch in flight in
+  // debug builds) and a real batch both still work.
+  pool.ensure_workers(3);
+  EXPECT_GE(pool.size(), 3);
+  std::atomic<int> ran{0};
+  pool.parallel_for(8, [&](size_t) { ran++; });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPool, EnsureWorkersGrowsBetweenBatches) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  std::atomic<int> ran{0};
+  pool.parallel_for(4, [&](size_t) { ran++; });
+  pool.ensure_workers(4);
+  EXPECT_EQ(pool.size(), 4);
+  pool.ensure_workers(2);  // never shrinks
+  EXPECT_EQ(pool.size(), 4);
+  pool.parallel_for(12, [&](size_t) { ran++; });
+  EXPECT_EQ(ran.load(), 16);
+}
+
+}  // namespace
+}  // namespace fortd
