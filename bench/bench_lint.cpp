@@ -6,6 +6,7 @@
 #include "analysis/lint/lint.hpp"
 #include "analysis/lint/spmd_verifier.hpp"
 #include "driver/compiler.hpp"
+#include "ipa/alias.hpp"
 #include "programs.hpp"
 #include "support/thread_pool.hpp"
 
@@ -68,6 +69,46 @@ void BM_SpmdVerifier(benchmark::State& state) {
   }
 }
 
+// Interprocedural may-alias propagation over the ACG (serial vs the
+// work-stealing TaskGraph): runs once per IPA round, so it must stay
+// cheap relative to summary/side-effect propagation.
+void BM_AliasAnalysis(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  std::string src = fortd::bench::cloning_fanout(16, 3, 64);
+  fortd::BoundProgram bp = fortd::parse_and_bind(src);
+  fortd::AugmentedCallGraph acg = fortd::AugmentedCallGraph::build(bp);
+  fortd::ThreadPool pool(jobs > 1 ? jobs - 1 : 0);
+  fortd::ThreadPool* p = jobs > 1 ? &pool : nullptr;
+  for (auto _ : state) {
+    fortd::AliasMap am = fortd::compute_alias_map(bp, acg, p);
+    { auto sink = am.total_pairs(); benchmark::DoNotOptimize(sink); }
+  }
+  state.counters["procs"] = static_cast<double>(bp.ast.procedures.size());
+  state.counters["jobs"] = jobs;
+}
+
+// The order-sensitive deadlock simulation rides on every clean verify
+// scope; measure the verifier end-to-end on comm-heavy generated code at
+// a processor count that exercises the per-processor sequences.
+void BM_DeadlockSim(benchmark::State& state) {
+  const int n_procs = static_cast<int>(state.range(0));
+  std::string src = fortd::bench::call_chain(32, 256);
+  fortd::CodegenOptions opt;
+  opt.n_procs = n_procs;
+  fortd::Compiler compiler(opt);
+  fortd::CompileResult r = compiler.compile_source(src);
+  for (auto _ : state) {
+    fortd::SpmdVerifyReport report = fortd::verify_spmd(r.spmd);
+    { auto sink = report.deadlocks; benchmark::DoNotOptimize(sink); }
+  }
+  {
+    fortd::SpmdVerifyReport report = fortd::verify_spmd(r.spmd);
+    state.counters["sends"] = report.sends;
+    state.counters["collectives"] = report.collectives;
+    state.counters["deadlocks"] = report.deadlocks;
+  }
+}
+
 }  // namespace
 
 BENCHMARK(BM_LintPass)->Arg(4)->Arg(16)->Arg(64)
@@ -75,6 +116,10 @@ BENCHMARK(BM_LintPass)->Arg(4)->Arg(16)->Arg(64)
 BENCHMARK(BM_LintPassParallel)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_SpmdVerifier)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_AliasAnalysis)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DeadlockSim)->Arg(2)->Arg(8)
     ->Unit(benchmark::kMicrosecond);
 
 BENCHMARK_MAIN();

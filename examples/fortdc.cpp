@@ -244,7 +244,10 @@ int main(int argc, char** argv) {
     if (!quiet) std::fputs(print_spmd(result.spmd).c_str(), stdout);
 
     if (lint_options.analyze) {
-      if (lint_json) std::fputs(result.lint.json().c_str(), stdout);
+      // last_lint_report() folds the verifier's findings into the lint
+      // report, so the JSON stream carries an id for every finding.
+      if (lint_json)
+        std::fputs(compiler.last_lint_report().json().c_str(), stdout);
       std::fputs(result.lint.text().c_str(), stderr);
       std::fputs(result.verify.text().c_str(), stderr);
       std::fprintf(stderr,

@@ -425,6 +425,58 @@ public:
   }
 };
 
+// ---------------------------------------------------------------------------
+// fortd-alias-hazard — write through one name of a may-alias pair
+// ---------------------------------------------------------------------------
+//
+// The interprocedural alias pass (§6.4, ipa/alias.hpp) records pairs of
+// names a call chain can bind to overlapping storage. Decomposition
+// propagation, overlap analysis, and owner-computes code generation all
+// treat distinct names as distinct arrays, so a procedure that *writes*
+// one member of a pair silently updates storage its analysis attributed
+// to the other. This checker surfaces the first such write per pair, with
+// the inducing call site as provenance.
+class AliasHazardChecker final : public Checker {
+public:
+  const char* id() const override { return "fortd-alias-hazard"; }
+  const char* description() const override {
+    return "write through one name of an interprocedural may-alias pair";
+  }
+
+  void check(const LintContext& ctx, const std::string& proc,
+             LintSink& sink) const override {
+    const std::set<AliasPair>* pairs = ctx.ipa.alias.of(proc);
+    if (!pairs) return;
+    const Procedure* p = ctx.program.find(proc);
+    if (!p) return;
+    for (const AliasPair& pr : *pairs) {
+      // First lexical write to either member of the pair.
+      const Stmt* write = nullptr;
+      std::string written;
+      walk_stmts(p->body, [&](const Stmt& s) {
+        if (write || s.kind != StmtKind::Assign || !s.lhs) return;
+        if (s.lhs->kind != ExprKind::VarRef &&
+            s.lhs->kind != ExprKind::ArrayRef)
+          return;
+        if (s.lhs->name == pr.a || s.lhs->name == pr.b) {
+          write = &s;
+          written = s.lhs->name;
+        }
+      });
+      if (!write) continue;
+      const std::string& other = written == pr.a ? pr.b : pr.a;
+      sink.warning(write->loc,
+                   "'" + written + "' may alias '" + other + "' in '" + proc +
+                       "': this write is visible through '" + other +
+                       "', but analysis and code generation treat the names "
+                       "as distinct storage");
+      sink.note(pr.loc, "the aliasing is introduced by the call in '" +
+                            pr.via + "' that binds overlapping storage to '" +
+                            pr.a + "' and '" + pr.b + "'");
+    }
+  }
+};
+
 }  // namespace
 
 std::vector<std::unique_ptr<Checker>> make_default_checkers() {
@@ -433,6 +485,7 @@ std::vector<std::unique_ptr<Checker>> make_default_checkers() {
   out.push_back(std::make_unique<OverlapBoundsChecker>());
   out.push_back(std::make_unique<LoopSequentialChecker>());
   out.push_back(std::make_unique<DeadDecompChecker>());
+  out.push_back(std::make_unique<AliasHazardChecker>());
   return out;
 }
 

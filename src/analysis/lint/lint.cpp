@@ -32,6 +32,14 @@ std::string json_escape(const std::string& s) {
 
 }  // namespace
 
+void LintReport::append(const std::vector<Diagnostic>& more) {
+  for (const Diagnostic& d : more) {
+    diags.push_back(d);
+    if (d.level == DiagLevel::Warning) ++warnings;
+    if (d.level == DiagLevel::Note) ++notes;
+  }
+}
+
 std::string LintReport::text() const {
   std::string out;
   for (const Diagnostic& d : diags) out += d.str() + "\n";

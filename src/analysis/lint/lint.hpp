@@ -15,6 +15,7 @@
 //   fortd-overlap-bounds  overlap demand exceeds the local block extent
 //   fortd-loop-sequential partitioned loop degenerates to one processor
 //   fortd-dead-decomp     DISTRIBUTE/ALIGN killed or unused before any use
+//   fortd-alias-hazard    write through one name of a may-alias pair
 #pragma once
 
 #include <memory>
@@ -94,6 +95,10 @@ struct LintReport {
   int notes = 0;
 
   bool empty() const { return diags.empty(); }
+  /// Fold diagnostics from another source (e.g. the SPMD verifier) into
+  /// this report, recounting warnings/notes, so one report serializes all
+  /// findings uniformly (text() and json() carry every Diagnostic.id).
+  void append(const std::vector<Diagnostic>& more);
   /// One diagnostic per line, `Diagnostic::str()` format.
   std::string text() const;
   /// JSON array of {id, level, line, col, message} objects.

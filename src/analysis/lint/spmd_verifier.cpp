@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <deque>
+#include <functional>
 #include <map>
 #include <optional>
+#include <set>
 #include <tuple>
 #include <unordered_map>
 
@@ -147,10 +149,23 @@ struct MsgOp {
   bool symbolic = false;
   std::vector<Inst> insts;  // concrete ops only (empty sections dropped)
   bool sym_matched = false; // symbolic ops only
+  int seq = 0;              // program-order position within the scope
+};
+
+/// A synchronizing collective (broadcast/allreduce/remap) in scope program
+/// order, kept for the deadlock simulation. MarkDist is excluded: it does
+/// not synchronize at run time, so treating it as a barrier would invent
+/// orderings real executions do not have.
+struct CollOp {
+  const Stmt* stmt = nullptr;
+  std::vector<GuardTerm> guards;
+  int seq = 0;
 };
 
 struct Counters {
   int sends = 0, recvs = 0, collectives = 0, matched = 0, unmatched = 0;
+  int deadlocks = 0;
+  int diags = 0;  // diag() calls; gates the simulation, not reported
 };
 
 class Verifier {
@@ -220,6 +235,7 @@ private:
 
   void diag(const Ctx& ctx, SourceLoc loc, const std::string& msg,
             const std::string& id) const {
+    ++ctx.counters->diags;
     diags_.report(DiagLevel::Warning, loc, "in '" + ctx.proc + "': " + msg,
                   id, ctx.order_key);
   }
@@ -229,23 +245,27 @@ private:
   /// their own. Collectives and calls are checked inline.
   void collect(const std::vector<StmtPtr>& stmts, Ctx& ctx, bool pdep,
                std::vector<GuardTerm>& guards, std::vector<MsgOp>& sends,
-               std::vector<MsgOp>& recvs) const {
+               std::vector<MsgOp>& recvs, std::vector<CollOp>& colls,
+               int& seq) const {
     for (const StmtPtr& sp : stmts) {
       const Stmt& s = *sp;
       switch (s.kind) {
         case StmtKind::Send:
           ++ctx.counters->sends;
           sends.push_back({&s, guards});
+          sends.back().seq = seq++;
           break;
         case StmtKind::Recv:
           ++ctx.counters->recvs;
           recvs.push_back({&s, guards});
+          recvs.back().seq = seq++;
           break;
         case StmtKind::Broadcast:
         case StmtKind::AllReduce:
         case StmtKind::Remap:
         case StmtKind::MarkDist: {
           ++ctx.counters->collectives;
+          if (s.kind != StmtKind::MarkDist) colls.push_back({&s, guards, seq++});
           if (pdep || guards_mention_processor(guards))
             diag(ctx, s.loc,
                  "collective reached under a processor-dependent guard: "
@@ -279,9 +299,9 @@ private:
           break;
         case StmtKind::If: {
           guards.push_back({s.cond.get(), false});
-          collect(s.then_body, ctx, pdep, guards, sends, recvs);
+          collect(s.then_body, ctx, pdep, guards, sends, recvs, colls, seq);
           guards.back().negated = true;
-          collect(s.else_body, ctx, pdep, guards, sends, recvs);
+          collect(s.else_body, ctx, pdep, guards, sends, recvs, colls, seq);
           guards.pop_back();
           break;
         }
@@ -326,8 +346,11 @@ private:
   void verify_scope(const std::vector<StmtPtr>& stmts, Ctx& ctx,
                     bool pdep) const {
     std::vector<MsgOp> sends, recvs;
+    std::vector<CollOp> colls;
     std::vector<GuardTerm> guards;
-    collect(stmts, ctx, pdep, guards, sends, recvs);
+    int seq = 0;
+    const int diags_before = ctx.counters->diags;
+    collect(stmts, ctx, pdep, guards, sends, recvs, colls, seq);
     if (sends.empty() && recvs.empty()) return;
 
     for (MsgOp& op : sends) op.symbolic = !concretize(op, ctx);
@@ -448,6 +471,225 @@ private:
     };
     report(sends, true);
     report(recvs, false);
+
+    // --- order-sensitive deadlock detection ------------------------------
+    // Multiset matching accepts any pairing; the simulation additionally
+    // checks that *some* execution order drains the scope under rendezvous
+    // semantics. Run only on scopes that matched cleanly (any diagnostic
+    // above already explains the hazard) and whose per-processor activity
+    // is trustworthy (not processor-dependent via an enclosing loop guard).
+    if (!pdep && ctx.counters->diags == diags_before)
+      simulate_scope(sends, recvs, colls, ctx);
+  }
+
+  /// One per-processor program-counter entry in the deadlock simulation.
+  struct SimOp {
+    enum class K { Send, Recv, Coll };
+    int seq = 0;
+    K k = K::Send;
+    int peer = -1;                       // Send/Recv
+    const std::string* array = nullptr;  // Send/Recv
+    const Stmt* stmt = nullptr;
+    int coll = -1;  // index into the participation table (Coll)
+  };
+
+  /// Simulate per-processor program counters over the scope's concrete
+  /// channels under synchronous (rendezvous) semantics: a send blocks
+  /// until its receiver's counter fronts the matching recv; a collective
+  /// blocks until every participant fronts it. Symbolic messages become
+  /// wildcard tokens a blocked front may absorb; a bounded DFS over the
+  /// absorption choices reports fortd-spmd-deadlock only when no choice
+  /// drains the scope (exceeding the budget falls back to silence).
+  void simulate_scope(const std::vector<MsgOp>& sends,
+                      const std::vector<MsgOp>& recvs,
+                      const std::vector<CollOp>& colls, Ctx& ctx) const {
+    using K = SimOp::K;
+    std::vector<std::vector<SimOp>> seqs(P_);
+    auto add_msg = [&](const MsgOp& op, K kind) {
+      for (const Inst& inst : op.insts)
+        seqs[inst.self].push_back(
+            {op.seq, kind, inst.peer, &op.stmt->msg_array, op.stmt, -1});
+    };
+    for (const MsgOp& op : sends)
+      if (!op.symbolic) add_msg(op, K::Send);
+    for (const MsgOp& op : recvs)
+      if (!op.symbolic) add_msg(op, K::Recv);
+
+    // Collectives join the simulation only when every processor's
+    // participation closes; leaving one out can only hide orderings, never
+    // invent them, so the fallback stays conservative toward silence.
+    std::vector<std::vector<char>> parts;
+    for (const CollOp& c : colls) {
+      std::vector<char> active(P_, 0);
+      bool closes = true, any = false;
+      for (int p = 0; p < P_ && closes; ++p) {
+        Env env = ctx.base_env;
+        env["my$p"] = p;
+        bool act = true;
+        for (const GuardTerm& g : c.guards) {
+          auto v = eval_bool(*g.cond, env);
+          if (!v) {
+            closes = false;
+            break;
+          }
+          if (*v == g.negated) {
+            act = false;
+            break;
+          }
+        }
+        if (closes && act) {
+          active[p] = 1;
+          any = true;
+        }
+      }
+      if (!closes || !any) continue;
+      const int id = static_cast<int>(parts.size());
+      for (int p = 0; p < P_; ++p)
+        if (active[p])
+          seqs[p].push_back({c.seq, K::Coll, -1, nullptr, c.stmt, id});
+      parts.push_back(std::move(active));
+    }
+    for (auto& s : seqs)
+      std::sort(s.begin(), s.end(),
+                [](const SimOp& a, const SimOp& b) { return a.seq < b.seq; });
+
+    // Wildcard tokens from symbolic ops: each statement executes at most
+    // once per processor, so it can complete at most P_ blocked partners.
+    std::map<std::pair<bool, std::string>, int> tokens;  // (is_send, array)
+    for (const MsgOp& op : sends)
+      if (op.symbolic) tokens[{true, op.stmt->msg_array}] += P_;
+    for (const MsgOp& op : recvs)
+      if (op.symbolic) tokens[{false, op.stmt->msg_array}] += P_;
+
+    auto at_end = [&](const std::vector<int>& f, int p) {
+      return f[p] >= static_cast<int>(seqs[p].size());
+    };
+    // Advance every forced transition to a fixpoint. Concrete rendezvous
+    // pairs and all-arrived collectives are confluent (the enabled front
+    // edges are disjoint per processor), so greedy draining loses no
+    // executions.
+    auto forced = [&](std::vector<int>& f) {
+      bool progress = true;
+      while (progress) {
+        progress = false;
+        for (int p = 0; p < P_; ++p) {
+          if (at_end(f, p)) continue;
+          const SimOp& op = seqs[p][f[p]];
+          if (op.k == K::Send) {
+            const int q = op.peer;
+            if (q < 0 || q >= P_ || q == p || at_end(f, q)) continue;
+            const SimOp& ro = seqs[q][f[q]];
+            if (ro.k == K::Recv && ro.peer == p && *ro.array == *op.array) {
+              ++f[p];
+              ++f[q];
+              progress = true;
+            }
+          } else if (op.k == K::Coll) {
+            bool all = true;
+            for (int q = 0; q < P_ && all; ++q)
+              if (parts[op.coll][q] &&
+                  (at_end(f, q) || seqs[q][f[q]].k != K::Coll ||
+                   seqs[q][f[q]].coll != op.coll))
+                all = false;
+            if (all) {
+              for (int q = 0; q < P_; ++q)
+                if (parts[op.coll][q]) ++f[q];
+              progress = true;
+            }
+          }
+        }
+      }
+    };
+    auto drained = [&](const std::vector<int>& f) {
+      for (int p = 0; p < P_; ++p)
+        if (!at_end(f, p)) return false;
+      return true;
+    };
+
+    constexpr size_t kMaxStates = 256;
+    std::set<std::string> visited;
+    bool budget_hit = false;
+    std::function<bool(std::vector<int>,
+                       std::map<std::pair<bool, std::string>, int>)>
+        search = [&](std::vector<int> f,
+                     std::map<std::pair<bool, std::string>, int> toks) -> bool {
+      forced(f);
+      if (drained(f)) return true;
+      std::string key;
+      for (int v : f) key += std::to_string(v) + ",";
+      for (const auto& [tk, n] : toks) {
+        key += tk.first ? 's' : 'r';
+        key += tk.second + "=" + std::to_string(n) + ";";
+      }
+      if (!visited.insert(key).second) return false;
+      if (visited.size() > kMaxStates) {
+        budget_hit = true;
+        return true;
+      }
+      for (int p = 0; p < P_; ++p) {
+        if (at_end(f, p)) continue;
+        const SimOp& op = seqs[p][f[p]];
+        if (op.k == K::Coll) continue;
+        // A blocked send absorbs a symbolic recv token and vice versa.
+        auto it = toks.find({op.k == K::Recv, *op.array});
+        if (it == toks.end() || it->second <= 0) continue;
+        auto f2 = f;
+        auto t2 = toks;
+        ++f2[p];
+        --t2[it->first];
+        if (search(std::move(f2), std::move(t2))) return true;
+        if (budget_hit) return true;
+      }
+      return false;
+    };
+    if (search(std::vector<int>(P_, 0), tokens)) return;
+
+    // No execution drains: describe the forced-only stuck configuration.
+    std::vector<int> f(P_, 0);
+    forced(f);
+    struct Stuck {
+      int p;
+      const SimOp* op;
+    };
+    std::vector<Stuck> stuck;
+    for (int p = 0; p < P_; ++p)
+      if (!at_end(f, p)) stuck.push_back({p, &seqs[p][f[p]]});
+    if (stuck.empty()) return;  // defensive; search would have succeeded
+    const Stuck* best = &stuck[0];
+    for (const Stuck& s : stuck)
+      if (s.op->seq < best->op->seq ||
+          (s.op->seq == best->op->seq && s.p < best->p))
+        best = &s;
+    std::string desc;
+    const size_t shown = std::min<size_t>(stuck.size(), 3);
+    for (size_t i = 0; i < shown; ++i) {
+      const Stuck& s = stuck[i];
+      if (i) desc += ", ";
+      desc += "processor " + std::to_string(s.p);
+      switch (s.op->k) {
+        case K::Send:
+          desc += " blocks sending '" + *s.op->array + "' to " +
+                  std::to_string(s.op->peer);
+          break;
+        case K::Recv:
+          desc += " blocks receiving '" + *s.op->array + "' from " +
+                  std::to_string(s.op->peer);
+          break;
+        case K::Coll:
+          desc += " waits at a collective";
+          break;
+      }
+      if (s.op->stmt->loc.valid())
+        desc += " (line " + std::to_string(s.op->stmt->loc.line) + ")";
+    }
+    if (stuck.size() > shown)
+      desc += ", and " + std::to_string(stuck.size() - shown) + " more";
+    ++ctx.counters->deadlocks;
+    diag(ctx, best->op->stmt->loc,
+         "send/recv multisets match but no execution order drains the "
+         "scope at P=" +
+             std::to_string(P_) + " under synchronous sends: " + desc,
+         "fortd-spmd-deadlock");
   }
 
   const SpmdProgram& spmd_;
@@ -495,6 +737,7 @@ SpmdVerifyReport verify_spmd(const SpmdProgram& spmd, ThreadPool* pool) {
     report.collectives += c.collectives;
     report.matched += c.matched;
     report.unmatched += c.unmatched;
+    report.deadlocks += c.deadlocks;
   }
   return report;
 }

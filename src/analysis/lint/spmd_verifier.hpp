@@ -19,6 +19,18 @@
 // always instantiates both sides of a communication event in the same
 // scope, so an unmatched message is a codegen (or hand-editing) bug — the
 // class of error wavefront-parallel generation could introduce silently.
+//
+// Matching alone is order-insensitive: two processors whose multisets
+// agree can still block forever when each fronts a synchronous send to
+// the other. On scopes that match cleanly, the verifier therefore also
+// *simulates* per-processor program counters over the concrete channels
+// (rendezvous semantics: a send completes only when its receiver's
+// counter reaches the matching recv; collectives complete when every
+// participant arrives). Symbolic messages become wildcard tokens explored
+// with a bounded DFS — a deadlock is reported (fortd-spmd-deadlock) only
+// when *no* absorption choice drains the scope, so run-time-resolved code
+// never produces false positives; exceeding the exploration budget falls
+// back to silence.
 #pragma once
 
 #include <string>
@@ -35,13 +47,14 @@ struct SpmdVerifyReport {
   /// Deterministically ordered findings (ids: fortd-spmd-unmatched-send,
   /// fortd-spmd-unmatched-recv, fortd-spmd-size-mismatch,
   /// fortd-spmd-peer-range, fortd-spmd-guarded-collective,
-  /// fortd-spmd-guarded-call).
+  /// fortd-spmd-guarded-call, fortd-spmd-deadlock).
   std::vector<Diagnostic> diags;
   int sends = 0;        // send statements examined
   int recvs = 0;        // recv statements examined
   int collectives = 0;  // broadcast/allreduce/remap statements examined
   int matched = 0;      // concrete per-processor (src,dst) pairs matched
   int unmatched = 0;    // messages with no partner
+  int deadlocks = 0;    // scopes where no execution order drains
 
   bool clean() const { return unmatched == 0 && diags.empty(); }
   std::string text() const;

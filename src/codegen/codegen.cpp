@@ -16,6 +16,21 @@ namespace fortd {
 
 namespace {
 
+/// Stamp `loc` onto every generated statement (recursively) that has no
+/// source position of its own, so SPMD-level diagnostics — verifier and
+/// deadlock findings — report the originating source line. Statements that
+/// already carry a location (e.g. cloned user statements) keep it.
+void stamp_locs(std::vector<StmtPtr>& stmts, SourceLoc loc) {
+  if (!loc.valid()) return;
+  walk_stmts(stmts, [&](Stmt& s) {
+    if (!s.loc.valid()) s.loc = loc;
+  });
+}
+
+void stamp_loc(Stmt& s, SourceLoc loc) {
+  if (loc.valid() && !s.loc.valid()) s.loc = loc;
+}
+
 /// Analysis result for one effectful statement.
 struct StmtPlan {
   IterationSet iset;
@@ -158,7 +173,7 @@ private:
   StmtPtr guarded(const OwnershipConstraint& c, std::vector<StmtPtr> body);
   void emit_scalar_bcasts(const OwnershipConstraint& c,
                           const std::vector<std::string>& scalars,
-                          GenOut& out);
+                          GenOut& out, SourceLoc loc = {});
   void insert_blocked(GenOut& block, const FloatingEvent& f,
                       const LoopCtx& lctx);
   void emit_runtime(const Stmt& s, const Stmt* ctx_stmt, GenOut& out);
@@ -848,7 +863,7 @@ StmtPtr ProcGen::guarded(const OwnershipConstraint& c,
 
 void ProcGen::emit_scalar_bcasts(const OwnershipConstraint& c,
                                  const std::vector<std::string>& scalars,
-                                 GenOut& out) {
+                                 GenOut& out, SourceLoc loc) {
   AffineForm idx = c.fixed;
   if (c.uses_var()) {
     idx = AffineForm{};
@@ -857,8 +872,9 @@ void ProcGen::emit_scalar_bcasts(const OwnershipConstraint& c,
   }
   DimDistribution dd = constraint_dim(c);
   for (const auto& s : scalars) {
-    out.emit(Stmt::make_broadcast(s, {}, dd.owner_expr(form_to_expr(idx))),
-             seq_);
+    StmtPtr b = Stmt::make_broadcast(s, {}, dd.owner_expr(form_to_expr(idx)));
+    stamp_loc(*b, loc);
+    out.emit(std::move(b), seq_);
     ++stats_.scalar_broadcasts;
     emitted_comm_ = true;
   }
@@ -1005,6 +1021,7 @@ std::vector<StmtPtr> ProcGen::instantiate_event(const CommEvent& ev) {
     default:
       break;
   }
+  stamp_locs(out, ev.loc);
   return out;
 }
 
@@ -1130,7 +1147,7 @@ void ProcGen::gen_assign(const Stmt& s, GenOut& out, LoopCtx& lctx) {
     std::vector<StmtPtr> inner;
     inner.push_back(std::move(body));
     out.emit(guarded(plan.iset.constraint, std::move(inner)), seq_);
-    emit_scalar_bcasts(plan.iset.constraint, plan.bcast_scalars, out);
+    emit_scalar_bcasts(plan.iset.constraint, plan.bcast_scalars, out, s.loc);
   } else {
     // Constraint consumed by an enclosing Reduce/GuardWhole (whose level
     // emits any scalar broadcasts) — emit the bare statement.
@@ -1179,6 +1196,7 @@ void ProcGen::gen_call(const Stmt& s, GenOut& out, LoopCtx& lctx) {
       auto cur = spec_at(&s, *t);
       auto remap = std::make_unique<Stmt>();
       remap->kind = StmtKind::Remap;
+      remap->loc = s.loc;
       remap->dist_target = *t;
       remap->dist_specs = spec.dists;
       if (cur) remap->from_specs = cur->dists;
@@ -1187,10 +1205,13 @@ void ProcGen::gen_call(const Stmt& s, GenOut& out, LoopCtx& lctx) {
     }
   }
 
-  // Pending communication from the callee: translate and float.
+  // Pending communication from the callee: translate and float. The
+  // event's own source position (the callee reference) is kept; events
+  // that lost it fall back to the call site.
   if (ex && callee) {
     for (const CommEvent& pending : ex->pending_comms) {
       CommEvent ev = pending;
+      if (!ev.loc.valid()) ev.loc = s.loc;
       // Array name.
       int ai = callee->formal_index(ev.array);
       if (ai >= 0) {
@@ -1256,7 +1277,7 @@ void ProcGen::gen_call(const Stmt& s, GenOut& out, LoopCtx& lctx) {
           if (sym && !sym->is_array()) scalars.push_back(*t);
         }
       }
-    emit_scalar_bcasts(plan.iset.constraint, scalars, out);
+    emit_scalar_bcasts(plan.iset.constraint, scalars, out, s.loc);
   } else {
     out.emit(std::move(call), seq_);
   }
@@ -1301,6 +1322,7 @@ void ProcGen::gen_call(const Stmt& s, GenOut& out, LoopCtx& lctx) {
       if (!t) continue;
       auto remap = std::make_unique<Stmt>();
       remap->kind = StmtKind::Remap;
+      remap->loc = s.loc;
       remap->dist_target = *t;
       remap->dist_specs = spec.dists;
       // The "from" is whatever the callee left it as (its before-spec).
@@ -1469,6 +1491,7 @@ void ProcGen::gen_do(const Stmt& s, GenOut& out, LoopCtx& lctx) {
       for (const std::string& scalar : lp.reductions) {
         auto red = std::make_unique<Stmt>();
         red->kind = StmtKind::AllReduce;
+        red->loc = s.loc;
         red->msg_array = "red$" + scalar;
         red->reduce_op = "sum";
         out.emit(std::move(red), seq_);
@@ -1489,7 +1512,7 @@ void ProcGen::gen_do(const Stmt& s, GenOut& out, LoopCtx& lctx) {
       std::vector<StmtPtr> inner;
       inner.push_back(std::move(loop));
       out.emit(guarded(lp.constraint, std::move(inner)), start_seq);
-      emit_scalar_bcasts(lp.constraint, lp.bcast_scalars, out);
+      emit_scalar_bcasts(lp.constraint, lp.bcast_scalars, out, s.loc);
       break;
     }
     case LoopDecision::None: {
@@ -1515,7 +1538,7 @@ void ProcGen::gen_if(const Stmt& s, GenOut& out, LoopCtx& lctx) {
       std::vector<StmtPtr> inner;
       inner.push_back(std::move(body));
       out.emit(guarded(plan.iset.constraint, std::move(inner)), seq_);
-      emit_scalar_bcasts(plan.iset.constraint, plan.bcast_scalars, out);
+      emit_scalar_bcasts(plan.iset.constraint, plan.bcast_scalars, out, s.loc);
     } else {
       out.emit(std::move(body), seq_);
     }
@@ -1543,9 +1566,10 @@ void ProcGen::gen_if(const Stmt& s, GenOut& out, LoopCtx& lctx) {
       }
       std::vector<ExprPtr> subs;
       for (const auto& sub : r->args) subs.push_back(sub->clone());
-      out.emit(Stmt::make_broadcast(r->name, std::move(sec),
-                                    owner_intrinsic(r->name, subs)),
-               seq_);
+      StmtPtr b = Stmt::make_broadcast(r->name, std::move(sec),
+                                       owner_intrinsic(r->name, subs));
+      stamp_loc(*b, r->loc.valid() ? r->loc : s.loc);
+      out.emit(std::move(b), seq_);
       emitted_comm_ = true;
     }
   }
@@ -1583,6 +1607,7 @@ void ProcGen::gen_distribute(const Stmt& s, GenOut& out, LoopCtx& lctx) {
       if (!spec) continue;
       auto d = std::make_unique<Stmt>();
       d->kind = StmtKind::Distribute;
+      d->loc = s.loc;
       d->dist_target = arr;
       d->dist_specs = spec->dists;
       out.emit(std::move(d), seq_);
@@ -1684,6 +1709,7 @@ std::unique_ptr<Procedure> ProcGen::run(ProcExports& exports) {
                   // owner$ intrinsic and result gathering work.
                   auto reg = std::make_unique<Stmt>();
                   reg->kind = StmtKind::Distribute;
+                  reg->loc = s->loc;
                   reg->dist_target = arr;
                   reg->dist_specs = spec->dists;
                   local_remaps_[s.get()].push_back(std::move(reg));
@@ -1691,6 +1717,7 @@ std::unique_ptr<Procedure> ProcGen::run(ProcExports& exports) {
                 }
                 auto remap = std::make_unique<Stmt>();
                 remap->kind = StmtKind::Remap;
+                remap->loc = s->loc;
                 remap->dist_target = arr;
                 remap->dist_specs = spec->dists;
                 auto inherited =

@@ -318,6 +318,7 @@ std::optional<CommEvent> classify_reference(
         return std::nullopt;
       }
       CommEvent ev;
+      ev.loc = ref.loc;
       ev.kind = CommEvent::Kind::Shift;
       ev.array = ref_dist.array();
       ev.spec = ref_dist.spec();
@@ -331,6 +332,7 @@ std::optional<CommEvent> classify_reference(
       // with v: every executing processor may need the section; its owner
       // broadcasts (pivot-column pattern).
       CommEvent ev;
+      ev.loc = ref.loc;
       ev.kind = CommEvent::Kind::Bcast;
       ev.array = ref_dist.array();
       ev.spec = ref_dist.spec();
@@ -361,6 +363,7 @@ std::optional<CommEvent> classify_reference(
       }
     }
     CommEvent ev;
+    ev.loc = ref.loc;
     ev.kind = CommEvent::Kind::Bcast;
     ev.array = ref_dist.array();
     ev.spec = ref_dist.spec();
@@ -376,6 +379,7 @@ std::optional<CommEvent> classify_reference(
   if (svars.empty() ||
       (svars.size() == 1 && !env.ranges.count(svars[0]))) {
     CommEvent ev;
+    ev.loc = ref.loc;
     ev.kind = CommEvent::Kind::Bcast;
     ev.array = ref_dist.array();
     ev.spec = ref_dist.spec();

@@ -128,9 +128,13 @@ struct CommEvent {
   AffineForm root_index;   // Bcast/ScalarBcast: dist-dim index owning data
   std::string scalar;      // ScalarBcast: the scalar variable
   int hoisted_loops = 0;   // how many loops the event crossed (stats)
+  /// Source location of the reference that demanded the communication;
+  /// stamped onto every generated message statement so SPMD diagnostics
+  /// map back to source lines. Not part of message identity.
+  SourceLoc loc;
 
   std::string str() const;
-  /// Equality used for coalescing duplicate events.
+  /// Equality used for coalescing duplicate events (ignores `loc`).
   bool same_message(const CommEvent& o) const;
 };
 

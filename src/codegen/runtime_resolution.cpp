@@ -39,6 +39,9 @@ void emit_runtime_resolved_assign(const Stmt& stmt, const SymbolTable& st,
                                   CompileStats& stats) {
   using namespace build;
   ++stats.runtime_resolved_stmts;
+  // Every generated statement inherits the source assignment's position so
+  // SPMD diagnostics on run-time-resolved code map back to source lines.
+  const size_t first_new = out.size();
 
   // Collect distributed rhs references.
   std::vector<const Expr*> dist_refs;
@@ -50,6 +53,17 @@ void emit_runtime_resolved_assign(const Stmt& stmt, const SymbolTable& st,
   const bool lhs_distributed = stmt.lhs->kind == ExprKind::ArrayRef &&
                                is_distributed(stmt.lhs->name);
 
+  std::function<void(Stmt&)> stamp_rec = [&](Stmt& s) {
+    if (!s.loc.valid()) s.loc = stmt.loc;
+    for (auto& c : s.then_body) stamp_rec(*c);
+    for (auto& c : s.else_body) stamp_rec(*c);
+    for (auto& c : s.body) stamp_rec(*c);
+  };
+  auto stamp_new = [&] {
+    if (!stmt.loc.valid()) return;
+    for (size_t i = first_new; i < out.size(); ++i) stamp_rec(*out[i]);
+  };
+
   if (!lhs_distributed) {
     // Replicated target: every processor executes; each distributed rhs
     // element is broadcast from its owner.
@@ -58,6 +72,7 @@ void emit_runtime_resolved_assign(const Stmt& stmt, const SymbolTable& st,
           Stmt::make_broadcast(r->name, element_section(*r), owner_of_ref(*r)));
     }
     out.push_back(Stmt::make_assign(stmt.lhs->clone(), stmt.rhs->clone()));
+    stamp_new();
     return;
   }
 
@@ -91,6 +106,7 @@ void emit_runtime_resolved_assign(const Stmt& stmt, const SymbolTable& st,
   body.push_back(Stmt::make_assign(stmt.lhs->clone(), stmt.rhs->clone()));
   out.push_back(
       Stmt::make_if(cmp(BinOp::Eq, myp(), lhs_owner->clone()), std::move(body)));
+  stamp_new();
   (void)st;
 }
 

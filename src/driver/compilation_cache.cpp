@@ -184,6 +184,8 @@ void write_comm_event(BinaryWriter& w, const CommEvent& e) {
   write_affine(w, e.root_index);
   w.str(e.scalar);
   w.i64(e.hoisted_loops);
+  w.i64(e.loc.line);
+  w.i64(e.loc.col);
 }
 
 CommEvent read_comm_event(BinaryReader& r) {
@@ -206,6 +208,8 @@ CommEvent read_comm_event(BinaryReader& r) {
   e.root_index = read_affine(r);
   e.scalar = r.str();
   e.hoisted_loops = static_cast<int>(r.i64());
+  e.loc.line = static_cast<int>(r.i64());
+  e.loc.col = static_cast<int>(r.i64());
   return e;
 }
 

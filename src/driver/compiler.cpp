@@ -170,6 +170,10 @@ CompileResult Compiler::compile(SourceProgram ast) {
       result.verify = verify_spmd(result.spmd, pool());
       result.stats.verify_ms = ms_since(t);
       result.stats.verify_unmatched = result.verify.unmatched;
+      // Fold verifier findings into the surviving report so
+      // last_lint_report() serializes every finding — lint and SPMD alike
+      // — with uniform {id, level, line, col, message} records.
+      last_lint_.append(result.verify.diags);
     }
 
     result.record =

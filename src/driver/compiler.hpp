@@ -170,7 +170,9 @@ public:
 
   /// Lint report of the most recent compile(). Populated before code
   /// generation runs, so it survives (and helps explain) a CompileError
-  /// thrown by codegen — fortdc -analyze prints it in both cases.
+  /// thrown by codegen — fortdc -analyze prints it in both cases. On a
+  /// successful compile the SPMD verifier's findings are folded in too,
+  /// so this is the uniform serialization of *all* findings (-lint-json).
   const LintReport& last_lint_report() const { return last_lint_; }
 
 private:

@@ -23,11 +23,15 @@ std::string partition_key(
 }
 
 /// Translate the resolved reaching sets at a call site into the callee's
-/// name space, keeping only variables in `appear`.
+/// name space, keeping only variables in `appear`. With `aliases` (the
+/// callee's may-alias pairs), the specs of each pair's members are
+/// unioned: aliased names share storage, so a partition key must not
+/// distinguish which member a decomposition arrived through.
 std::map<std::string, std::set<DecompSpec>> translate_and_filter(
     const std::map<std::string, std::set<DecompSpec>>& at_call,
     const Procedure& callee, const CallSiteInfo& site,
-    const std::set<std::string>& appear) {
+    const std::set<std::string>& appear,
+    const std::set<AliasPair>* aliases = nullptr) {
   std::map<std::string, std::set<DecompSpec>> out;
   auto add = [&](const std::string& callee_var, const std::set<DecompSpec>& specs) {
     if (!appear.count(callee_var)) return;  // Filter (Fig. 8)
@@ -43,6 +47,20 @@ std::map<std::string, std::set<DecompSpec>> translate_and_filter(
   for (const auto& [var, specs] : at_call) {
     if (callee.formal_index(var) >= 0) continue;
     add(var, specs);
+  }
+  if (aliases) {
+    for (const AliasPair& p : *aliases) {
+      auto ia = out.find(p.a);
+      auto ib = out.find(p.b);
+      if (ia == out.end() && ib == out.end()) continue;
+      std::set<DecompSpec> merged;
+      if (ia != out.end()) merged.insert(ia->second.begin(), ia->second.end());
+      if (ib != out.end()) merged.insert(ib->second.begin(), ib->second.end());
+      // Only widen names that passed the Filter — don't grow the key with
+      // variables the callee never accesses.
+      if (ia != out.end()) ia->second = merged;
+      if (ib != out.end()) ib->second = std::move(merged);
+    }
   }
   return out;
 }
@@ -78,7 +96,8 @@ int apply_cloning_pass(BoundProgram& program, IpaContext& ctx,
       auto sit = caller_at_stmt.find(site->stmt);
       std::map<std::string, std::set<DecompSpec>> translated;
       if (sit != caller_at_stmt.end())
-        translated = translate_and_filter(sit->second, *proc, *site, appear);
+        translated = translate_and_filter(sit->second, *proc, *site, appear,
+                                          ctx.alias.of(name));
       std::string key = partition_key(translated);
       if (!partitions.count(key)) order.push_back(key);
       partitions[key].push_back(site);
@@ -134,6 +153,13 @@ IpaContext run_ipa(BoundProgram& program, const IpaOptions& options,
     const int n = static_cast<int>(program.ast.procedures.size());
     SummaryPhaseStats sum_stats;
 
+    // May-alias pairs depend only on the ACG (sites + symbol tables), so a
+    // full recompute per round is cheap; the previous round's map is kept
+    // to seed the incremental side-effect dirty set below.
+    AliasMap prev_alias = std::move(ctx.alias);
+    ctx.alias = compute_alias_map(program, ctx.acg, pool, options.scheduler,
+                                  &ctx.stats.sched);
+
     if (!have_delta || !options.incremental) {
       ctx.summaries =
           compute_all_summaries(program, pool, summary_cache, &sum_stats);
@@ -141,7 +167,8 @@ IpaContext run_ipa(BoundProgram& program, const IpaOptions& options,
       for (const auto& proc : program.ast.procedures) all.insert(proc->name);
       ctx.effects = SideEffects{};
       update_side_effects(program, ctx.acg, ctx.summaries, all, ctx.effects,
-                          pool, options.scheduler, &ctx.stats.sched);
+                          pool, options.scheduler, &ctx.stats.sched,
+                          &ctx.alias);
       ctx.reaching = ReachingDecomps{};
       update_reaching_decomps(program, ctx.acg, ctx.summaries, all,
                               ctx.reaching, pool, options.scheduler,
@@ -163,8 +190,17 @@ IpaContext run_ipa(BoundProgram& program, const IpaOptions& options,
       ctx.stats.summaries_reused += n - static_cast<int>(names.size());
 
       // Side effects flow bottom-up: close the dirty set upward (any
-      // caller of a dirty procedure is dirty).
+      // caller of a dirty procedure is dirty). A changed alias entry also
+      // dirties its procedure — widening reads the pair set, so carrying
+      // the old entry over would bake in stale pairs.
       std::set<std::string> dirty_fx = dirty_sum;
+      for (const auto& proc : program.ast.procedures) {
+        const std::set<AliasPair>* now = ctx.alias.of(proc->name);
+        const std::set<AliasPair>* was = prev_alias.of(proc->name);
+        if ((now == nullptr) != (was == nullptr) ||
+            (now && was && *now != *was))
+          dirty_fx.insert(proc->name);
+      }
       for (const std::string& nm : ctx.acg.reverse_topological_order()) {
         if (dirty_fx.count(nm)) continue;
         for (const CallSiteInfo* site : ctx.acg.calls_from(nm))
@@ -176,7 +212,7 @@ IpaContext run_ipa(BoundProgram& program, const IpaOptions& options,
       ctx.stats.effects_reused += n - static_cast<int>(dirty_fx.size());
       update_side_effects(program, ctx.acg, ctx.summaries, dirty_fx,
                           ctx.effects, pool, options.scheduler,
-                          &ctx.stats.sched);
+                          &ctx.stats.sched, &ctx.alias);
 
       // Reaching flows top-down: seed with the text-changed procedures
       // plus originals that lost sites to a clone (the retargeted edge is

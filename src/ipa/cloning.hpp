@@ -10,6 +10,7 @@
 #include <set>
 #include <string>
 
+#include "ipa/alias.hpp"
 #include "ipa/call_graph.hpp"
 #include "ipa/reaching_decomps.hpp"
 #include "ipa/side_effects.hpp"
@@ -67,6 +68,9 @@ struct IpaContext {
   std::map<std::string, ProcSummary> summaries;
   SideEffects effects;
   ReachingDecomps reaching;
+  /// May-alias pairs per procedure (§6.4), recomputed every round from
+  /// the current ACG; widens side effects and splits cloning partitions.
+  AliasMap alias;
   /// Procedures whose decomposition conflicts could not be cloned away.
   std::set<std::string> runtime_fallback;
   /// clone name -> original name.

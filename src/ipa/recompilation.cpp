@@ -75,6 +75,11 @@ uint64_t hash_codegen_inputs(const std::string& proc, const IpaContext& ctx,
   }
   // Run-time fallback status changes code shape too.
   mix(h, ctx.runtime_fallback.count(proc));
+  // May-alias environment (§6.4): a changed pair set widens side effects
+  // and splits cloning partitions, so it must force recompilation. The
+  // entry hash is a pure function of the canonical pair set — schedule-
+  // and jobs-invariant like every other input above.
+  mix(h, hash_alias_entry(ctx.alias, proc));
   return h;
 }
 

@@ -42,7 +42,7 @@ std::optional<std::string> translate_to_caller(const std::string& callee_var,
 ProcEffects compute_proc_effects(
     const BoundProgram& program, const AugmentedCallGraph& acg,
     const std::map<std::string, ProcSummary>& summaries, const SideEffects& fx,
-    const std::string& name) {
+    const std::string& name, const AliasMap* aliases) {
   const ProcSummary& sum = summaries.at(name);
   ProcEffects out;
   out.mod = sum.mod;
@@ -99,6 +99,41 @@ ProcEffects compute_proc_effects(
     add_sections(sections_of(fx.gdefs, site->callee), out.defs);
     add_sections(sections_of(fx.guses, site->callee), out.uses);
   }
+
+  // Alias widening (§6.4): an access through one member of a may-alias
+  // pair may touch the other's storage. One pass over the pair set against
+  // a snapshot of the membership — may-alias is not transitive, so pairs
+  // newly satisfied by widening must not chain.
+  const std::set<AliasPair>* pairs = aliases ? aliases->of(name) : nullptr;
+  if (pairs) {
+    const SymbolTable& st = program.symtab(name);
+    auto widen_names = [&](std::set<std::string>& s) {
+      std::vector<std::string> add;
+      for (const AliasPair& p : *pairs) {
+        if (s.count(p.a)) add.push_back(p.b);
+        if (s.count(p.b)) add.push_back(p.a);
+      }
+      s.insert(add.begin(), add.end());
+    };
+    widen_names(out.mod);
+    widen_names(out.ref);
+    // Sections: the relative offset between the two views is unknown in
+    // general, so the widened member gets its whole declared section.
+    auto widen_sections = [&](std::map<std::string, RsdList>& m) {
+      std::vector<std::string> add;
+      for (const AliasPair& p : *pairs) {
+        if (m.count(p.a)) add.push_back(p.b);
+        if (m.count(p.b)) add.push_back(p.a);
+      }
+      for (const std::string& v : add) {
+        const Symbol* sym = st.lookup(v);
+        if (sym && sym->is_array() && sym->dims_const)
+          m[v].add_coalescing(sym->full_section());
+      }
+    };
+    widen_sections(out.defs);
+    widen_sections(out.uses);
+  }
   return out;
 }
 
@@ -112,7 +147,8 @@ namespace {
 void update_side_effects_wavefront(
     const BoundProgram& program, const AugmentedCallGraph& acg,
     const std::map<std::string, ProcSummary>& summaries,
-    const std::set<std::string>& dirty, SideEffects& fx, ThreadPool* pool) {
+    const std::set<std::string>& dirty, SideEffects& fx, ThreadPool* pool,
+    const AliasMap* aliases) {
   const auto& procs = program.ast.procedures;
   for (const std::vector<int>& level : acg.wavefront_levels()) {
     std::vector<int> pending;
@@ -124,7 +160,7 @@ void update_side_effects_wavefront(
     auto one = [&](size_t k) {
       slots[k] = compute_proc_effects(
           program, acg, summaries, fx,
-          procs[static_cast<size_t>(pending[k])]->name);
+          procs[static_cast<size_t>(pending[k])]->name, aliases);
     };
     if (pool && pending.size() > 1) {
       pool->parallel_for(pending.size(), one);
@@ -148,9 +184,10 @@ void update_side_effects(const BoundProgram& program,
                          const std::map<std::string, ProcSummary>& summaries,
                          const std::set<std::string>& dirty, SideEffects& fx,
                          ThreadPool* pool, Scheduler scheduler,
-                         TaskGraphStats* sched_stats) {
+                         TaskGraphStats* sched_stats, const AliasMap* aliases) {
   if (scheduler == Scheduler::Wavefront) {
-    update_side_effects_wavefront(program, acg, summaries, dirty, fx, pool);
+    update_side_effects_wavefront(program, acg, summaries, dirty, fx, pool,
+                                  aliases);
     return;
   }
   // Barrier-free: one graph node per procedure in reverse topological
@@ -189,7 +226,8 @@ void update_side_effects(const BoundProgram& program,
   graph.run(pool, [&](size_t k) {
     const std::string& name = procs[static_cast<size_t>(order[k])]->name;
     if (!dirty.count(name)) return;  // carried over unchanged
-    ProcEffects e = compute_proc_effects(program, acg, summaries, fx, name);
+    ProcEffects e =
+        compute_proc_effects(program, acg, summaries, fx, name, aliases);
     fx.gmod[name] = std::move(e.mod);
     fx.gref[name] = std::move(e.ref);
     fx.gdefs[name] = std::move(e.defs);
@@ -201,11 +239,12 @@ void update_side_effects(const BoundProgram& program,
 SideEffects compute_side_effects(
     const BoundProgram& program, const AugmentedCallGraph& acg,
     const std::map<std::string, ProcSummary>& summaries, ThreadPool* pool,
-    Scheduler scheduler) {
+    Scheduler scheduler, const AliasMap* aliases) {
   SideEffects fx;
   std::set<std::string> all;
   for (const auto& proc : program.ast.procedures) all.insert(proc->name);
-  update_side_effects(program, acg, summaries, all, fx, pool, scheduler);
+  update_side_effects(program, acg, summaries, all, fx, pool, scheduler,
+                      nullptr, aliases);
   return fx;
 }
 

@@ -13,6 +13,7 @@
 #include <set>
 #include <string>
 
+#include "ipa/alias.hpp"
 #include "ipa/call_graph.hpp"
 #include "ipa/summaries.hpp"
 #include "support/task_graph.hpp"
@@ -43,7 +44,10 @@ class ThreadPool;
 
 /// One procedure's transitive effects, computed from its summary plus the
 /// already-published entries of its callees in `fx` (missing callee
-/// entries contribute nothing).
+/// entries contribute nothing). With `aliases`, each entry is widened over
+/// the procedure's may-alias pairs: a write through one member of a pair
+/// may write the other's storage (§6.4), so mod/ref names and def/use
+/// sections close over the pair set.
 struct ProcEffects {
   std::set<std::string> mod;
   std::set<std::string> ref;
@@ -53,7 +57,8 @@ struct ProcEffects {
 ProcEffects compute_proc_effects(const BoundProgram& program,
                                  const AugmentedCallGraph& acg,
                                  const std::map<std::string, ProcSummary>& summaries,
-                                 const SideEffects& fx, const std::string& name);
+                                 const SideEffects& fx, const std::string& name,
+                                 const AliasMap* aliases = nullptr);
 
 /// Recompute the entries of every procedure in `dirty` bottom-up over the
 /// ACG (callee-before-caller dependency order; dirty procedures run
@@ -69,12 +74,14 @@ void update_side_effects(const BoundProgram& program,
                          const std::set<std::string>& dirty, SideEffects& fx,
                          ThreadPool* pool = nullptr,
                          Scheduler scheduler = Scheduler::WorkStealing,
-                         TaskGraphStats* sched_stats = nullptr);
+                         TaskGraphStats* sched_stats = nullptr,
+                         const AliasMap* aliases = nullptr);
 
 SideEffects compute_side_effects(const BoundProgram& program,
                                  const AugmentedCallGraph& acg,
                                  const std::map<std::string, ProcSummary>& summaries,
                                  ThreadPool* pool = nullptr,
-                                 Scheduler scheduler = Scheduler::WorkStealing);
+                                 Scheduler scheduler = Scheduler::WorkStealing,
+                                 const AliasMap* aliases = nullptr);
 
 }  // namespace fortd

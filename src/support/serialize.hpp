@@ -21,7 +21,9 @@ namespace fortd {
 /// Bump when any artifact payload layout changes; stamped (mixed with the
 /// artifact kind) into every blob header so stale caches read as misses.
 /// v2: FDCA envelope payloads are LZ-compressed (support/compress.hpp).
-constexpr uint32_t kSerializeFormatVersion = 2;
+/// v3: CommEvent carries its originating SourceLoc (line, col) so cached
+///     SPMD bodies keep source-mapped diagnostics.
+constexpr uint32_t kSerializeFormatVersion = 3;
 
 /// FNV-1a over a byte range — the checksum used by artifact envelopes.
 uint64_t fnv1a(const uint8_t* data, size_t size, uint64_t seed = 1469598103934665603ull);

@@ -6,10 +6,12 @@
 
 #include <fstream>
 #include <functional>
+#include <optional>
 #include <sstream>
 
 #include "analysis/lint/spmd_verifier.hpp"
 #include "driver/compiler.hpp"
+#include "support/thread_pool.hpp"
 
 #ifndef FORTD_LINT_FIXTURE_DIR
 #define FORTD_LINT_FIXTURE_DIR "tests/lint"
@@ -44,6 +46,7 @@ const char* kAllCheckerIds[] = {
     "fortd-overlap-bounds",
     "fortd-loop-sequential",
     "fortd-dead-decomp",
+    "fortd-alias-hazard",
 };
 
 /// The fixture must report warnings only under `expected` and stay silent
@@ -81,6 +84,18 @@ TEST(LintFixtures, LoopSequential) {
 TEST(LintFixtures, DeadDecomp) {
   CompileResult r = compile_analyzed(load_fixture("dead_decomp.fd"));
   expect_exactly(r.lint, "fortd-dead-decomp");
+}
+
+TEST(LintFixtures, AliasHazard) {
+  CompileResult r = compile_analyzed(load_fixture("alias_hazard.fd"));
+  expect_exactly(r.lint, "fortd-alias-hazard");
+  // The note carries the inducing call site as provenance.
+  bool note_with_line = false;
+  for (const Diagnostic& d : r.lint.diags)
+    if (d.id == "fortd-alias-hazard" && d.level == DiagLevel::Note &&
+        d.loc.line > 0)
+      note_with_line = true;
+  EXPECT_TRUE(note_with_line) << r.lint.text();
 }
 
 TEST(LintFixtures, CleanProgramIsSilent) {
@@ -164,6 +179,59 @@ TEST(LintDeterminism, SerialAndParallelReportsAreByteIdentical) {
   EXPECT_EQ(serial.lint.json(), parallel.lint.json());
   EXPECT_EQ(serial.verify.text(), parallel.verify.text());
   EXPECT_EQ(serial.verify.summary(), parallel.verify.summary());
+}
+
+// The new-checker fixtures through every (jobs, scheduler) combination:
+// the findings must be byte-identical, because the alias pass, the lint
+// cells, and the verifier all order their output deterministically.
+TEST(LintDeterminism, NewFixturesAreScheduleInvariant) {
+  for (const char* fixture : {"alias_hazard.fd", "spmd_deadlock.fd"}) {
+    const std::string src = load_fixture(fixture);
+    auto compile_with = [&](int jobs, Scheduler sched) {
+      CodegenOptions options;
+      options.n_procs = 2;
+      options.jobs = jobs;
+      options.scheduler = sched;
+      IpaOptions ipa;
+      ipa.scheduler = sched;
+      LintOptions lint;
+      lint.analyze = true;
+      lint.verify_spmd = true;
+      Compiler compiler(options, ipa, lint);
+      CompileResult r = compiler.compile_source(src);
+      // The folded report (satellite of -lint-json): the uniform
+      // serialization of lint + verifier findings.
+      return compiler.last_lint_report().json() + "|" + r.lint.text() + "|" +
+             r.verify.text();
+    };
+    const std::string base = compile_with(1, Scheduler::WorkStealing);
+    for (Scheduler sched : {Scheduler::WorkStealing, Scheduler::Wavefront})
+      for (int jobs : {1, 4})
+        EXPECT_EQ(base, compile_with(jobs, sched))
+            << fixture << " jobs=" << jobs << " sched="
+            << static_cast<int>(sched);
+  }
+}
+
+// Verifier findings fold into last_lint_report() with their ids, so the
+// -lint-json stream is uniform across lint and verify diagnostics.
+TEST(LintDeterminism, VerifierFindingsSerializeUniformly) {
+  CodegenOptions options;
+  options.n_procs = 4;
+  LintOptions lint;
+  lint.analyze = true;
+  lint.verify_spmd = true;
+  Compiler compiler(options, {}, lint);
+  CompileResult r =
+      compiler.compile_source(load_fixture("alias_hazard.fd"));
+  const LintReport& folded = compiler.last_lint_report();
+  EXPECT_EQ(folded.diags.size(),
+            r.lint.diags.size() + r.verify.diags.size());
+  EXPECT_NE(folded.json().find("\"id\": \"fortd-alias-hazard\""),
+            std::string::npos)
+      << folded.json();
+  EXPECT_EQ(folded.warnings + folded.notes,
+            static_cast<int>(folded.diags.size()));
 }
 
 // ---------------------------------------------------------------------------
@@ -404,11 +472,29 @@ TEST(SpmdVerifier, CleanOnEveryExampleUnderEveryStrategy) {
   }
 }
 
+// The deadlock simulation is order-sensitive, so the generated schedule of
+// every example must drain at every processor count under every strategy —
+// a false positive here would be a send/recv emission-order bug.
 TEST(SpmdVerifier, CleanAtOtherProcessorCounts) {
-  for (int p : {2, 8}) {
-    CompileResult r = compile_analyzed(kJacobi, /*jobs=*/1, /*n_procs=*/p);
-    EXPECT_TRUE(r.verify.clean())
-        << "jacobi at P=" << p << ":\n" << r.verify.text();
+  const Strategy strategies[] = {Strategy::Interprocedural,
+                                 Strategy::Intraprocedural,
+                                 Strategy::RuntimeResolution};
+  for (const Example& ex : kExamples) {
+    for (Strategy strat : strategies) {
+      for (int p : {2, 8}) {
+        CodegenOptions options;
+        options.n_procs = p;
+        options.strategy = strat;
+        LintOptions lint;
+        lint.verify_spmd = true;
+        Compiler compiler(options, {}, lint);
+        CompileResult r = compiler.compile_source(ex.source);
+        EXPECT_TRUE(r.verify.clean())
+            << ex.name << " (strategy " << static_cast<int>(strat)
+            << ") at P=" << p << ":\n" << r.verify.text();
+        EXPECT_EQ(r.verify.deadlocks, 0);
+      }
+    }
   }
 }
 
@@ -487,6 +573,79 @@ TEST(SpmdVerifier, GuardedCollectiveIsFlagged) {
   for (const Diagnostic& d : v.diags)
     if (d.id == "fortd-spmd-guarded-collective") ++guarded;
   EXPECT_GE(guarded, 1) << v.text();
+}
+
+/// Reorder the message statements of every top-level statement list so
+/// all If-wrapped sends precede all If-wrapped recvs, keeping relative
+/// order within each kind and leaving every other slot untouched. The
+/// send/recv *multisets* are unchanged — only the schedule moves.
+bool partition_sends_first(std::vector<StmtPtr>& stmts) {
+  auto msg_kind = [](const Stmt& s) -> std::optional<StmtKind> {
+    if (s.kind == StmtKind::Send || s.kind == StmtKind::Recv) return s.kind;
+    if (s.kind == StmtKind::If && s.then_body.size() == 1 &&
+        s.else_body.empty() &&
+        (s.then_body[0]->kind == StmtKind::Send ||
+         s.then_body[0]->kind == StmtKind::Recv))
+      return s.then_body[0]->kind;
+    return std::nullopt;
+  };
+  std::vector<size_t> slots;
+  for (size_t i = 0; i < stmts.size(); ++i)
+    if (msg_kind(*stmts[i])) slots.push_back(i);
+  if (slots.size() < 2) return false;
+  std::vector<StmtPtr> sends, recvs;
+  for (size_t i : slots) {
+    if (*msg_kind(*stmts[i]) == StmtKind::Send)
+      sends.push_back(std::move(stmts[i]));
+    else
+      recvs.push_back(std::move(stmts[i]));
+  }
+  if (sends.empty() || recvs.empty()) return false;
+  size_t next = 0;
+  for (StmtPtr& s : sends) stmts[slots[next++]] = std::move(s);
+  for (StmtPtr& r : recvs) stmts[slots[next++]] = std::move(r);
+  return true;
+}
+
+// Two opposite shifts on one array generate [send, recv, send, recv] per
+// processor; reordering to sends-first makes both processors at P=2 front
+// a synchronous send to each other — matched multisets, no execution
+// order. The multiset pass accepts it; only the simulation catches it.
+TEST(SpmdVerifier, CyclicBlockingSendsAreDeadlock) {
+  CompileResult r = compile_analyzed(load_fixture("spmd_deadlock.fd"),
+                                     /*jobs=*/1, /*n_procs=*/2);
+  ASSERT_TRUE(r.verify.clean()) << r.verify.text();
+  ASSERT_EQ(r.verify.deadlocks, 0);
+  bool mutated = false;
+  for (auto& proc : r.spmd.ast.procedures)
+    mutated |= partition_sends_first(proc->body);
+  ASSERT_TRUE(mutated) << "no send/recv run found to reorder";
+  SpmdVerifyReport v = verify_spmd(r.spmd);
+  EXPECT_EQ(v.unmatched, 0) << v.text();  // multisets still match
+  EXPECT_GE(v.deadlocks, 1);
+  int deadlock_diags = 0;
+  for (const Diagnostic& d : v.diags) {
+    if (d.id != "fortd-spmd-deadlock") continue;
+    ++deadlock_diags;
+    EXPECT_GT(d.loc.line, 0) << "deadlock diagnostic lost its source line: "
+                             << d.str();
+  }
+  EXPECT_GE(deadlock_diags, 1) << v.text();
+  EXPECT_FALSE(v.clean());
+}
+
+// The verifier's simulation must be a pure function of the program: the
+// parallel walk and the serial walk agree, and the report is identical at
+// every processor count that deadlocks.
+TEST(SpmdVerifier, DeadlockReportIsPoolInvariant) {
+  CompileResult r = compile_analyzed(load_fixture("spmd_deadlock.fd"),
+                                     /*jobs=*/1, /*n_procs=*/2);
+  for (auto& proc : r.spmd.ast.procedures) partition_sends_first(proc->body);
+  SpmdVerifyReport serial = verify_spmd(r.spmd);
+  ThreadPool pool(4);
+  SpmdVerifyReport parallel = verify_spmd(r.spmd, &pool);
+  EXPECT_EQ(serial.text(), parallel.text());
+  EXPECT_EQ(serial.deadlocks, parallel.deadlocks);
 }
 
 TEST(SpmdVerifier, SizeMismatchIsFlagged) {
