@@ -3,7 +3,7 @@
 // optionally run it on the simulated machine.
 //
 //   fortdc [options] file.fd
-//     -p N          virtual processors (default 4)
+//     -p N, -P N    SPMD processors (default 4)
 //     -j N          code-generation worker threads (default 1; output is
 //                   byte-identical for any value)
 //     -s STRAT      inter | intra | runtime  (default inter)
@@ -29,7 +29,15 @@
 //                   overlapped with this level's code generation)
 //     -cache-stats-json  print cumulative per-tier cache counters as JSON
 //                   to stdout after compiling
-//     -run          simulate after compiling and report metrics
+//     -run          execute after compiling: run the generated SPMD
+//                   program at -p processors, diff the numeric results
+//                   against a serial execution of the original program,
+//                   and (threads backend) cross-check observed message
+//                   counts/bytes against the simulator's predictions
+//     -backend B    sim | threads: execution backend for -run (default
+//                   threads — one OS thread per SPMD process exchanging
+//                   messages through rendezvous channels; sim is the
+//                   logical-clock machine simulator)
 //     -analyze      run the interprocedural lint checkers and the SPMD
 //                   communication verifier; print findings to stderr
 //     -Werror       with -analyze: exit 3 when any finding is reported
@@ -45,8 +53,11 @@
 //                   per-pass idle time)
 //     -quiet        suppress the generated-code listing
 //
-// Exit codes: 0 success, 1 compile/simulation error, 2 usage,
-// 3 lint/verifier findings promoted by -Werror.
+// Exit codes: 0 success, 1 compile/execution error, 2 usage,
+// 3 lint/verifier findings promoted by -Werror, 4 conflicting flag
+// combination, 5 execution-harness mismatch (numerics differ from the
+// serial reference, or observed traffic differs from the simulator's
+// prediction).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -54,6 +65,8 @@
 
 #include "codegen/spmd_printer.hpp"
 #include "driver/compiler.hpp"
+#include "frontend/parser.hpp"
+#include "runtime/harness.hpp"
 
 int main(int argc, char** argv) {
   using namespace fortd;
@@ -67,10 +80,13 @@ int main(int argc, char** argv) {
   bool werror = false;
   bool lint_json = false;
   bool cache_stats_json = false;
+  BackendKind backend = BackendKind::Threaded;
+  bool backend_set = false;
   const char* path = nullptr;
 
   for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "-p") && i + 1 < argc) {
+    if ((!std::strcmp(argv[i], "-p") || !std::strcmp(argv[i], "-P")) &&
+        i + 1 < argc) {
       options.n_procs = std::atoi(argv[++i]);
     } else if (!std::strcmp(argv[i], "-j") && i + 1 < argc) {
       options.jobs = std::atoi(argv[++i]);
@@ -114,6 +130,14 @@ int main(int argc, char** argv) {
       cache_clear = true;
     } else if (!std::strcmp(argv[i], "-run")) {
       run = true;
+    } else if (!std::strcmp(argv[i], "-backend") && i + 1 < argc) {
+      auto kind = parse_backend_kind(argv[++i]);
+      if (!kind) {
+        std::fprintf(stderr, "fortdc: -backend expects sim|threads\n");
+        return 2;
+      }
+      backend = *kind;
+      backend_set = true;
     } else if (!std::strcmp(argv[i], "-analyze")) {
       lint_options.analyze = true;
       lint_options.verify_spmd = true;
@@ -139,7 +163,7 @@ int main(int argc, char** argv) {
                  "[-cache-dir D] [-cache-max-bytes N] "
                  "[-cache-clear] [-cache-remote HOST:PORT[,HOST:PORT...]] "
                  "[-cache-remote-timeout-ms N] [-cache-no-prefetch] "
-                 "[-cache-stats-json] [-run] "
+                 "[-cache-stats-json] [-run] [-backend sim|threads] "
                  "[-analyze] [-Werror] [-lint-json] [-timings] [-quiet] "
                  "file.fd\n");
     return 2;
@@ -147,6 +171,25 @@ int main(int argc, char** argv) {
   if (cache_clear && cache_options.dir.empty()) {
     std::fprintf(stderr, "fortdc: -cache-clear requires -cache-dir\n");
     return 2;
+  }
+  // Conflicting flag combinations get their own exit code (4) so scripts
+  // can tell "you asked for nonsense" apart from a mere usage error.
+  if (backend_set && !run) {
+    std::fprintf(stderr,
+                 "fortdc: -backend selects the -run execution backend; "
+                 "it does nothing without -run\n");
+    return 4;
+  }
+  if ((werror || lint_json) && !lint_options.analyze) {
+    std::fprintf(stderr, "fortdc: %s is an -analyze-only mode; add -analyze\n",
+                 werror ? "-Werror" : "-lint-json");
+    return 4;
+  }
+  if (run && lint_json) {
+    std::fprintf(stderr,
+                 "fortdc: -run conflicts with -lint-json (both own the "
+                 "machine-readable stdout stream)\n");
+    return 4;
   }
 
   std::ifstream in(path);
@@ -274,14 +317,17 @@ int main(int argc, char** argv) {
       std::fprintf(stdout, "%s\n", compiler.cache_stats_json().c_str());
 
     if (run) {
-      RunResult r = simulate(result.spmd);
-      std::fprintf(stderr,
-                   "fortdc: simulated %.1f us on %d processors, %lld "
-                   "message(s), %lld byte(s), %lld remap(s)\n",
-                   r.sim_time_us, options.n_procs,
-                   static_cast<long long>(r.messages),
-                   static_cast<long long>(r.bytes),
-                   static_cast<long long>(r.remaps_executed));
+      // Differential execution: the serial reference interprets the
+      // *original* program, so parse the source again without codegen.
+      SourceProgram original = parse_program(buf.str());
+      HarnessOptions hopts;
+      hopts.backend = backend;
+      HarnessReport hr = run_and_check(original, result.spmd, hopts);
+      std::fputs(hr.text().c_str(), stderr);
+      if (!hr.ok()) {
+        std::fprintf(stderr, "fortdc: execution harness mismatch\n");
+        return 5;
+      }
     }
   } catch (const CompileError& e) {
     // The lint phase runs before code generation, so its report survives a
@@ -297,7 +343,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "fortdc: %s\n", e.what());
     return 1;
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "fortdc: simulation error: %s\n", e.what());
+    std::fprintf(stderr, "fortdc: execution error: %s\n", e.what());
     return 1;
   }
   if (werror && findings > 0) {

@@ -252,6 +252,8 @@ std::string Compiler::cache_stats_json() const {
         << ",\"retries\":" << r.retries
         << ",\"reconnects\":" << r.reconnects
         << ",\"oversize\":" << r.oversize
+        << ",\"replica_hits\":" << r.replica_hits
+        << ",\"failovers\":" << r.failovers
         << ",\"degraded\":" << (remote_store_->degraded() ? "true" : "false")
         << ",\"degraded_reason\":\""
         << escape(remote_store_->degraded_reason()) << "\""

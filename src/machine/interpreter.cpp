@@ -1,345 +1,31 @@
 #include "machine/interpreter.hpp"
 
-#include <cassert>
+#include <algorithm>
 #include <cmath>
 
 #include "machine/simulator.hpp"
 
 namespace fortd {
 
-// ---------------------------------------------------------------------------
-// ArrayStorage
-// ---------------------------------------------------------------------------
-
-int64_t ArrayStorage::flat_index(const std::vector<int64_t>& point) const {
-  if (point.size() != bounds.size())
-    throw std::runtime_error("rank mismatch indexing array '" + name + "'");
-  int64_t idx = 0;
-  for (size_t d = 0; d < bounds.size(); ++d) {
-    auto [lb, ub] = bounds[d];
-    if (point[d] < lb || point[d] > ub)
-      throw std::runtime_error(
-          "subscript out of bounds: " + name + " dim " + std::to_string(d + 1) +
-          " index " + std::to_string(point[d]) + " not in [" +
-          std::to_string(lb) + "," + std::to_string(ub) + "]");
-    idx = idx * (ub - lb + 1) + (point[d] - lb);
-  }
-  return idx;
-}
-
-int64_t ArrayStorage::size() const {
-  int64_t n = 1;
-  for (auto [lb, ub] : bounds) n *= (ub - lb + 1);
-  return n;
-}
-
-// ---------------------------------------------------------------------------
-// ProcessorContext
-// ---------------------------------------------------------------------------
-
 ProcessorContext::ProcessorContext(Machine& machine, const SpmdProgram& program,
                                    int my_p)
-    : machine_(machine), program_(program), my_p_(my_p) {
-  auto cell = std::make_shared<Value>(Value::of_int(my_p));
-  globals_.scalars["my$p"] = std::move(cell);
+    : EvalCore(program.ast, my_p, program.options.n_procs),
+      machine_(machine) {}
+
+void ProcessorContext::charge_guard() {
+  stats_.clock_us += machine_.cost_model().guard_us;
 }
 
-ArrayStorage* ProcessorContext::array_by_uid(int uid) const {
-  for (const auto& [name, arr] : globals_.arrays)
-    if (arr->uid == uid) return arr.get();
-  for (const auto& [name, arr] : main_frame_.arrays)
-    if (arr->uid == uid) return arr.get();
-  return nullptr;
+void ProcessorContext::charge_loop_iteration() {
+  stats_.clock_us += machine_.cost_model().loop_overhead_us;
 }
 
-const DecompSpec* ProcessorContext::registry_spec(
-    const ArrayStorage* storage) const {
-  auto it = registry_.find(storage);
-  return it == registry_.end() ? nullptr : &it->second;
+void ProcessorContext::charge_flop() {
+  stats_.clock_us += machine_.cost_model().flop_us;
 }
 
-Frame ProcessorContext::make_frame(const Procedure& proc, Frame* caller,
-                                   const std::vector<ExprPtr>* actuals) {
-  Frame frame;
-  // PARAMETER constants.
-  for (const auto& pc : proc.params) {
-    Value v = eval(*pc.value, frame);
-    frame.scalars[pc.name] = std::make_shared<Value>(v);
-  }
-  // Bind formals by reference.
-  if (actuals) {
-    for (size_t f = 0; f < proc.formals.size() && f < actuals->size(); ++f) {
-      const Expr& a = *(*actuals)[f];
-      const std::string& formal = proc.formals[f];
-      if (a.kind == ExprKind::VarRef && caller) {
-        auto fit = caller->arrays.find(a.name);
-        if (fit != caller->arrays.end()) {
-          frame.arrays[formal] = fit->second;
-          continue;
-        }
-        auto git = globals_.arrays.find(a.name);
-        if (git != globals_.arrays.end()) {
-          frame.arrays[formal] = git->second;
-          continue;
-        }
-        // Scalar by reference: share (or create) the caller's cell.
-        ScalarCell cell;
-        auto sit = caller->scalars.find(a.name);
-        if (sit != caller->scalars.end()) {
-          cell = sit->second;
-        } else {
-          auto gsit = globals_.scalars.find(a.name);
-          if (gsit != globals_.scalars.end()) {
-            cell = gsit->second;
-          } else {
-            cell = std::make_shared<Value>(Value::of_int(0));
-            caller->scalars[a.name] = cell;
-          }
-        }
-        frame.scalars[formal] = std::move(cell);
-        continue;
-      }
-      // Expression actual: copy-in only.
-      Value v = caller ? eval(a, *caller) : Value::of_int(0);
-      frame.scalars[formal] = std::make_shared<Value>(v);
-    }
-  }
-  // Common-block variables alias the per-processor globals.
-  std::map<std::string, bool> in_common;
-  for (const auto& blk : proc.commons)
-    for (const auto& v : blk.vars) in_common[v] = true;
-
-  // Allocate declared locals (skip already bound formals).
-  for (const auto& decl : proc.decls) {
-    if (decl.is_decomposition) continue;
-    if (frame.arrays.count(decl.name) || frame.scalars.count(decl.name))
-      continue;
-    if (decl.dims.empty()) {
-      if (in_common.count(decl.name)) {
-        if (!globals_.scalars.count(decl.name))
-          globals_.scalars[decl.name] = std::make_shared<Value>(
-              decl.type == ElemType::Real ? Value::of_real(0.0)
-                                          : Value::of_int(0));
-        frame.scalars[decl.name] = globals_.scalars[decl.name];
-      } else {
-        frame.scalars[decl.name] = std::make_shared<Value>(
-            decl.type == ElemType::Real ? Value::of_real(0.0)
-                                        : Value::of_int(0));
-      }
-      continue;
-    }
-    // Array: evaluate bounds (may reference params/formals — Fig. 14
-    // parameterized overlaps).
-    std::vector<std::pair<int64_t, int64_t>> bounds;
-    for (const auto& dim : decl.dims) {
-      int64_t lb = dim.lb ? eval(*dim.lb, frame).as_int() : 1;
-      int64_t ub = eval(*dim.ub, frame).as_int();
-      bounds.emplace_back(lb, ub);
-    }
-    if (in_common.count(decl.name)) {
-      if (!globals_.arrays.count(decl.name)) {
-        auto arr = std::make_shared<ArrayStorage>();
-        arr->uid = next_uid_++;
-        arr->name = decl.name;
-        arr->type = decl.type;
-        arr->bounds = bounds;
-        arr->data.assign(static_cast<size_t>(arr->size()), 0.0);
-        globals_.arrays[decl.name] = std::move(arr);
-      }
-      frame.arrays[decl.name] = globals_.arrays[decl.name];
-    } else {
-      auto arr = std::make_shared<ArrayStorage>();
-      arr->uid = next_uid_++;
-      arr->name = decl.name;
-      arr->type = decl.type;
-      arr->bounds = std::move(bounds);
-      arr->data.assign(static_cast<size_t>(arr->size()), 0.0);
-      frame.arrays[decl.name] = std::move(arr);
-    }
-  }
-  return frame;
-}
-
-void ProcessorContext::run() {
-  const Procedure* main = program_.main();
-  if (!main) throw std::runtime_error("SPMD program has no main PROGRAM");
-  main_frame_ = make_frame(*main, nullptr, nullptr);
-  exec_stmts(main->body, main_frame_);
-}
-
-// ---------------------------------------------------------------------------
-// Statement execution
-// ---------------------------------------------------------------------------
-
-namespace {
-thread_local bool g_returning = false;
-}
-
-void ProcessorContext::exec_stmts(const std::vector<StmtPtr>& stmts,
-                                  Frame& frame) {
-  for (const auto& s : stmts) {
-    if (g_returning) return;
-    exec_stmt(*s, frame);
-  }
-}
-
-void ProcessorContext::exec_stmt(const Stmt& s, Frame& frame) {
-  const CostModel& cm = machine_.cost_model();
-  switch (s.kind) {
-    case StmtKind::Assign: {
-      Value v = eval(*s.rhs, frame);
-      if (s.lhs->kind == ExprKind::VarRef) {
-        Value* cell = scalar_lvalue(s.lhs->name, frame);
-        *cell = v;
-      } else {
-        ArrayStorage* arr = array_of(s.lhs->name, frame);
-        auto point = eval_point(s.lhs->args, frame);
-        arr->set(point, v.as_real());
-      }
-      break;
-    }
-    case StmtKind::If: {
-      stats_.clock_us += cm.guard_us;
-      if (eval(*s.cond, frame).truthy())
-        exec_stmts(s.then_body, frame);
-      else
-        exec_stmts(s.else_body, frame);
-      break;
-    }
-    case StmtKind::Do: {
-      int64_t lb = eval(*s.lb, frame).as_int();
-      int64_t ub = eval(*s.ub, frame).as_int();
-      int64_t step = s.step ? eval(*s.step, frame).as_int() : 1;
-      if (step == 0) throw std::runtime_error("DO step is zero");
-      Value* var = scalar_lvalue(s.loop_var, frame);
-      for (int64_t i = lb; step > 0 ? i <= ub : i >= ub; i += step) {
-        *var = Value::of_int(i);
-        stats_.clock_us += cm.loop_overhead_us;
-        ++stats_.iterations;
-        exec_stmts(s.body, frame);
-        if (g_returning) break;
-      }
-      break;
-    }
-    case StmtKind::Call:
-      exec_call(s, frame);
-      break;
-    case StmtKind::Return:
-      g_returning = true;
-      break;
-    case StmtKind::Continue:
-      break;
-    case StmtKind::Align:
-      break;
-    case StmtKind::Distribute: {
-      // Run-time redistribution: the mapping library moves data unless
-      // this is the array's first (initial) distribution.
-      ArrayStorage* arr = array_of(s.dist_target, frame);
-      DecompSpec to;
-      to.dists = s.dist_specs;
-      auto it = registry_.find(arr);
-      if (it == registry_.end()) {
-        apply_redistribution(arr, nullptr, to);
-      } else if (!(it->second == to)) {
-        DecompSpec from = it->second;
-        apply_redistribution(arr, &from, to);
-      }
-      break;
-    }
-    case StmtKind::Send:
-      exec_send(s, frame);
-      break;
-    case StmtKind::Recv:
-      exec_recv(s, frame);
-      break;
-    case StmtKind::Broadcast:
-      exec_broadcast(s, frame);
-      break;
-    case StmtKind::Remap:
-      exec_remap(s, frame);
-      break;
-    case StmtKind::MarkDist: {
-      ArrayStorage* arr = array_of(s.dist_target, frame);
-      DecompSpec spec;
-      spec.dists = s.dist_specs;
-      registry_[arr] = std::move(spec);
-      break;
-    }
-    case StmtKind::AllReduce: {
-      // Gather-to-root + broadcast realization of the collective.
-      const int P = machine_.n_procs();
-      Value* cell = scalar_lvalue(s.msg_array, frame);
-      if (P == 1) break;
-      auto combine = [&](double acc, double v) {
-        if (s.reduce_op == "min") return std::min(acc, v);
-        if (s.reduce_op == "max") return std::max(acc, v);
-        return acc + v;
-      };
-      if (my_p_ == 0) {
-        double acc = cell->as_real();
-        for (int p = 1; p < P; ++p) {
-          SimMessage msg = machine_.network().recv(my_p_, p);
-          acc = combine(acc, msg.payload.at(0));
-          stats_.clock_us = std::max(stats_.clock_us + cm.recv_overhead_us,
-                                     msg.arrival_us);
-          ++stats_.recvs;
-        }
-        *cell = Value::of_real(acc);
-        SimMessage proto;
-        proto.src = my_p_;
-        proto.tag = s.msg_array;
-        proto.payload = {acc};
-        proto.bytes = cm.elem_bytes;
-        proto.send_time_us = stats_.clock_us;
-        proto.arrival_us =
-            stats_.clock_us + cm.wire_time(proto.bytes) * cm.bcast_depth(P);
-        for (int p = 1; p < P; ++p)
-          machine_.network().send(my_p_, p, proto);
-        stats_.clock_us += cm.send_overhead_us * cm.bcast_depth(P);
-        stats_.sends += P - 1;
-      } else {
-        SimMessage up;
-        up.src = my_p_;
-        up.tag = s.msg_array;
-        up.payload = {cell->as_real()};
-        up.bytes = cm.elem_bytes;
-        up.send_time_us = stats_.clock_us;
-        up.arrival_us = stats_.clock_us + cm.wire_time(up.bytes);
-        machine_.network().send(my_p_, 0, std::move(up));
-        stats_.clock_us += cm.send_overhead_us;
-        ++stats_.sends;
-        SimMessage down = machine_.network().recv(my_p_, 0);
-        *cell = Value::of_real(down.payload.at(0));
-        stats_.clock_us = std::max(stats_.clock_us + cm.recv_overhead_us,
-                                   down.arrival_us);
-        ++stats_.recvs;
-      }
-      break;
-    }
-  }
-}
-
-void ProcessorContext::exec_call(const Stmt& s, Frame& frame) {
-  const Procedure* callee = program_.ast.find(s.callee);
-  if (!callee)
-    throw std::runtime_error("call to unknown procedure '" + s.callee + "'");
+void ProcessorContext::charge_call() {
   stats_.clock_us += machine_.cost_model().call_overhead_us;
-  // Fortran D scoping: decomposition changes in the callee are undone on
-  // return — including the data motion of the restoring remap.
-  auto saved_registry = registry_;
-  Frame inner = make_frame(*callee, &frame, &s.call_args);
-  bool saved_return = g_returning;
-  g_returning = false;
-  exec_stmts(callee->body, inner);
-  g_returning = saved_return;
-  for (const auto& [arr, spec] : saved_registry) {
-    auto it = registry_.find(arr);
-    if (it != registry_.end() && !(it->second == spec)) {
-      DecompSpec from = it->second;
-      apply_redistribution(const_cast<ArrayStorage*>(arr), &from, spec);
-    }
-  }
-  registry_ = std::move(saved_registry);
 }
 
 void ProcessorContext::exec_send(const Stmt& s, Frame& frame) {
@@ -352,13 +38,13 @@ void ProcessorContext::exec_send(const Stmt& s, Frame& frame) {
   SimMessage msg;
   msg.src = my_p_;
   msg.tag = s.msg_array;
-  for (const auto& point : section.enumerate())
-    msg.payload.push_back(arr->get(point));
+  msg.payload = pack_section(arr, section);
   msg.bytes = static_cast<int64_t>(msg.payload.size()) * cm.elem_bytes;
   msg.send_time_us = stats_.clock_us;
   msg.arrival_us = stats_.clock_us + cm.wire_time(msg.bytes);
   stats_.clock_us += cm.send_overhead_us;
   ++stats_.sends;
+  stats_.sent_bytes += msg.bytes;
   machine_.network().send(my_p_, dst, std::move(msg));
 }
 
@@ -370,17 +56,11 @@ void ProcessorContext::exec_recv(const Stmt& s, Frame& frame) {
   if (section.empty()) return;  // matches the sender's empty-section skip
 
   SimMessage msg = machine_.network().recv(my_p_, src);
-  auto points = section.enumerate();
-  if (msg.payload.size() != points.size())
-    throw std::runtime_error("message size mismatch on recv of " +
-                             s.msg_array + ": sent " +
-                             std::to_string(msg.payload.size()) + " expected " +
-                             std::to_string(points.size()));
-  for (size_t i = 0; i < points.size(); ++i)
-    arr->set(points[i], msg.payload[i]);
+  unpack_section(arr, section, msg.payload, "recv of " + s.msg_array);
   stats_.clock_us =
       std::max(stats_.clock_us + cm.recv_overhead_us, msg.arrival_us);
   ++stats_.recvs;
+  stats_.recvd_bytes += msg.bytes;
 }
 
 void ProcessorContext::exec_broadcast(const Stmt& s, Frame& frame) {
@@ -402,8 +82,7 @@ void ProcessorContext::exec_broadcast(const Stmt& s, Frame& frame) {
       Value* cell = scalar_lvalue(s.msg_array, frame);
       proto.payload.push_back(cell->as_real());
     } else {
-      for (const auto& point : section.enumerate())
-        proto.payload.push_back(arr->get(point));
+      proto.payload = pack_section(arr, section);
     }
     proto.bytes = static_cast<int64_t>(proto.payload.size()) * cm.elem_bytes;
     proto.send_time_us = stats_.clock_us;
@@ -415,16 +94,12 @@ void ProcessorContext::exec_broadcast(const Stmt& s, Frame& frame) {
     }
     stats_.clock_us += cm.send_overhead_us * depth;
     stats_.sends += P - 1;
+    stats_.sent_bytes += (P - 1) * proto.bytes;
   } else {
     SimMessage msg = machine_.network().recv(my_p_, root);
     if (scalar) {
       Value* cell = scalar_lvalue(s.msg_array, frame);
-      // Preserve integer-ness for integer scalars (pivot indices).
-      double v = msg.payload.at(0);
-      if (cell->is_int && v == std::floor(v))
-        *cell = Value::of_int(static_cast<int64_t>(v));
-      else
-        *cell = Value::of_real(v);
+      store_bcast_scalar(cell, msg.payload.at(0));
     } else {
       auto points = section.enumerate();
       if (msg.payload.size() != points.size())
@@ -435,6 +110,63 @@ void ProcessorContext::exec_broadcast(const Stmt& s, Frame& frame) {
     stats_.clock_us =
         std::max(stats_.clock_us + cm.recv_overhead_us, msg.arrival_us);
     ++stats_.recvs;
+    stats_.recvd_bytes += msg.bytes;
+  }
+}
+
+void ProcessorContext::exec_allreduce(const Stmt& s, Frame& frame) {
+  const CostModel& cm = machine_.cost_model();
+  // Gather-to-root + broadcast realization of the collective.
+  const int P = machine_.n_procs();
+  Value* cell = scalar_lvalue(s.msg_array, frame);
+  if (P == 1) return;
+  auto combine = [&](double acc, double v) {
+    if (s.reduce_op == "min") return std::min(acc, v);
+    if (s.reduce_op == "max") return std::max(acc, v);
+    return acc + v;
+  };
+  if (my_p_ == 0) {
+    double acc = cell->as_real();
+    for (int p = 1; p < P; ++p) {
+      SimMessage msg = machine_.network().recv(my_p_, p);
+      acc = combine(acc, msg.payload.at(0));
+      stats_.clock_us = std::max(stats_.clock_us + cm.recv_overhead_us,
+                                 msg.arrival_us);
+      ++stats_.recvs;
+      stats_.recvd_bytes += msg.bytes;
+    }
+    *cell = Value::of_real(acc);
+    SimMessage proto;
+    proto.src = my_p_;
+    proto.tag = s.msg_array;
+    proto.payload = {acc};
+    proto.bytes = cm.elem_bytes;
+    proto.send_time_us = stats_.clock_us;
+    proto.arrival_us =
+        stats_.clock_us + cm.wire_time(proto.bytes) * cm.bcast_depth(P);
+    for (int p = 1; p < P; ++p)
+      machine_.network().send(my_p_, p, proto);
+    stats_.clock_us += cm.send_overhead_us * cm.bcast_depth(P);
+    stats_.sends += P - 1;
+    stats_.sent_bytes += (P - 1) * proto.bytes;
+  } else {
+    SimMessage up;
+    up.src = my_p_;
+    up.tag = s.msg_array;
+    up.payload = {cell->as_real()};
+    up.bytes = cm.elem_bytes;
+    up.send_time_us = stats_.clock_us;
+    up.arrival_us = stats_.clock_us + cm.wire_time(up.bytes);
+    machine_.network().send(my_p_, 0, std::move(up));
+    stats_.clock_us += cm.send_overhead_us;
+    ++stats_.sends;
+    stats_.sent_bytes += cm.elem_bytes;
+    SimMessage down = machine_.network().recv(my_p_, 0);
+    *cell = Value::of_real(down.payload.at(0));
+    stats_.clock_us = std::max(stats_.clock_us + cm.recv_overhead_us,
+                               down.arrival_us);
+    ++stats_.recvs;
+    stats_.recvd_bytes += down.bytes;
   }
 }
 
@@ -443,7 +175,7 @@ void ProcessorContext::apply_redistribution(ArrayStorage* arr,
                                             const DecompSpec& to_spec) {
   const CostModel& cm = machine_.cost_model();
   const int P = machine_.n_procs();
-  registry_[arr] = to_spec;
+  note_distribution(arr, to_spec);
   if (!from_spec) return;  // initial labeling: no data motion
 
   // Synchronize: remapping is collective.
@@ -476,196 +208,6 @@ void ProcessorContext::apply_redistribution(ArrayStorage* arr,
   }
   // Second barrier: no processor races ahead while peers still read.
   stats_.clock_us = machine_.barrier_max_clock(stats_.clock_us);
-}
-
-void ProcessorContext::exec_remap(const Stmt& s, Frame& frame) {
-  ArrayStorage* arr = array_of(s.dist_target, frame);
-  DecompSpec to_spec;
-  to_spec.dists = s.dist_specs;
-  if (s.from_specs.empty()) {
-    apply_redistribution(arr, nullptr, to_spec);
-    return;
-  }
-  DecompSpec from_spec;
-  from_spec.dists = s.from_specs;
-  apply_redistribution(arr, &from_spec, to_spec);
-}
-
-// ---------------------------------------------------------------------------
-// Expression evaluation
-// ---------------------------------------------------------------------------
-
-Value* ProcessorContext::scalar_lvalue(const std::string& name, Frame& frame) {
-  auto it = frame.scalars.find(name);
-  if (it != frame.scalars.end()) return it->second.get();
-  auto git = globals_.scalars.find(name);
-  if (git != globals_.scalars.end()) return git->second.get();
-  // Implicit local (loop variables, compiler temporaries).
-  auto cell = std::make_shared<Value>(Value::of_int(0));
-  Value* raw = cell.get();
-  frame.scalars[name] = std::move(cell);
-  return raw;
-}
-
-ArrayStorage* ProcessorContext::array_of(const std::string& name, Frame& frame) {
-  auto it = frame.arrays.find(name);
-  if (it != frame.arrays.end()) return it->second.get();
-  auto git = globals_.arrays.find(name);
-  if (git != globals_.arrays.end()) return git->second.get();
-  throw std::runtime_error("reference to unknown array '" + name + "'");
-}
-
-std::vector<int64_t> ProcessorContext::eval_point(
-    const std::vector<ExprPtr>& subs, Frame& frame) {
-  std::vector<int64_t> point;
-  point.reserve(subs.size());
-  for (const auto& s : subs) point.push_back(eval(*s, frame).as_int());
-  return point;
-}
-
-Rsd ProcessorContext::eval_section(const std::vector<SectionExpr>& sec,
-                                   Frame& frame) {
-  std::vector<Triplet> dims;
-  for (const auto& t : sec) {
-    int64_t lb = eval(*t.lb, frame).as_int();
-    int64_t ub = eval(*t.ub, frame).as_int();
-    int64_t step = t.step ? eval(*t.step, frame).as_int() : 1;
-    dims.emplace_back(lb, ub, step);
-  }
-  return Rsd(std::move(dims));
-}
-
-Value ProcessorContext::eval_intrinsic(const Expr& e, Frame& frame) {
-  auto arg = [&](size_t i) { return eval(*e.args[i], frame); };
-  const std::string& n = e.name;
-  if (n == "myproc") return Value::of_int(my_p_);
-  if (n == "min") {
-    Value v = arg(0);
-    for (size_t i = 1; i < e.args.size(); ++i) {
-      Value w = arg(i);
-      if (v.is_int && w.is_int)
-        v = Value::of_int(std::min(v.i, w.i));
-      else
-        v = Value::of_real(std::min(v.as_real(), w.as_real()));
-    }
-    return v;
-  }
-  if (n == "max") {
-    Value v = arg(0);
-    for (size_t i = 1; i < e.args.size(); ++i) {
-      Value w = arg(i);
-      if (v.is_int && w.is_int)
-        v = Value::of_int(std::max(v.i, w.i));
-      else
-        v = Value::of_real(std::max(v.as_real(), w.as_real()));
-    }
-    return v;
-  }
-  if (n == "modp") {
-    int64_t a = arg(0).as_int(), m = arg(1).as_int();
-    int64_t r = a % m;
-    return Value::of_int(r < 0 ? r + m : r);
-  }
-  if (n == "mod") return Value::of_int(arg(0).as_int() % arg(1).as_int());
-  if (n == "abs") {
-    Value v = arg(0);
-    return v.is_int ? Value::of_int(std::abs(v.i))
-                    : Value::of_real(std::fabs(v.d));
-  }
-  if (n == "sqrt") return Value::of_real(std::sqrt(arg(0).as_real()));
-  if (n == "f") {
-    // The paper's unspecified F(...) — an arbitrary elementwise function.
-    return Value::of_real(0.5 * arg(0).as_real() + 1.0);
-  }
-  if (n.rfind("owner$", 0) == 0) {
-    std::string array = n.substr(6);
-    ArrayStorage* arr = array_of(array, frame);
-    auto it = registry_.find(arr);
-    DecompSpec spec;
-    if (it != registry_.end()) spec = it->second;
-    ArrayDistribution ad(array, spec, arr->bounds, machine_.n_procs());
-    auto point = eval_point(e.args, frame);
-    return Value::of_int(ad.owner_of(point));
-  }
-  throw std::runtime_error("unknown intrinsic function '" + n + "'");
-}
-
-Value ProcessorContext::eval(const Expr& e, Frame& frame) {
-  switch (e.kind) {
-    case ExprKind::IntLit:
-      return Value::of_int(e.int_val);
-    case ExprKind::RealLit:
-      return Value::of_real(e.real_val);
-    case ExprKind::VarRef:
-      return *scalar_lvalue(e.name, frame);
-    case ExprKind::ArrayRef: {
-      ArrayStorage* arr = array_of(e.name, frame);
-      auto point = eval_point(e.args, frame);
-      double v = arr->get(point);
-      return arr->type == ElemType::Integer
-                 ? Value::of_int(static_cast<int64_t>(v))
-                 : Value::of_real(v);
-    }
-    case ExprKind::FuncCall: {
-      stats_.clock_us += machine_.cost_model().flop_us;
-      ++stats_.flops;
-      return eval_intrinsic(e, frame);
-    }
-    case ExprKind::Unary: {
-      Value v = eval(*e.args[0], frame);
-      if (e.un_op == UnOp::Neg)
-        return v.is_int ? Value::of_int(-v.i) : Value::of_real(-v.d);
-      return Value::of_int(v.truthy() ? 0 : 1);
-    }
-    case ExprKind::Binary: {
-      Value l = eval(*e.args[0], frame);
-      Value r = eval(*e.args[1], frame);
-      stats_.clock_us += machine_.cost_model().flop_us;
-      ++stats_.flops;
-      const bool ii = l.is_int && r.is_int;
-      switch (e.bin_op) {
-        case BinOp::Add:
-          return ii ? Value::of_int(l.i + r.i)
-                    : Value::of_real(l.as_real() + r.as_real());
-        case BinOp::Sub:
-          return ii ? Value::of_int(l.i - r.i)
-                    : Value::of_real(l.as_real() - r.as_real());
-        case BinOp::Mul:
-          return ii ? Value::of_int(l.i * r.i)
-                    : Value::of_real(l.as_real() * r.as_real());
-        case BinOp::Div:
-          if (ii) {
-            if (r.i == 0) throw std::runtime_error("integer division by zero");
-            return Value::of_int(l.i / r.i);
-          }
-          return Value::of_real(l.as_real() / r.as_real());
-        case BinOp::Eq:
-          return Value::of_int(ii ? l.i == r.i : l.as_real() == r.as_real());
-        case BinOp::Ne:
-          return Value::of_int(ii ? l.i != r.i : l.as_real() != r.as_real());
-        case BinOp::Lt:
-          return Value::of_int(ii ? l.i < r.i : l.as_real() < r.as_real());
-        case BinOp::Le:
-          return Value::of_int(ii ? l.i <= r.i : l.as_real() <= r.as_real());
-        case BinOp::Gt:
-          return Value::of_int(ii ? l.i > r.i : l.as_real() > r.as_real());
-        case BinOp::Ge:
-          return Value::of_int(ii ? l.i >= r.i : l.as_real() >= r.as_real());
-        case BinOp::And:
-          return Value::of_int(l.truthy() && r.truthy());
-        case BinOp::Or:
-          return Value::of_int(l.truthy() || r.truthy());
-      }
-      return Value::of_int(0);
-    }
-  }
-  return Value::of_int(0);
-}
-
-int ProcessorContext::flop_cost(const Expr& e) const {
-  int n = e.kind == ExprKind::Binary || e.kind == ExprKind::FuncCall ? 1 : 0;
-  for (const auto& a : e.args) n += flop_cost(*a);
-  return n;
 }
 
 }  // namespace fortd

@@ -1,17 +1,12 @@
-// SPMD interpreter: one ProcessorContext per virtual processor executes
-// the generated program, exchanging messages through the Network and
-// advancing a logical clock according to the CostModel.
-//
-// Storage model: every processor holds full-size (global index space)
-// copies of all arrays; ownership determines which copy is *current*.
-// This matches how the compiled code is generated (global indices) and
-// leaves all measured quantities — messages, bytes, simulated time —
-// identical to a local-index implementation (see DESIGN.md).
+// SPMD interpreter for the simulated machine: one ProcessorContext per
+// virtual processor executes the generated program on the shared EvalCore
+// (src/runtime/eval.hpp), exchanging messages through the Network and
+// advancing a logical clock according to the CostModel. This is the
+// `sim` ExecutionBackend's per-processor body; the evaluation semantics
+// live in EvalCore, only the message transport and the cost model are
+// simulator-specific.
 #pragma once
 
-#include <functional>
-#include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,113 +14,34 @@
 #include "codegen/spmd.hpp"
 #include "machine/cost_model.hpp"
 #include "machine/network.hpp"
+#include "runtime/eval.hpp"
 
 namespace fortd {
 
 class Machine;
 
-/// A typed scalar value. Integer arithmetic stays exact (Fortran integer
-/// division truncates); mixed expressions promote to real.
-struct Value {
-  bool is_int = true;
-  int64_t i = 0;
-  double d = 0.0;
-
-  static Value of_int(int64_t v) { return {true, v, static_cast<double>(v)}; }
-  static Value of_real(double v) { return {false, 0, v}; }
-  double as_real() const { return is_int ? static_cast<double>(i) : d; }
-  int64_t as_int() const { return is_int ? i : static_cast<int64_t>(d); }
-  bool truthy() const { return is_int ? i != 0 : d != 0.0; }
-};
-
-/// Array storage: column-major-agnostic flat buffer addressed by global
-/// indices. `uid` is the allocation sequence number — identical across
-/// processors because SPMD execution is symmetric — used to pair up peers'
-/// copies during remaps.
-struct ArrayStorage {
-  int uid = -1;
-  std::string name;
-  ElemType type = ElemType::Real;
-  std::vector<std::pair<int64_t, int64_t>> bounds;
-  std::vector<double> data;
-
-  int64_t flat_index(const std::vector<int64_t>& point) const;
-  int64_t size() const;
-  double get(const std::vector<int64_t>& point) const {
-    return data[static_cast<size_t>(flat_index(point))];
-  }
-  void set(const std::vector<int64_t>& point, double v) {
-    data[static_cast<size_t>(flat_index(point))] = v;
-  }
-};
-
-/// A scalar cell, shareable by reference across call frames.
-using ScalarCell = std::shared_ptr<Value>;
-using ArrayRefPtr = std::shared_ptr<ArrayStorage>;
-
-struct Frame {
-  std::map<std::string, ScalarCell> scalars;
-  std::map<std::string, ArrayRefPtr> arrays;
-};
-
-struct ProcStats {
-  double clock_us = 0.0;
-  int64_t flops = 0;
-  int64_t iterations = 0;
-  int64_t sends = 0;
-  int64_t recvs = 0;
-};
-
-class ProcessorContext {
-public:
+class ProcessorContext : public EvalCore {
+ public:
   ProcessorContext(Machine& machine, const SpmdProgram& program, int my_p);
 
-  /// Execute the main program to completion.
-  void run();
-
-  int my_p() const { return my_p_; }
-  const ProcStats& stats() const { return stats_; }
-  /// The main program's frame (kept alive after run for result gathering).
-  const Frame& main_frame() const { return main_frame_; }
-  ArrayStorage* array_by_uid(int uid) const;
-  const DecompSpec* registry_spec(const ArrayStorage* storage) const;
-
-private:
-  friend class Machine;
-
-  void exec_stmts(const std::vector<StmtPtr>& stmts, Frame& frame);
-  void exec_stmt(const Stmt& s, Frame& frame);
-  void exec_call(const Stmt& s, Frame& frame);
-  void exec_send(const Stmt& s, Frame& frame);
-  void exec_recv(const Stmt& s, Frame& frame);
-  void exec_broadcast(const Stmt& s, Frame& frame);
-  void exec_remap(const Stmt& s, Frame& frame);
+ protected:
+  void exec_send(const Stmt& s, Frame& frame) override;
+  void exec_recv(const Stmt& s, Frame& frame) override;
+  void exec_broadcast(const Stmt& s, Frame& frame) override;
+  void exec_allreduce(const Stmt& s, Frame& frame) override;
   /// Collective redistribution: pull newly owned elements from previous
   /// owners' copies and charge the remap cost. `from` null = initial
   /// labeling (no data motion).
   void apply_redistribution(ArrayStorage* arr, const DecompSpec* from,
-                            const DecompSpec& to);
+                            const DecompSpec& to) override;
 
-  Value eval(const Expr& e, Frame& frame);
-  Value eval_intrinsic(const Expr& e, Frame& frame);
-  Value* scalar_lvalue(const std::string& name, Frame& frame);
-  ArrayStorage* array_of(const std::string& name, Frame& frame);
-  std::vector<int64_t> eval_point(const std::vector<ExprPtr>& subs, Frame& frame);
-  /// Evaluate a message section to a concrete Rsd.
-  Rsd eval_section(const std::vector<SectionExpr>& sec, Frame& frame);
+  void charge_guard() override;
+  void charge_loop_iteration() override;
+  void charge_flop() override;
+  void charge_call() override;
 
-  Frame make_frame(const Procedure& proc, Frame* caller,
-                   const std::vector<ExprPtr>* actuals);
-  int flop_cost(const Expr& e) const;
-
+ private:
   Machine& machine_;
-  const SpmdProgram& program_;
-  int my_p_;
-  ProcStats stats_;
-  Frame globals_;      // COMMON variables
-  Frame main_frame_;
-  std::map<const ArrayStorage*, DecompSpec> registry_;
-  int next_uid_ = 0;
 };
 
 }  // namespace fortd

@@ -89,32 +89,11 @@ namespace {
 
 std::vector<double> gather_impl(
     const std::vector<std::unique_ptr<ProcessorContext>>& contexts,
-    int n_procs, const std::string& array, const DecompSpec* spec) {
-  const ProcessorContext& p0 = *contexts[0];
-  auto it = p0.main_frame().arrays.find(array);
-  if (it == p0.main_frame().arrays.end())
-    throw std::runtime_error("gather: unknown main-program array '" + array +
-                             "'");
-  const ArrayStorage& proto = *it->second;
-  if (!spec) spec = p0.registry_spec(&proto);
-
-  Rsd full = Rsd::dense(proto.bounds);
-  std::vector<double> out;
-  out.reserve(static_cast<size_t>(proto.size()));
-  std::optional<ArrayDistribution> dist;
-  if (spec) dist.emplace(array, *spec, proto.bounds, n_procs);
-
-  for (const auto& point : full.enumerate()) {
-    if (dist && !dist->replicated_p()) {
-      int owner = dist->owner_of(point);
-      const ArrayStorage* arr =
-          contexts[static_cast<size_t>(owner)]->array_by_uid(proto.uid);
-      out.push_back(arr ? arr->get(point) : 0.0);
-    } else {
-      out.push_back(proto.get(point));
-    }
-  }
-  return out;
+    int /*n_procs*/, const std::string& array, const DecompSpec* spec) {
+  std::vector<const EvalCore*> views;
+  views.reserve(contexts.size());
+  for (const auto& c : contexts) views.push_back(c.get());
+  return gather_array(views, array, spec);
 }
 
 }  // namespace

@@ -93,6 +93,10 @@ class RemoteStore : public StorageBackend {
     uint64_t retries = 0;    // attempts beyond the first, per request
     uint64_t reconnects = 0; // connections (re)established
     uint64_t oversize = 0;   // requests beyond kMaxFramePayload, never sent
+    // Replication (ShardedRemoteStore only; always 0 for a single store):
+    uint64_t failovers = 0;     // GETs retried on the replica after the
+                                // primary shard's request failed
+    uint64_t replica_hits = 0;  // of those, served by the replica
   };
   Counters counters() const;
 

@@ -32,20 +32,36 @@ ShardMap::ShardMap(std::vector<std::string> endpoints)
 }
 
 size_t ShardMap::shard_for(const std::string& kind, uint64_t digest) const {
+  return replicas_for(kind, digest).first;
+}
+
+std::pair<size_t, size_t> ShardMap::replicas_for(const std::string& kind,
+                                                 uint64_t digest) const {
   // Rendezvous: every endpoint scores the key; the key lives on the
-  // highest score. Ties are broken by index, but with 64-bit scores a
-  // tie between distinct endpoints is effectively impossible.
+  // highest score, its replica on the second-highest — which is also
+  // where the whole key range lands if the primary leaves the list, the
+  // consistent-hashing property the failover path relies on. Ties are
+  // broken by index, but with 64-bit scores a tie between distinct
+  // endpoints is effectively impossible.
   const uint64_t key = mix64(hash_string(kind) ^ mix64(digest));
-  size_t best = 0;
-  uint64_t best_score = 0;
+  size_t best = 0, second = 0;
+  uint64_t best_score = 0, second_score = 0;
   for (size_t i = 0; i < endpoint_hashes_.size(); ++i) {
     const uint64_t score = mix64(endpoint_hashes_[i] ^ key);
     if (i == 0 || score > best_score) {
+      if (i != 0) {
+        second = best;
+        second_score = best_score;
+      }
       best = i;
       best_score = score;
+    } else if (i == 1 || score > second_score) {
+      second = i;
+      second_score = score;
     }
   }
-  return best;
+  if (endpoint_hashes_.size() < 2) second = best;
+  return {best, second};
 }
 
 std::vector<std::string> split_endpoint_list(const std::string& list) {
@@ -96,17 +112,38 @@ ShardedRemoteStore::ShardedRemoteStore(std::vector<std::string> endpoints,
   }
 }
 
+bool ShardedRemoteStore::request_failed(const RemoteStore& shard,
+                                        uint64_t errors_before) {
+  return shard.degraded() || shard.counters().errors > errors_before;
+}
+
 std::optional<std::vector<uint8_t>> ShardedRemoteStore::get_blob(
     const std::string& kind, uint64_t format_hash, uint64_t digest) {
   if (shards_.empty()) return std::nullopt;
-  return shards_[map_.shard_for(kind, digest)]->get_blob(kind, format_hash,
-                                                         digest);
+  const auto [primary, replica] = map_.replicas_for(kind, digest);
+  const uint64_t errors_before = shards_[primary]->counters().errors;
+  auto blob = shards_[primary]->get_blob(kind, format_hash, digest);
+  if (blob || replica == primary) return blob;
+  // Fail over only when the primary's *request* failed; a healthy miss
+  // means the key is absent everywhere (PUTs write both copies).
+  if (!request_failed(*shards_[primary], errors_before)) return std::nullopt;
+  ++failovers_;
+  blob = shards_[replica]->get_blob(kind, format_hash, digest);
+  if (blob) ++replica_hits_;
+  return blob;
 }
 
 bool ShardedRemoteStore::put_blob(const std::string& kind, uint64_t digest,
                                   const std::vector<uint8_t>& blob) {
   if (shards_.empty()) return false;
-  return shards_[map_.shard_for(kind, digest)]->put_blob(kind, digest, blob);
+  const auto [primary, replica] = map_.replicas_for(kind, digest);
+  // Write-through to both owners: the artifact is stored as long as
+  // either copy landed, which is exactly when a failed-over GET can
+  // still find it.
+  const bool primary_ok = shards_[primary]->put_blob(kind, digest, blob);
+  if (replica == primary) return primary_ok;
+  const bool replica_ok = shards_[replica]->put_blob(kind, digest, blob);
+  return primary_ok || replica_ok;
 }
 
 std::vector<std::pair<bool, std::vector<uint8_t>>>
@@ -121,15 +158,38 @@ ShardedRemoteStore::batch_get_blobs(
   std::vector<std::vector<size_t>> by_shard(shards_.size());
   for (size_t i = 0; i < keys.size(); ++i)
     by_shard[map_.shard_for(keys[i].first, keys[i].second)].push_back(i);
+  // Keys whose primary BATCH_GET failed (not merely missed) retry on
+  // their replica shard, regrouped into one BATCH_GET per replica.
+  std::vector<std::vector<size_t>> retry_by_shard(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (by_shard[s].empty()) continue;
     std::vector<std::pair<std::string, uint64_t>> shard_keys;
     shard_keys.reserve(by_shard[s].size());
     for (size_t i : by_shard[s]) shard_keys.push_back(keys[i]);
     auto results = shards_[s]->batch_get(format_hash, shard_keys);
-    if (!results) continue;
+    if (!results) {
+      for (size_t i : by_shard[s]) {
+        const size_t replica =
+            map_.replicas_for(keys[i].first, keys[i].second).second;
+        if (replica != s) retry_by_shard[replica].push_back(i);
+      }
+      continue;
+    }
     for (size_t j = 0; j < by_shard[s].size(); ++j)
       out[by_shard[s][j]] = std::move((*results)[j]);
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (retry_by_shard[s].empty()) continue;
+    failovers_ += retry_by_shard[s].size();
+    std::vector<std::pair<std::string, uint64_t>> shard_keys;
+    shard_keys.reserve(retry_by_shard[s].size());
+    for (size_t i : retry_by_shard[s]) shard_keys.push_back(keys[i]);
+    auto results = shards_[s]->batch_get(format_hash, shard_keys);
+    if (!results) continue;
+    for (size_t j = 0; j < retry_by_shard[s].size(); ++j) {
+      if ((*results)[j].first) ++replica_hits_;
+      out[retry_by_shard[s][j]] = std::move((*results)[j]);
+    }
   }
   return out;
 }
@@ -174,6 +234,9 @@ RemoteStore::Counters ShardedRemoteStore::counters() const {
     sum.reconnects += c.reconnects;
     sum.oversize += c.oversize;
   }
+  // Routing-level counters live here, not in any one shard.
+  sum.failovers = failovers_.load();
+  sum.replica_hits = replica_hits_.load();
   return sum;
 }
 

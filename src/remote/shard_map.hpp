@@ -23,6 +23,7 @@
 // (shard_degraded()) feeds -cache-stats-json.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -43,6 +44,13 @@ class ShardMap {
   /// The shard holding (kind, digest). Requires size() > 0.
   size_t shard_for(const std::string& kind, uint64_t digest) const;
 
+  /// The top-2 shards in rendezvous score order: {primary, replica}.
+  /// The replica is the endpoint the key would move to if the primary
+  /// left the list — exactly where a failed-over GET must look. With a
+  /// single endpoint, replica == primary (no second copy possible).
+  std::pair<size_t, size_t> replicas_for(const std::string& kind,
+                                         uint64_t digest) const;
+
  private:
   std::vector<std::string> endpoints_;
   std::vector<uint64_t> endpoint_hashes_;  // precomputed fnv1a per endpoint
@@ -57,8 +65,14 @@ std::vector<std::string> split_endpoint_list(const std::string& list);
 bool parse_endpoint(const std::string& endpoint, std::string* host,
                     int* port);
 
-/// One RemoteStore per endpoint, routed by ShardMap. Thread-safe like
-/// its shards; all failure handling lives in them.
+/// One RemoteStore per endpoint, routed by ShardMap with top-2
+/// replication: every PUT writes through to the key's primary *and*
+/// replica shard, and a GET whose primary request fails (dead daemon,
+/// open breaker, exhausted retries) fails over to the replica — the
+/// fleet survives any single daemon loss with no artifact regeneration.
+/// A healthy miss does not consult the replica: both copies are written
+/// together, so a primary miss means the key is simply absent.
+/// Thread-safe like its shards; all failure handling lives in them.
 class ShardedRemoteStore : public StorageBackend {
  public:
   /// `base` supplies every knob except host/port, which come from
@@ -100,8 +114,14 @@ class ShardedRemoteStore : public StorageBackend {
   RemoteStore::Counters counters() const;
 
  private:
+  /// True when the shard's last request failed rather than missed —
+  /// breaker already open, or the error counter moved.
+  static bool request_failed(const RemoteStore& shard, uint64_t errors_before);
+
   ShardMap map_;
   std::vector<std::unique_ptr<RemoteStore>> shards_;
+  std::atomic<uint64_t> failovers_{0};
+  std::atomic<uint64_t> replica_hits_{0};
 };
 
 }  // namespace fortd::remote

@@ -1,0 +1,103 @@
+// Pluggable SPMD execution backends.
+//
+// An ExecutionBackend runs a compiled SpmdProgram end to end and reports
+// what actually happened: final array contents (gatherable per element
+// owner), per-processor message counts and payload bytes, and remap
+// traffic. Two implementations ship:
+//
+//   * `sim`     — the logical-clock Machine simulator (src/machine),
+//                 unchanged semantics, now behind this interface. Its
+//                 per-processor clocks realize the CostModel and its
+//                 message counts are the paper's Fig. 11/16/17
+//                 quantities — the *predictions* the harness checks the
+//                 real runtime against.
+//   * `threads` — the concurrent runtime (src/runtime/threaded_backend):
+//                 one OS thread per SPMD process, rendezvous channels
+//                 with real blocking send/recv, broadcasts, reductions,
+//                 and message-based redistribution. No cost model — it
+//                 measures wall-clock time.
+//
+// Both backends share the EvalCore evaluator, so the values they compute
+// are bit-identical; only transport and timing differ.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "codegen/spmd.hpp"
+#include "runtime/channel.hpp"
+#include "runtime/eval.hpp"
+
+namespace fortd {
+
+class ThreadPool;
+
+enum class BackendKind { Simulator, Threaded };
+
+/// Parse "sim" / "threads" (also accepts "simulator" / "threaded").
+std::optional<BackendKind> parse_backend_kind(const std::string& name);
+const char* backend_kind_name(BackendKind kind);
+
+struct RuntimeOptions {
+  /// Payload accounting: bytes per REAL element (matches the simulator's
+  /// CostModel.elem_bytes so observed bytes compare against predictions).
+  int elem_bytes = 8;
+  /// Channel deadline / fault injection (threaded backend only).
+  runtime::ChannelOptions channel;
+  /// Worker pool to run processor bodies on; null spawns plain threads.
+  ThreadPool* pool = nullptr;
+};
+
+/// What one backend execution observed.
+struct ExecResult {
+  std::string backend;
+  int n_procs = 1;
+  double wall_ms = 0.0;      // real time spent inside execute()
+  double sim_time_us = 0.0;  // simulator backend only: max logical clock
+
+  // Point-to-point + collective traffic from the generated communication
+  // statements (excludes redistribution exchanges, reported separately —
+  // the simulator models those in aggregate, not as messages).
+  int64_t messages = 0;  // == sum of per_proc sends == sum of recvs
+  int64_t bytes = 0;     // payload bytes of those messages
+  int64_t remaps_executed = 0;  // data-moving redistributions
+  int64_t remap_bytes = 0;      // elements moved * elem_bytes
+
+  std::vector<ProcStats> per_proc;
+
+  /// The authoritative final contents of a main-program array, assembled
+  /// from each element's owner (context 0's run-time registry supplies
+  /// the distribution unless one is passed explicitly).
+  std::vector<double> gather(const std::string& array) const;
+  std::vector<double> gather(const std::string& array,
+                             const DecompSpec& spec) const;
+  double gather_scalar(const std::string& name) const;
+  /// Main-program array names, sorted (the diffable surface).
+  std::vector<std::string> main_arrays() const;
+
+  // Internal: kept alive for gather().
+  std::shared_ptr<void> keepalive;
+  std::vector<const EvalCore*> contexts;
+};
+
+class ExecutionBackend {
+ public:
+  virtual ~ExecutionBackend() = default;
+  virtual std::string name() const = 0;
+  /// Run `program` on program.options.n_procs processes to completion.
+  /// Throws on execution errors (including detected deadlocks).
+  virtual ExecResult execute(const SpmdProgram& program) = 0;
+};
+
+std::unique_ptr<ExecutionBackend> make_backend(BackendKind kind,
+                                               const RuntimeOptions& options =
+                                                   RuntimeOptions{});
+
+/// Execute the *original* (pre-SPMD) program on a single process with no
+/// communication — the serial reference the differential harness diffs
+/// parallel executions against (the ast must outlive the result).
+ExecResult run_serial_reference(const SourceProgram& ast);
+
+}  // namespace fortd

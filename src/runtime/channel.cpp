@@ -1,0 +1,97 @@
+#include "runtime/channel.hpp"
+
+#include <chrono>
+
+namespace fortd::runtime {
+
+ChannelFabric::ChannelFabric(int nprocs, ChannelOptions options)
+    : nprocs_(nprocs),
+      options_(std::move(options)),
+      channels_(static_cast<size_t>(nprocs) * static_cast<size_t>(nprocs)) {}
+
+template <typename Pred>
+void ChannelFabric::wait(Channel& ch, std::unique_lock<std::mutex>& lock,
+                         Pred pred, const std::string& what) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.deadline_ms > 0 ? options_.deadline_ms
+                                                         : 0);
+  for (;;) {
+    if (poisoned()) {
+      std::lock_guard<std::mutex> g(poison_mu_);
+      throw ChannelAborted("aborted while " + what + ": " + poison_why_);
+    }
+    if (pred()) return;
+    if (options_.deadline_ms <= 0) {
+      ch.cv.wait(lock);
+      continue;
+    }
+    if (ch.cv.wait_until(lock, deadline) == std::cv_status::timeout &&
+        !pred() && !poisoned()) {
+      throw ChannelDeadlock("deadlock: " + what + " made no progress for " +
+                            std::to_string(options_.deadline_ms) + " ms");
+    }
+  }
+}
+
+void ChannelFabric::send(int src, int dst, RtMessage msg) {
+  if (options_.send_delay) options_.send_delay(src, dst);
+  Channel& ch = channel(src, dst);
+  std::unique_lock<std::mutex> lock(ch.mu);
+  const std::string what = "P" + std::to_string(src) + " sending '" + msg.tag +
+                           "' to P" + std::to_string(dst);
+  // One sender at a time per channel; SPMD programs never queue here, but
+  // torture tests may aim several senders at one destination pair.
+  wait(ch, lock, [&] { return !ch.busy; }, what);
+  ch.busy = true;
+  ch.slot = std::move(msg);
+  ch.has_msg = true;
+  ch.delivered = false;
+  ch.cv.notify_all();
+  // Rendezvous: the send completes only when the receiver took the
+  // message.
+  wait(ch, lock, [&] { return ch.delivered; }, what);
+  ch.delivered = false;
+  ch.busy = false;
+  ch.cv.notify_all();
+  std::lock_guard<std::mutex> g(stat_mu_);
+  ++messages_;
+}
+
+RtMessage ChannelFabric::recv(int dst, int src) {
+  Channel& ch = channel(src, dst);
+  std::unique_lock<std::mutex> lock(ch.mu);
+  const std::string what = "P" + std::to_string(dst) + " receiving from P" +
+                           std::to_string(src);
+  wait(ch, lock, [&] { return ch.has_msg; }, what);
+  RtMessage msg = std::move(ch.slot);
+  ch.has_msg = false;
+  ch.delivered = true;
+  ch.cv.notify_all();
+  return msg;
+}
+
+void ChannelFabric::poison(const std::string& why) {
+  {
+    std::lock_guard<std::mutex> g(poison_mu_);
+    if (poisoned_) return;
+    poisoned_ = true;
+    poison_why_ = why;
+  }
+  for (auto& ch : channels_) {
+    std::lock_guard<std::mutex> g(ch.mu);
+    ch.cv.notify_all();
+  }
+}
+
+bool ChannelFabric::poisoned() const {
+  std::lock_guard<std::mutex> g(poison_mu_);
+  return poisoned_;
+}
+
+int64_t ChannelFabric::total_messages() const {
+  std::lock_guard<std::mutex> g(stat_mu_);
+  return messages_;
+}
+
+}  // namespace fortd::runtime

@@ -1,0 +1,35 @@
+// The `threads` ExecutionBackend: really-concurrent SPMD execution, one
+// OS thread per SPMD process, exchanging messages through rendezvous
+// channels (src/runtime/channel.hpp). Collectives are realized exactly
+// like the simulator's (gather-to-root + broadcast for reductions,
+// root-fan-out for broadcasts) so observed message counts match the
+// simulator's predictions message for message; redistribution moves data
+// through a globally ordered pairwise exchange instead of reading peer
+// memory, which is rendezvous-safe by construction (the lexicographically
+// smallest unfinished pair can always progress).
+//
+// Processor bodies run on the shared ThreadPool when one is supplied
+// (grown so workers + caller cover every process — bodies block on each
+// other) or on plain std::threads otherwise. A failing process poisons
+// the fabric so its peers unwind instead of waiting on a rendezvous that
+// can never complete; the first real failure is rethrown.
+#pragma once
+
+#include <memory>
+
+#include "runtime/backend.hpp"
+
+namespace fortd {
+
+class ThreadedBackend : public ExecutionBackend {
+ public:
+  explicit ThreadedBackend(RuntimeOptions options = {});
+
+  std::string name() const override { return "threads"; }
+  ExecResult execute(const SpmdProgram& program) override;
+
+ private:
+  RuntimeOptions options_;
+};
+
+}  // namespace fortd

@@ -1,0 +1,218 @@
+// The five example Fortran D programs the paper's evaluation (and this
+// repo's tests) revolve around: jacobi (1-D ping-pong stencil), adi
+// (alternating-direction sweeps with transposing remaps), stencil2d
+// (aligned 2-D arrays through a shared subroutine), redistribution
+// (block <-> cyclic remap traffic), and dgefa (LU factorization with
+// pivot broadcasts). Shared by the lint/verifier suite and the runtime
+// differential tests so both always exercise the same programs.
+#pragma once
+
+namespace fortd::examples {
+
+inline constexpr const char* kJacobi = R"(
+      program jacobi
+      real u(256)
+      real unew(256)
+      integer i, t
+      distribute u(block)
+      distribute unew(block)
+      do i = 1, 256
+        u(i) = modp(i*13, 97) * 1.0
+      enddo
+      do t = 1, 20
+        do i = 2, 255
+          unew(i) = 0.5 * (u(i-1) + u(i+1))
+        enddo
+        do i = 2, 255
+          u(i) = unew(i)
+        enddo
+      enddo
+      end
+)";
+
+inline constexpr const char* kAdi = R"(
+      program adi
+      real u(48,48)
+      integer i, j, t
+      distribute u(block,:)
+      do i = 1, 48
+        do j = 1, 48
+          u(i,j) = modp(i*3 + j*5, 11) + 1
+        enddo
+      enddo
+      do t = 1, 4
+        call rowsweep(u)
+        distribute u(:,block)
+        call colsweep(u)
+        distribute u(block,:)
+      enddo
+      end
+
+      subroutine rowsweep(u)
+      real u(48,48)
+      integer i, j
+      do i = 1, 48
+        do j = 2, 48
+          u(i,j) = u(i,j) + 0.5*u(i,j-1)
+        enddo
+      enddo
+      end
+
+      subroutine colsweep(u)
+      real u(48,48)
+      integer i, j
+      do j = 1, 48
+        do i = 2, 48
+          u(i,j) = u(i,j) + 0.5*u(i-1,j)
+        enddo
+      enddo
+      end
+)";
+
+inline constexpr const char* kStencil2d = R"(
+      program p1
+      real x(100,100)
+      real y(100,100)
+      integer i, j
+      align y(i,j) with x(j,i)
+      distribute x(block,:)
+      do i = 1, 100
+        do j = 1, 100
+          x(i,j) = i + 0.01*j
+          y(i,j) = j + 0.01*i
+        enddo
+      enddo
+      do i = 1, 100
+        call f1(x, i)
+      enddo
+      do j = 1, 100
+        call f1(y, j)
+      enddo
+      end
+
+      subroutine f1(z, i)
+      real z(100,100)
+      integer i, k
+      do k = 1, 95
+        z(k,i) = f(z(k+5,i))
+      enddo
+      end
+)";
+
+inline constexpr const char* kRedistribution = R"(
+      program p1
+      real x(100)
+      integer k, i
+      distribute x(block)
+      do i = 1, 100
+        x(i) = i * 1.0
+      enddo
+      do k = 1, 10
+        call f1(x)
+        call f1(x)
+      enddo
+      call f2(x)
+      end
+
+      subroutine f1(x)
+      real x(100)
+      integer i
+      distribute x(cyclic)
+      do i = 1, 100
+        x(i) = x(i) + 1.0
+      enddo
+      end
+
+      subroutine f2(x)
+      real x(100)
+      integer i
+      do i = 1, 100
+        x(i) = 2.0 * i
+      enddo
+      end
+)";
+
+inline constexpr const char* kDgefa = R"(
+      program main
+      parameter (n = 16)
+      real a(n,n)
+      real ipvt(n)
+      integer i, j, k, ip
+      distribute a(:,cyclic)
+      do j = 1, n
+        do i = 1, n
+          a(i,j) = modp(i*7 + j*3, 13) + 1
+        enddo
+        a(j,j) = a(j,j) + n*13
+      enddo
+      do k = 1, n-1
+        call idamax(a, k, n, ip)
+        ipvt(k) = ip
+        if (ip .ne. k) then
+          call dswap(a, k, ip, n)
+        endif
+        call dscal(a, k, n)
+        do j = k+1, n
+          call daxpy(a, k, j, n)
+        enddo
+      enddo
+      end
+
+      subroutine idamax(a, k, n, ip)
+      parameter (nmax = 16)
+      real a(nmax,nmax)
+      integer k, n, ip, i
+      real tmax
+      tmax = 0.0
+      ip = k
+      do i = k, n
+        if (abs(a(i,k)) .gt. tmax) then
+          tmax = abs(a(i,k))
+          ip = i
+        endif
+      enddo
+      end
+
+      subroutine dswap(a, k, ip, n)
+      parameter (nmax = 16)
+      real a(nmax,nmax)
+      integer k, ip, n, j
+      real t1
+      do j = 1, n
+        t1 = a(k,j)
+        a(k,j) = a(ip,j)
+        a(ip,j) = t1
+      enddo
+      end
+
+      subroutine dscal(a, k, n)
+      parameter (nmax = 16)
+      real a(nmax,nmax)
+      integer k, n, i
+      do i = k+1, n
+        a(i,k) = a(i,k) / a(k,k)
+      enddo
+      end
+
+      subroutine daxpy(a, k, j, n)
+      parameter (nmax = 16)
+      real a(nmax,nmax)
+      integer k, j, n, i
+      do i = k+1, n
+        a(i,j) = a(i,j) - a(i,k) * a(k,j)
+      enddo
+      end
+)";
+
+struct Example {
+  const char* name;
+  const char* source;
+};
+
+inline constexpr Example kExamples[] = {
+    {"jacobi", kJacobi},         {"adi", kAdi},
+    {"stencil2d", kStencil2d},   {"redistribution", kRedistribution},
+    {"dgefa", kDgefa},
+};
+
+}  // namespace fortd::examples

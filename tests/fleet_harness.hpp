@@ -10,6 +10,7 @@
 #pragma once
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 #include <memory>
@@ -24,9 +25,13 @@
 
 namespace fortd::fleet_test {
 
+// The pid suffix keeps concurrent ctest processes apart: the tsan label
+// runs these suites in one process while ctest -j runs them again as
+// individual processes, and two live daemons must never share a dir.
 inline std::string fresh_cache_dir(const std::string& name) {
   namespace fs = std::filesystem;
-  fs::path dir = fs::path(::testing::TempDir()) / ("fortd_remote_" + name);
+  fs::path dir = fs::path(::testing::TempDir()) /
+                 ("fortd_remote_" + name + "_" + std::to_string(::getpid()));
   fs::remove_all(dir);
   fs::create_directories(dir);
   return dir.string();

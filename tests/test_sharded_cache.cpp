@@ -69,6 +69,31 @@ TEST(ShardMap, RemovingAnEndpointOnlyRemapsItsKeys) {
   }
 }
 
+TEST(ShardMap, ReplicaIsWhereTheKeyMovesWhenThePrimaryDies) {
+  // The replica (second-highest rendezvous score) must be exactly the
+  // shard that inherits the key once the primary leaves the list — so a
+  // failed-over GET and a post-outage rerouted GET agree on location.
+  const std::vector<std::string> full = {"h1:1", "h2:2", "h3:3"};
+  remote::ShardMap map(full);
+  for (uint64_t d = 0; d < 500; ++d) {
+    const auto [primary, replica] = map.replicas_for("proc", d);
+    EXPECT_EQ(primary, map.shard_for("proc", d));
+    EXPECT_NE(primary, replica);
+    std::vector<std::string> without = full;
+    without.erase(without.begin() + static_cast<long>(primary));
+    remote::ShardMap survivor(without);
+    EXPECT_EQ(without[survivor.shard_for("proc", d)], full[replica])
+        << "key " << d << " must fail over to its future owner";
+  }
+}
+
+TEST(ShardMap, SingleEndpointReplicatesToItself) {
+  remote::ShardMap map({"h1:1"});
+  const auto [primary, replica] = map.replicas_for("proc", 7);
+  EXPECT_EQ(primary, 0u);
+  EXPECT_EQ(replica, 0u);
+}
+
 TEST(ShardMap, EndpointListParsing) {
   using remote::split_endpoint_list;
   EXPECT_EQ(split_endpoint_list("a:1"), (std::vector<std::string>{"a:1"}));
@@ -172,9 +197,10 @@ TEST(ShardedFleet, KillingOneShardDegradesOnlyItsKeyRange) {
   compile_fleet(src, fresh_cache_dir("kill_warm"), fleet.endpoints(), 1,
                 &warm_spmd);
 
-  // One daemon dies. A cold client must still compile — the dead shard's
-  // keys regenerate locally, the survivors' keys arrive over the wire —
-  // and produce byte-identical output.
+  // One daemon dies. A cold client must still compile with *nothing*
+  // regenerated: the warm compile write-through-replicated every blob to
+  // its top-2 rendezvous shards, so the dead shard's keys fail over to
+  // their replicas — and the output stays byte-identical.
   fleet.kill(1);
 
   CodegenOptions opt;
@@ -189,9 +215,14 @@ TEST(ShardedFleet, KillingOneShardDegradesOnlyItsKeyRange) {
   EXPECT_EQ(print_spmd(r.spmd), warm_spmd)
       << "partial fleet loss must not change the generated program";
   EXPECT_GT(r.stats.remote_hits, 0) << "healthy shards must keep serving";
-  EXPECT_LT(r.stats.generated, r.stats.procedures)
-      << "only the dead shard's key range should regenerate";
-  EXPECT_GT(r.stats.generated, 0) << "the dead shard's keys must regenerate";
+  EXPECT_EQ(r.stats.generated, 0)
+      << "every dead-shard key must fail over to its replica";
+  const auto counters = compiler.remote_store()->counters();
+  EXPECT_GT(counters.failovers, 0u)
+      << "dead-shard GETs must be retried on the replica";
+  EXPECT_GT(counters.replica_hits, 0u)
+      << "the replicas must actually serve the failed-over GETs";
+  EXPECT_LE(counters.replica_hits, counters.failovers);
 
   EXPECT_FALSE(compiler.remote_store()->degraded())
       << "one dead shard of three must not declare the tier gone";
@@ -212,6 +243,10 @@ TEST(ShardedFleet, KillingOneShardDegradesOnlyItsKeyRange) {
   EXPECT_NE(json.find("\"shards\":["), std::string::npos) << json;
   EXPECT_NE(json.find("\"degraded\":true"), std::string::npos) << json;
   EXPECT_NE(json.find("\"degraded\":false"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"replica_hits\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"failovers\":"), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"failovers\":0"), std::string::npos)
+      << "the failover counter must reflect the dead shard: " << json;
 }
 
 TEST(ShardedFleet, WholeFleetDownStillCompilesLocally) {
