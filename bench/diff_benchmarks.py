@@ -63,6 +63,9 @@ PER_BENCH_THRESHOLD = {
     "BM_RemoteMissPenalty": 0.60,
     "BM_WavefrontPrefetch": 0.60,
     "BM_ShardedFleet": 0.60,
+    "BM_WarmDaemonCompile": 0.60,        # loopback COMPILE round trip
+    "BM_ColdProcessRecompile": 0.50,
+    "BM_LocalWarmCompile": 0.50,
 }
 
 

@@ -52,12 +52,23 @@
 //                   executed/stolen, ready-queue peak, critical path,
 //                   per-pass idle time)
 //     -quiet        suppress the generated-code listing
+//     -server HOST:PORT  compile via a resident fortdd daemon: the
+//                   daemon's hot caches make repeat and incremental
+//                   compiles near-instant across fortdc invocations.
+//                   Output (stdout listing, -lint-json, exit codes) is
+//                   identical to a local compile; when the daemon is
+//                   unreachable, draining, or at capacity, fortdc prints
+//                   one warning line and compiles locally — a daemon
+//                   problem is never a compile error
+//     -server-timeout-ms N  round-trip budget before the local fallback
+//                   (default 30000)
 //
 // Exit codes: 0 success, 1 compile/execution error, 2 usage,
 // 3 lint/verifier findings promoted by -Werror, 4 conflicting flag
 // combination, 5 execution-harness mismatch (numerics differ from the
 // serial reference, or observed traffic differs from the simulator's
-// prediction).
+// prediction). The -server path preserves this contract: a served
+// compile exits exactly as the same local compile would.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -67,6 +78,7 @@
 #include "driver/compiler.hpp"
 #include "frontend/parser.hpp"
 #include "runtime/harness.hpp"
+#include "service/client.hpp"
 
 int main(int argc, char** argv) {
   using namespace fortd;
@@ -83,6 +95,8 @@ int main(int argc, char** argv) {
   BackendKind backend = BackendKind::Threaded;
   bool backend_set = false;
   const char* path = nullptr;
+  const char* server_spec = nullptr;
+  int server_timeout_ms = 30000;
 
   for (int i = 1; i < argc; ++i) {
     if ((!std::strcmp(argv[i], "-p") || !std::strcmp(argv[i], "-P")) &&
@@ -149,6 +163,10 @@ int main(int argc, char** argv) {
       timings = true;
     } else if (!std::strcmp(argv[i], "-quiet")) {
       quiet = true;
+    } else if (!std::strcmp(argv[i], "-server") && i + 1 < argc) {
+      server_spec = argv[++i];
+    } else if (!std::strcmp(argv[i], "-server-timeout-ms") && i + 1 < argc) {
+      server_timeout_ms = std::atoi(argv[++i]);
     } else if (argv[i][0] != '-') {
       path = argv[i];
     } else {
@@ -165,7 +183,7 @@ int main(int argc, char** argv) {
                  "[-cache-remote-timeout-ms N] [-cache-no-prefetch] "
                  "[-cache-stats-json] [-run] [-backend sim|threads] "
                  "[-analyze] [-Werror] [-lint-json] [-timings] [-quiet] "
-                 "file.fd\n");
+                 "[-server HOST:PORT] [-server-timeout-ms N] file.fd\n");
     return 2;
   }
   if (cache_clear && cache_options.dir.empty()) {
@@ -191,6 +209,22 @@ int main(int argc, char** argv) {
                  "machine-readable stdout stream)\n");
     return 4;
   }
+  if (server_spec && run) {
+    std::fprintf(stderr,
+                 "fortdc: -server conflicts with -run (execution needs the "
+                 "in-process compile result; drop -server to run)\n");
+    return 4;
+  }
+  std::optional<service::ClientOptions> server_options;
+  if (server_spec) {
+    server_options = service::parse_server_endpoint(server_spec);
+    if (!server_options) {
+      std::fprintf(stderr, "fortdc: -server expects HOST:PORT, got '%s'\n",
+                   server_spec);
+      return 2;
+    }
+    server_options->timeout_ms = server_timeout_ms;
+  }
 
   std::ifstream in(path);
   if (!in) {
@@ -199,6 +233,51 @@ int main(int argc, char** argv) {
   }
   std::ostringstream buf;
   buf << in.rdbuf();
+
+  // Served compile: ship source + options to the resident daemon. Every
+  // daemon-side problem falls through to the local path below with one
+  // warning line — only an Ok/CompileFail reply is authoritative.
+  if (server_options) {
+    remote::CompileOptionsWire copts;
+    copts.n_procs = static_cast<uint32_t>(options.n_procs);
+    copts.strategy = static_cast<uint8_t>(options.strategy);
+    copts.dyn_decomp = static_cast<uint8_t>(options.dyn_decomp);
+    copts.analyze = lint_options.analyze ? 1 : 0;
+    copts.want_lint_json = lint_json ? 1 : 0;
+    copts.want_timings = timings ? 1 : 0;
+    service::CompileClient client(*server_options);
+    std::string reason;
+    auto reply = client.compile(buf.str(), copts, &reason);
+    if (reply) {
+      if (static_cast<remote::CompileStatus>(reply->status) ==
+          remote::CompileStatus::CompileFail) {
+        std::fputs(reply->diagnostics.c_str(), stderr);
+        return 1;
+      }
+      if (!quiet) std::fputs(reply->spmd.c_str(), stdout);
+      if (lint_json) std::fputs(reply->lint_json.c_str(), stdout);
+      std::fputs(reply->diagnostics.c_str(), stderr);
+      if (timings)
+        std::fprintf(stderr, "fortdc: server: %s\n",
+                     reply->timings_json.c_str());
+      if (cache_stats_json) {
+        std::string metrics_reason;
+        if (auto metrics = client.fetch_metrics(&metrics_reason))
+          std::fprintf(stdout, "%s\n", metrics->c_str());
+      }
+      if (werror && reply->findings > 0) {
+        std::fprintf(stderr, "fortdc: -Werror: %d finding(s)\n",
+                     static_cast<int>(reply->findings));
+        return 3;
+      }
+      return 0;
+    }
+    std::fprintf(stderr,
+                 "fortdc: warning: compile server %s:%d unavailable (%s), "
+                 "compiling locally\n",
+                 server_options->host.c_str(), server_options->port,
+                 reason.c_str());
+  }
 
   int findings = 0;
   IpaOptions ipa_options;

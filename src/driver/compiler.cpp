@@ -44,6 +44,7 @@ Compiler::Compiler(CodegenOptions options, IpaOptions ipa_options,
 }
 
 ThreadPool* Compiler::pool() {
+  if (shared_pool_) return shared_pool_;
   if (!pool_)
     pool_ = std::make_unique<ThreadPool>(std::max(1, options_.jobs) - 1);
   return pool_.get();

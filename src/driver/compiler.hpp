@@ -162,6 +162,15 @@ public:
   /// on the caller, so the pool costs nothing.
   ThreadPool* pool();
 
+  /// Use `pool` (not owned, must outlive this Compiler) instead of a
+  /// private lazily-created one. The compile service injects one shared
+  /// pool into every session's Compiler so concurrent requests split the
+  /// machine's workers fairly rather than oversubscribing it with a pool
+  /// per session. Safe because ThreadPool::parallel_for interleaves
+  /// concurrent batches; callers must not grow a shared pool mid-flight
+  /// (see ThreadPool::ensure_workers).
+  void set_shared_pool(ThreadPool* pool) { shared_pool_ = pool; }
+
   /// Stats of the most recent compile(). Like last_lint_report(), this
   /// survives a CompileError: timings of the phases that ran and the
   /// cache/disk-tier counters are filled in before the error propagates,
@@ -192,6 +201,7 @@ private:
   CompilationCache cache_;
   IpaSummaryCache summary_cache_;
   std::unique_ptr<ThreadPool> pool_;
+  ThreadPool* shared_pool_ = nullptr;  // wins over pool_ when set
   CompilerStats stats_;
 };
 

@@ -35,7 +35,9 @@ namespace fortd::remote {
 
 /// Bump on any wire-visible protocol change.
 /// v2: request-id varint after the type byte (pipelined connections).
-constexpr uint32_t kProtocolVersion = 2;
+/// v3: compile-as-a-service messages (COMPILE/COMPILE_REPLY/DRAIN/
+///     METRICS) for the resident fortdd daemon.
+constexpr uint32_t kProtocolVersion = 3;
 
 /// The handshake fingerprint: protocol version mixed with the artifact
 /// serialization and compression format versions. Any of the three
@@ -55,9 +57,59 @@ enum class MsgType : uint8_t {
   PutDenied = 9,    // text = reason (read-only daemon, invalid blob)
   BatchGet = 10,    // format_hash, keys = (kind, digest) list
   BatchGetOk = 11,  // blobs = (found, blob) list, parallel to keys
-  Stats = 12,       //
-  StatsOk = 13,     // text = metrics JSON
-  Error = 14,       // text = reason; daemon closes the connection
+  Stats = 12,        //
+  StatsOk = 13,      // text = metrics JSON
+  Error = 14,        // text = reason; daemon closes the connection
+  // Compile-as-a-service (fortdd). The HELLO fingerprint covers these
+  // like every other message: a client and daemon that disagree on the
+  // compile-request layout never get past the handshake.
+  Compile = 15,      // text = source, copts = options + deadline
+  CompileReply = 16, // creply = status, SPMD text, diagnostics, metrics
+  Drain = 17,        // finish in-flight work, refuse new COMPILEs
+  DrainOk = 18,      // sent once the last in-flight request completed
+  Metrics = 19,      //
+  MetricsOk = 20,    // text = service metrics JSON
+};
+
+/// Compile options as they travel in a COMPILE request — the subset of
+/// CodegenOptions/LintOptions that changes the *output*, plus the
+/// request deadline. Schedule-only knobs (jobs, -sched) stay server-side
+/// because they are digest-neutral by contract.
+struct CompileOptionsWire {
+  uint32_t n_procs = 4;
+  uint8_t strategy = 0;    // static_cast<uint8_t>(fortd::Strategy)
+  uint8_t dyn_decomp = 3;  // static_cast<uint8_t>(fortd::DynDecompOpt)
+  uint8_t analyze = 0;     // run the lint checkers + SPMD verifier
+  uint8_t want_lint_json = 0;  // serialize findings as JSON in the reply
+  uint8_t want_timings = 0;    // include the per-request timings JSON
+  /// Total budget the client grants this request, queue wait included;
+  /// a request still queued when it expires is dropped, not compiled.
+  /// 0 = use the daemon's default.
+  uint32_t deadline_ms = 0;
+};
+
+/// Terminal status of one COMPILE request. Everything except Ok and
+/// CompileFail is a *daemon* condition: the client degrades to a local
+/// in-process compile — a daemon problem is never a compile error.
+enum class CompileStatus : uint8_t {
+  Ok = 0,
+  CompileFail = 1,       // CompileError: diagnostics carry the message
+  Rejected = 2,          // admission control: queue full
+  DeadlineExpired = 3,   // spent its whole deadline waiting in queue
+  Draining = 4,          // daemon is shutting down gracefully
+};
+
+/// Body of a COMPILE_REPLY.
+struct CompileReplyWire {
+  uint8_t status = 0;  // CompileStatus
+  uint32_t findings = 0;           // lint warnings + verifier diagnostics
+  uint32_t parsed_procedures = 0;  // 0 = AST served from the session cache
+  uint32_t generated = 0;          // procedures that ran codegen
+  uint32_t summaries_computed = 0; // procedures that ran local analysis
+  std::string spmd;        // generated SPMD listing (status Ok)
+  std::string diagnostics; // human-readable block for the client's stderr
+  std::string lint_json;   // only when want_lint_json
+  std::string timings_json; // per-request service metrics (want_timings)
 };
 
 /// One decoded protocol message. Fields beyond `type` are meaningful only
@@ -73,7 +125,17 @@ struct WireMessage {
   std::vector<std::pair<std::string, uint64_t>> keys;
   std::vector<std::pair<bool, std::vector<uint8_t>>> blobs;
   std::string text;
+  CompileOptionsWire copts;   // Compile only
+  CompileReplyWire creply;    // CompileReply only
 };
+
+/// Daemon-side handshake step shared by fortd-cached and fortdd: given
+/// the first decoded message on a connection, fill `reply` and say how
+/// the connection proceeds. Protocol = not a HELLO at all (drop without
+/// replying); Reject = fingerprint mismatch (send reply, then close).
+enum class HelloOutcome { Ok, Reject, Protocol };
+HelloOutcome process_hello(const WireMessage& msg, uint64_t expected_hash,
+                           WireMessage* reply);
 
 /// Serialize `m` into a frame payload (not yet length-prefixed).
 std::vector<uint8_t> encode_message(const WireMessage& m);

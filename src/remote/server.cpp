@@ -1,7 +1,5 @@
 #include "remote/server.hpp"
 
-#include <poll.h>
-
 #include <sstream>
 
 namespace fortd::remote {
@@ -35,90 +33,116 @@ bool reply_fits_frame(uint64_t blob_size) {
 
 CacheDaemon::CacheDaemon(ContentStore* store, ThreadPool* pool,
                          DaemonOptions options)
-    : store_(store), pool_(pool), options_(std::move(options)) {}
+    : store_(store), pool_(pool), options_(std::move(options)) {
+  loop_.set_cycle_handler(
+      [this](std::vector<net::ServerLoop::InFrame>& frames) {
+        on_cycle(frames);
+      });
+  loop_.set_closed_handler([this](ConnId id) { hello_done_.erase(id); });
+}
 
 CacheDaemon::~CacheDaemon() { stop(); }
 
 bool CacheDaemon::start(std::string* err) {
-  if (running_.load()) return true;
-  if (!listener_.listen_on(options_.host, options_.port, err)) return false;
-  stopping_.store(false);
-  running_.store(true);
-  thread_ = std::thread([this] { serve_loop(); });
-  return true;
+  if (loop_.running()) return true;
+  net::ServerLoop::Options lo;
+  lo.host = options_.host;
+  lo.port = options_.port;
+  return loop_.start(lo, err);
 }
 
 void CacheDaemon::stop() {
-  if (!running_.load()) return;
-  stopping_.store(true);
-  if (thread_.joinable()) thread_.join();
-  listener_.close();
-  running_.store(false);
+  if (!loop_.running()) return;
+  loop_.stop();
   store_->flush();
 }
 
-void CacheDaemon::queue_reply(Conn& conn, const WireMessage& reply) {
-  std::vector<uint8_t> wire;
-  if (!net::encode_frame(wire, encode_message(reply))) {
-    // Unframeable reply — prevented upstream (oversize GETs answer as
-    // misses); close rather than stall the client or garble the stream.
-    conn.closing = true;
-    return;
-  }
-  conn.outbuf.append(reinterpret_cast<const char*>(wire.data()), wire.size());
-}
-
-bool CacheDaemon::read_conn(Conn& conn, std::vector<WireMessage>& requests) {
-  std::string data;
-  const auto st = conn.sock.recv_available(data);
-  conn.decoder.feed(data);
-
-  while (auto frame = conn.decoder.next()) {
-    auto msg = decode_message(*frame);
+void CacheDaemon::on_cycle(std::vector<net::ServerLoop::InFrame>& frames) {
+  // Decode every frame; run the handshake inline, batch real requests.
+  std::vector<std::pair<ConnId, WireMessage>> requests;
+  std::map<ConnId, bool> dropped;
+  for (auto& in : frames) {
+    if (dropped[in.conn]) continue;
+    auto msg = decode_message(in.payload);
     if (!msg) {
+      dropped[in.conn] = true;
+      loop_.drop(in.conn);
       std::lock_guard<std::mutex> lock(stats_mu_);
       ++protocol_errors_;
-      return false;
+      continue;
     }
-    if (!conn.hello_done) {
-      if (msg->type != MsgType::Hello) {
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++protocol_errors_;
-        return false;
-      }
+    auto it = hello_done_.find(in.conn);
+    if (it == hello_done_.end() || !it->second) {
       const uint64_t expected = options_.format_hash_override
                                     ? options_.format_hash_override
                                     : remote_wire_format_hash();
       WireMessage reply;
       reply.request_id = msg->request_id;
-      if (msg->format_hash == expected) {
-        reply.type = MsgType::HelloOk;
-        conn.hello_done = true;
-        queue_reply(conn, reply);
-      } else {
-        reply.type = MsgType::HelloReject;
-        reply.text = "wire format mismatch: daemon " + hex16(expected) +
-                     ", client " + hex16(msg->format_hash);
-        queue_reply(conn, reply);
-        conn.closing = true;  // close once the reject flushes
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++handshake_rejects_;
-        return true;
+      switch (process_hello(*msg, expected, &reply)) {
+        case HelloOutcome::Ok:
+          hello_done_[in.conn] = true;
+          loop_.send(in.conn, encode_message(reply));
+          break;
+        case HelloOutcome::Reject:
+          reply.text = "wire format mismatch: daemon " + hex16(expected) +
+                       ", client " + hex16(msg->format_hash);
+          loop_.send(in.conn, encode_message(reply));
+          loop_.close_after_flush(in.conn);
+          dropped[in.conn] = true;  // ignore anything pipelined behind it
+          {
+            std::lock_guard<std::mutex> lock(stats_mu_);
+            ++handshake_rejects_;
+          }
+          break;
+        case HelloOutcome::Protocol: {
+          dropped[in.conn] = true;
+          loop_.drop(in.conn);
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++protocol_errors_;
+          break;
+        }
       }
       continue;
     }
-    requests.push_back(std::move(*msg));
+    requests.emplace_back(in.conn, std::move(*msg));
   }
-  if (conn.decoder.failed()) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++protocol_errors_;
-    return false;
+
+  // Answer the batch; several requests in one cycle fan out across the
+  // pool (ContentStore and the counters are thread-safe).
+  std::vector<WireMessage> replies(requests.size());
+  std::vector<char> close_after(requests.size(), 0);
+  const auto handle_one = [&](size_t r) {
+    bool close = false;
+    replies[r] = handle(requests[r].second, &close);
+    close_after[r] = close ? 1 : 0;
+  };
+  if (pool_ && requests.size() > 1) {
+    pool_->parallel_for(requests.size(), handle_one);
+  } else {
+    for (size_t r = 0; r < requests.size(); ++r) handle_one(r);
   }
-  if (st == net::IoStatus::Error) return false;
-  // EOF with requests still buffered: serve them this cycle, the next
-  // poll drops the connection.
-  if (st == net::IoStatus::Closed && requests.empty()) return false;
-  return true;
+
+  // Queue replies in arrival order (per-connection FIFO) and apply the
+  // fault-injection hooks.
+  bool had_put = false;
+  for (size_t r = 0; r < requests.size(); ++r) {
+    const ConnId conn = requests[r].first;
+    if (dropped[conn]) continue;
+    if (requests[r].second.type == MsgType::Put &&
+        replies[r].type == MsgType::PutOk)
+      had_put = true;
+    if (options_.drop_before_reply &&
+        options_.drop_before_reply(requests[r].second)) {
+      dropped[conn] = true;
+      loop_.drop(conn);
+      continue;
+    }
+    if (options_.stall_reply && options_.stall_reply(requests[r].second))
+      continue;  // swallow the reply, hold the connection open
+    loop_.send(conn, encode_message(replies[r]));
+    if (close_after[r]) loop_.close_after_flush(conn);
+  }
+  if (had_put) store_->flush();  // bounded memory + durable across restart
 }
 
 WireMessage CacheDaemon::handle(const WireMessage& req, bool* close_after) {
@@ -222,114 +246,19 @@ WireMessage CacheDaemon::handle(const WireMessage& req, bool* close_after) {
   return reply;
 }
 
-void CacheDaemon::serve_loop() {
-  std::vector<std::unique_ptr<Conn>> conns;
-  while (!stopping_.load()) {
-    // Only the first n_polled connections have a mirror entry in fds;
-    // connections accepted below are picked up next cycle.
-    const size_t n_polled = conns.size();
-    std::vector<struct pollfd> fds;
-    fds.push_back({listener_.fd(), POLLIN, 0});
-    for (const auto& conn : conns) {
-      short events = POLLIN;
-      if (!conn->outbuf.empty()) events |= POLLOUT;
-      fds.push_back({conn->sock.fd(), events, 0});
-    }
-    ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 50);
-
-    if (fds[0].revents & POLLIN) {
-      while (auto sock = listener_.accept_conn()) {
-        auto conn = std::make_unique<Conn>();
-        conn->sock = std::move(*sock);
-        conns.push_back(std::move(conn));
-        std::lock_guard<std::mutex> lock(stats_mu_);
-        ++connections_accepted_;
-      }
-    }
-
-    // Gather complete requests from every readable connection.
-    std::vector<bool> drop(conns.size(), false);
-    std::vector<std::pair<size_t, WireMessage>> requests;
-    for (size_t i = 0; i < n_polled; ++i) {
-      const short revents = fds[i + 1].revents;
-      if (revents & (POLLERR | POLLNVAL)) {
-        drop[i] = true;
-        continue;
-      }
-      if (revents & (POLLIN | POLLHUP)) {
-        std::vector<WireMessage> batch;
-        if (!read_conn(*conns[i], batch)) {
-          drop[i] = true;
-          continue;
-        }
-        for (auto& msg : batch) requests.emplace_back(i, std::move(msg));
-      }
-    }
-
-    // Answer the batch; several requests in one cycle fan out across the
-    // pool (ContentStore and the counters are thread-safe).
-    std::vector<WireMessage> replies(requests.size());
-    std::vector<char> close_after(requests.size(), 0);
-    const auto handle_one = [&](size_t r) {
-      bool close = false;
-      replies[r] = handle(requests[r].second, &close);
-      close_after[r] = close ? 1 : 0;
-    };
-    if (pool_ && requests.size() > 1) {
-      pool_->parallel_for(requests.size(), handle_one);
-    } else {
-      for (size_t r = 0; r < requests.size(); ++r) handle_one(r);
-    }
-
-    // Queue replies in arrival order (per-connection FIFO) and apply the
-    // fault-injection hooks.
-    bool had_put = false;
-    for (size_t r = 0; r < requests.size(); ++r) {
-      const size_t i = requests[r].first;
-      if (drop[i]) continue;
-      if (requests[r].second.type == MsgType::Put &&
-          replies[r].type == MsgType::PutOk)
-        had_put = true;
-      if (options_.drop_before_reply &&
-          options_.drop_before_reply(requests[r].second)) {
-        drop[i] = true;
-        continue;
-      }
-      if (options_.stall_reply && options_.stall_reply(requests[r].second))
-        continue;  // swallow the reply, hold the connection open
-      queue_reply(*conns[i], replies[r]);
-      if (close_after[r]) conns[i]->closing = true;
-    }
-    if (had_put) store_->flush();  // bounded memory + durable across restart
-
-    // Drain output buffers.
-    for (size_t i = 0; i < conns.size(); ++i) {
-      if (drop[i] || conns[i]->outbuf.empty()) continue;
-      size_t sent = 0;
-      auto st = conns[i]->sock.send_nonblocking(
-          reinterpret_cast<const uint8_t*>(conns[i]->outbuf.data()),
-          conns[i]->outbuf.size(), sent);
-      if (sent > 0) conns[i]->outbuf.erase(0, sent);
-      if (st != net::IoStatus::Ok) drop[i] = true;
-      if (conns[i]->closing && conns[i]->outbuf.empty()) drop[i] = true;
-    }
-
-    for (size_t i = conns.size(); i-- > 0;)
-      if (drop[i]) conns.erase(conns.begin() + static_cast<ptrdiff_t>(i));
-  }
-}
-
 std::map<std::string, CacheDaemon::KindCounters> CacheDaemon::counters() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   return counters_;
 }
 
 std::string CacheDaemon::metrics_json() const {
+  const auto lc = loop_.counters();
   std::lock_guard<std::mutex> lock(stats_mu_);
   std::ostringstream out;
-  out << "{\"connections_accepted\":" << connections_accepted_
+  out << "{\"connections_accepted\":" << lc.connections_accepted
       << ",\"handshake_rejects\":" << handshake_rejects_
-      << ",\"protocol_errors\":" << protocol_errors_
+      << ",\"protocol_errors\":" << protocol_errors_ + lc.frame_errors
+      << ",\"disconnects_mid_reply\":" << lc.disconnects_mid_reply
       << ",\"invalid_kinds\":" << invalid_kinds_
       << ",\"batch_gets\":" << batch_gets_
       << ",\"batch_keys\":" << batch_keys_ << ",\"kinds\":{";

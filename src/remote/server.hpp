@@ -1,13 +1,12 @@
 // CacheDaemon — the serving side of fortd-cached.
 //
-// A single service thread runs a poll() loop over the listening socket
-// and every live client connection: readable sockets are drained into
-// per-connection FrameDecoders, complete requests are batched and
-// answered (request handling fans out across the ThreadPool when a poll
-// cycle yields several), and replies queue in per-connection output
-// buffers drained under POLLOUT. Connections are independent — a client
-// that stalls mid-frame or sends garbage affects only itself (its
-// decoder's sticky fail bit closes it).
+// The connection plumbing (poll loop, accept, FrameDecoder, output
+// buffers, mid-reply disconnect accounting) lives in the shared
+// net::ServerLoop skeleton; this class supplies the protocol: per-
+// connection HELLO handshake state, the GET/PUT/BATCH_GET/STATS request
+// handlers, and the per-kind counters. Complete requests gathered in one
+// poll cycle are answered in a ThreadPool fan-out when the cycle yields
+// several.
 //
 // The daemon owns nothing but counters: artifacts live in the
 // ContentStore it serves, which may be opened read-only (PUTs are then
@@ -16,19 +15,15 @@
 // fortd-cached -metrics-json flag.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "driver/compilation_db.hpp"
-#include "net/frame.hpp"
-#include "net/socket.hpp"
+#include "net/server_loop.hpp"
 #include "remote/protocol.hpp"
 #include "support/thread_pool.hpp"
 
@@ -51,8 +46,8 @@ struct DaemonOptions {
 class CacheDaemon {
  public:
   /// `store` must outlive the daemon. `pool` (nullable = serve inline) is
-  /// used to parallelize request handling within one poll cycle; it must
-  /// not be a pool some other thread runs batches on concurrently.
+  /// used to parallelize request handling within one poll cycle; only
+  /// non-blocking batches may share it (see ThreadPool).
   CacheDaemon(ContentStore* store, ThreadPool* pool, DaemonOptions options);
   ~CacheDaemon();
 
@@ -64,9 +59,9 @@ class CacheDaemon {
   /// Idempotent; joins the service thread and closes every connection.
   void stop();
 
-  bool running() const { return running_.load(); }
+  bool running() const { return loop_.running(); }
   /// The bound port (after start(); meaningful with port 0 in options).
-  int port() const { return listener_.port(); }
+  int port() const { return loop_.port(); }
 
   struct KindCounters {
     uint64_t get_hits = 0;
@@ -82,35 +77,27 @@ class CacheDaemon {
   std::string metrics_json() const;
 
  private:
-  struct Conn {
-    net::Socket sock;
-    net::FrameDecoder decoder;
-    bool hello_done = false;
-    bool closing = false;    // close once outbuf drains
-    std::string outbuf;      // encoded reply frames awaiting POLLOUT
-  };
+  using ConnId = net::ServerLoop::ConnId;
 
-  void serve_loop();
-  /// Drain one readable connection; false = drop it.
-  bool read_conn(Conn& conn, std::vector<WireMessage>& requests);
+  /// One poll cycle's worth of frames (loop thread).
+  void on_cycle(std::vector<net::ServerLoop::InFrame>& frames);
   /// Compute the reply for one request (thread-safe; pool workers call
   /// this concurrently). `close_after` = reply then drop the connection.
   WireMessage handle(const WireMessage& req, bool* close_after);
-  void queue_reply(Conn& conn, const WireMessage& reply);
 
   ContentStore* store_;
   ThreadPool* pool_;
   DaemonOptions options_;
-  net::Listener listener_;
-  std::thread thread_;
-  std::atomic<bool> running_{false};
-  std::atomic<bool> stopping_{false};
+  net::ServerLoop loop_;
+
+  // Connections that completed the HELLO handshake. Loop thread only
+  // (cycle + closed handlers).
+  std::map<ConnId, bool> hello_done_;
 
   mutable std::mutex stats_mu_;
   std::map<std::string, KindCounters> counters_;
-  uint64_t connections_accepted_ = 0;
   uint64_t handshake_rejects_ = 0;
-  uint64_t protocol_errors_ = 0;
+  uint64_t protocol_errors_ = 0;  // message-level; frame-level sits in loop_
   uint64_t invalid_kinds_ = 0;  // requests whose kind failed validation
   uint64_t batch_gets_ = 0;     // BATCH_GET requests served
   uint64_t batch_keys_ = 0;     // keys across all BATCH_GETs

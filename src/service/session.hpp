@@ -1,0 +1,119 @@
+// Session state of the resident compile daemon (fortdd): what makes a
+// warm daemon warm.
+//
+// AstCache holds serialized ASTs keyed by source digest, so a repeat
+// COMPILE of unchanged source deserializes instead of parsing (the
+// "parses 0 procedures" half of the warm-request contract). SessionCache
+// holds one long-lived Compiler per distinct option set; a retained
+// Compiler keeps its CompilationCache, IpaSummaryCache, alias maps, and
+// clone sets hot across requests (the "computes 0 summaries" half).
+// Every session layers over the same on-disk ContentStore directory, so
+// a restarted daemon is still warm from disk — the session tier only
+// removes the deserialize/rehash work the disk tier cannot.
+//
+// Both caches are LRU-bounded: AstCache by serialized bytes, SessionCache
+// by session count. Eviction hands out shared_ptrs, so a session can be
+// evicted while a request still compiles inside it — the storage lives
+// until the request finishes, only the cache slot is reused.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "driver/compiler.hpp"
+#include "remote/protocol.hpp"
+
+namespace fortd::service {
+
+/// Serialized-AST cache keyed by source digest. Thread-safe.
+class AstCache {
+ public:
+  /// `max_bytes` bounds the sum of serialized entry sizes (LRU).
+  explicit AstCache(uint64_t max_bytes) : max_bytes_(max_bytes) {}
+
+  /// The AST for `source`: deserialized from the cache when the digest is
+  /// known (— then *parsed_procedures = 0), otherwise parsed, counted,
+  /// and inserted. Throws CompileError on a parse failure (never cached).
+  SourceProgram get(const std::string& source, int* parsed_procedures);
+
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t bytes = 0;    // current
+    uint64_t entries = 0;  // current
+  };
+  Counters counters() const;
+
+ private:
+  struct Entry {
+    std::vector<uint8_t> bytes;  // count + write_procedure per procedure
+    int procedures = 0;
+    std::list<uint64_t>::iterator lru;
+  };
+
+  void evict_locked();
+
+  uint64_t max_bytes_;
+  mutable std::mutex mu_;
+  std::list<uint64_t> lru_;  // front = most recently used
+  std::unordered_map<uint64_t, Entry> entries_;
+  uint64_t bytes_ = 0;
+  Counters counters_;
+};
+
+/// One resident Compiler and the lock that serializes compiles through
+/// it (a Compiler's caches are mutated by compile(), so one request at a
+/// time per session; different sessions compile concurrently).
+struct Session {
+  std::mutex mu;
+  Compiler compiler;
+  explicit Session(const CodegenOptions& o, const IpaOptions& i,
+                   const LintOptions& l, CacheOptions c)
+      : compiler(o, i, l, std::move(c)) {}
+};
+
+/// Keyed, LRU-bounded pool of Sessions. Thread-safe.
+class SessionCache {
+ public:
+  /// Every created Compiler compiles with `jobs` workers drawn from the
+  /// shared `pool` (not owned) and layers over `cache_dir` when set.
+  SessionCache(size_t max_sessions, int jobs, ThreadPool* pool,
+               std::string cache_dir, uint64_t cache_max_bytes);
+
+  /// The session for this option set, created on first use. The returned
+  /// shared_ptr keeps the session alive across LRU eviction.
+  std::shared_ptr<Session> acquire(const remote::CompileOptionsWire& copts);
+
+  struct Counters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t sessions = 0;  // current
+  };
+  Counters counters() const;
+
+ private:
+  /// All output-relevant wire options packed into one key.
+  static uint64_t key_of(const remote::CompileOptionsWire& copts);
+
+  size_t max_sessions_;
+  int jobs_;
+  ThreadPool* pool_;
+  std::string cache_dir_;
+  uint64_t cache_max_bytes_;
+
+  mutable std::mutex mu_;
+  std::list<uint64_t> lru_;  // front = most recently used
+  std::map<uint64_t, std::pair<std::shared_ptr<Session>,
+                               std::list<uint64_t>::iterator>>
+      sessions_;
+  Counters counters_;
+};
+
+}  // namespace fortd::service

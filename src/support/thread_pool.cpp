@@ -1,5 +1,6 @@
 #include "support/thread_pool.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace fortd {
@@ -16,7 +17,8 @@ void ThreadPool::ensure_workers(int threads) {
     // Growing workers_ races the lockless reads in parallel_for/size();
     // catching a mid-batch call here turns a heisenbug into an abort.
     std::lock_guard<std::mutex> lock(mu_);
-    assert(!batch_active_ && "ensure_workers must not race parallel_for");
+    assert(active_batches_ == 0 &&
+           "ensure_workers must not race parallel_for");
   }
   while (static_cast<int>(workers_.size()) < threads)
     workers_.emplace_back([this] { worker_loop(); });
@@ -32,43 +34,48 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
-  uint64_t seen = 0;
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return stop_ || (fn_ != nullptr && generation_ != seen && next_ < total_);
-      });
+      work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
       if (stop_) return;
-      seen = generation_;
     }
-    drain_batch();
+    drain(nullptr);
   }
 }
 
-void ThreadPool::drain_batch() {
+void ThreadPool::drain(Batch* own) {
   for (;;) {
     size_t i;
-    const std::function<void(size_t)>* fn;
+    Batch* batch;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (fn_ == nullptr || next_ >= total_) return;
-      i = next_++;
-      fn = fn_;
+      if (own) {
+        if (own->next >= own->total) return;
+        batch = own;
+      } else {
+        // Oldest batch with unclaimed work: FIFO across callers, so an
+        // early request's indices are never starved by a later one.
+        if (queue_.empty()) return;
+        batch = queue_.front();
+      }
+      i = batch->next++;
+      // Claiming the last index retires the batch from the queue — it
+      // must leave before the owning parallel_for can return and free
+      // the stack storage the pointer refers to.
+      if (batch->next >= batch->total)
+        queue_.erase(std::find(queue_.begin(), queue_.end(), batch));
     }
     std::exception_ptr err;
     try {
-      (*fn)(i);
+      (*batch->fn)(i);
     } catch (...) {
       err = std::current_exception();
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (err) errors_[i] = err;
-      if (++completed_ == total_) {
-        done_cv_.notify_all();
-        return;
-      }
+      if (err) batch->errors[i] = err;
+      if (++batch->completed == batch->total) done_cv_.notify_all();
     }
   }
 }
@@ -80,26 +87,23 @@ void ThreadPool::parallel_for(size_t n, const std::function<void(size_t)>& fn) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  Batch batch;
+  batch.fn = &fn;
+  batch.total = n;
+  batch.errors.assign(n, nullptr);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    batch_active_ = true;
-    fn_ = &fn;
-    next_ = 0;
-    total_ = n;
-    completed_ = 0;
-    ++generation_;
-    errors_.assign(n, nullptr);
+    ++active_batches_;
+    queue_.push_back(&batch);
   }
   work_cv_.notify_all();
-  drain_batch();  // the caller works too
+  drain(&batch);  // the caller works too — and can finish the batch alone
   std::vector<std::exception_ptr> errors;
   {
     std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return completed_ == total_; });
-    fn_ = nullptr;
-    batch_active_ = false;
-    errors = std::move(errors_);
-    errors_.clear();
+    done_cv_.wait(lock, [&] { return batch.completed == batch.total; });
+    --active_batches_;
+    errors = std::move(batch.errors);
   }
   for (auto& e : errors)
     if (e) std::rethrow_exception(e);
